@@ -1,0 +1,56 @@
+// Command olgc is the OverLog compiler inspector: it parses and plans a
+// specification and dumps what the planner produced — tables, strand
+// structure, triggers, PEL programs — without running anything.
+//
+//	olgc chord                # inspect a shipped overlay by name
+//	olgc path/to/spec.olg     # inspect a file
+//	olgc -ast chord           # print the parsed program instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2/internal/overlays"
+	"p2/internal/overlog"
+	"p2/internal/planner"
+)
+
+func main() {
+	ast := flag.Bool("ast", false, "print the parsed program, not the plan")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: olgc [-ast] <spec.olg | chord|narada|gossip|linkstate|pingpong>")
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+
+	src := overlays.Lookup(arg)
+	if src == "" {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "olgc: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	prog, err := overlog.Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olgc: %v\n", err)
+		os.Exit(1)
+	}
+	if *ast {
+		fmt.Print(prog.String())
+		return
+	}
+	plan, err := planner.Compile(prog, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "olgc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %d rules, %d facts, %d tables, %d table aggregates\n",
+		prog.RuleCount(), len(prog.Facts), len(plan.Tables), len(plan.TableAggs))
+	fmt.Print(plan.String())
+}

@@ -1,0 +1,140 @@
+// Command p2 runs an OverLog overlay specification on a real UDP node —
+// the deployable form of the system ("deployable as a service or
+// library", §1).
+//
+//	# terminal 1: create a Chord ring
+//	p2 -spec chord -addr 127.0.0.1:7001 \
+//	   -fact 'landmark=127.0.0.1:7001,-' -fact 'join=127.0.0.1:7001,boot1' \
+//	   -watch bestSucc
+//
+//	# terminal 2: join it
+//	p2 -spec chord -addr 127.0.0.1:7002 \
+//	   -fact 'landmark=127.0.0.1:7002,127.0.0.1:7001' \
+//	   -fact 'join=127.0.0.1:7002,boot2' -watch bestSucc
+//
+// Facts are name=field,field,... where the first field is usually the
+// node's own address. Watched relations print every event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2"
+	"p2/internal/overlays"
+)
+
+type factList []string
+
+func (f *factList) String() string     { return strings.Join(*f, ";") }
+func (f *factList) Set(s string) error { *f = append(*f, s); return nil }
+
+type watchList []string
+
+func (w *watchList) String() string     { return strings.Join(*w, ",") }
+func (w *watchList) Set(s string) error { *w = append(*w, s); return nil }
+
+func main() {
+	spec := flag.String("spec", "chord", "overlay: builtin name or .olg file path")
+	addr := flag.String("addr", "127.0.0.1:7001", "UDP address to bind (also the node's identity)")
+	duration := flag.Duration("duration", 0, "run time (0 = until interrupted)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	var facts factList
+	var watches watchList
+	flag.Var(&facts, "fact", "startup fact name=f1,f2,... (repeatable)")
+	flag.Var(&watches, "watch", "relation to trace (repeatable)")
+	flag.Parse()
+
+	src := overlays.Lookup(*spec)
+	if src == "" {
+		data, err := os.ReadFile(*spec)
+		if err != nil {
+			fatal("reading spec: %v", err)
+		}
+		src = string(data)
+	}
+	plan, err := p2.Compile(src, nil)
+	if err != nil {
+		fatal("compiling spec: %v", err)
+	}
+
+	node, err := p2.NewUDPNode(*addr, plan, p2.NodeOptions{Seed: *seed})
+	if err != nil {
+		fatal("starting node: %v", err)
+	}
+	defer node.Close()
+	fmt.Printf("p2: node %s running %s (%d rules)\n", *addr, *spec, plan.RuleCount())
+
+	node.Do(func(n *p2.Node) {
+		for _, w := range watches {
+			w := w
+			n.Watch(w, func(ev p2.WatchEvent) {
+				fmt.Printf("%8.3f %-9s %s %s\n", ev.Time, ev.Dir, peerArrow(ev), ev.Tuple)
+			})
+		}
+		for _, f := range facts {
+			name, fields, err := parseFact(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p2: %v\n", err)
+				return
+			}
+			n.AddFact(name, fields...)
+		}
+	})
+
+	if *duration > 0 {
+		time.Sleep(*duration)
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\np2: shutting down")
+}
+
+func peerArrow(ev p2.WatchEvent) string {
+	switch ev.Dir {
+	case p2.DirSent:
+		return "-> " + ev.Peer
+	case p2.DirReceived:
+		return "<- " + ev.Peer
+	}
+	return ""
+}
+
+// parseFact decodes "name=f1,f2,...". Fields parse as int, then float,
+// then string.
+func parseFact(s string) (string, []p2.Value, error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("fact %q: want name=f1,f2,...", s)
+	}
+	var fields []p2.Value
+	if rest != "" {
+		for _, part := range strings.Split(rest, ",") {
+			fields = append(fields, parseValue(part))
+		}
+	}
+	return name, fields, nil
+}
+
+func parseValue(s string) p2.Value {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return p2.Int(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return p2.Float(f)
+	}
+	return p2.Str(s)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p2: "+format+"\n", args...)
+	os.Exit(1)
+}

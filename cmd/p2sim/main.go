@@ -1,0 +1,77 @@
+// Command p2sim regenerates the paper's evaluation (§5) on the
+// simulated Emulab-style network:
+//
+//	p2sim -exp fig3  -scale medium    # hop counts, idle bandwidth, latency CDFs
+//	p2sim -exp fig4  -scale quick     # churn: bandwidth, consistency, latency
+//	p2sim -exp rules                  # specification-complexity table
+//	p2sim -exp mem                    # per-node memory footprint
+//	p2sim -exp all   -scale paper     # everything at full paper scale
+//
+// Scales: quick (seconds), medium (minutes), paper (the published
+// parameters: 100-500 node static rings, 400-node 20-minute churn).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|rules|mem|ablation|all")
+	scale := flag.String("scale", "quick", "scale: quick|medium|paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("\n[%s completed in %.1fs wall]\n\n", name, time.Since(start).Seconds())
+	}
+
+	switch *exp {
+	case "fig3":
+		run("fig3", func() { experiments.RunFig3(sc, *seed).Print(os.Stdout) })
+	case "fig4":
+		run("fig4", func() { experiments.RunFig4(sc, *seed).Print(os.Stdout) })
+	case "rules":
+		experiments.SpecComplexity().Print(os.Stdout)
+	case "ablation":
+		run("ablation", func() {
+			experiments.PrintSuccessorAblation(os.Stdout,
+				experiments.RunSuccessorAblation(24, 0.25, []int{1, 2, 4}, *seed))
+			fmt.Println()
+			experiments.PrintTransportAblation(os.Stdout,
+				experiments.RunTransportAblation(16, []float64{0.05, 0.15, 0.30}, 30, *seed))
+		})
+	case "mem":
+		run("mem", func() {
+			fp := experiments.MeasureFootprint(8, 60)
+			fmt.Printf("== Memory footprint (paper §1: ~800 kB working set per node) ==\n")
+			fmt.Printf("nodes: %d   heap/node: %.0f kB   total delta: %.0f kB\n",
+				fp.Nodes, float64(fp.BytesPerNode)/1024, float64(fp.TotalHeapDelta)/1024)
+		})
+	case "all":
+		experiments.SpecComplexity().Print(os.Stdout)
+		fmt.Println()
+		run("mem", func() {
+			fp := experiments.MeasureFootprint(8, 60)
+			fmt.Printf("== Memory footprint ==\nnodes: %d   heap/node: %.0f kB\n",
+				fp.Nodes, float64(fp.BytesPerNode)/1024)
+		})
+		run("fig3", func() { experiments.RunFig3(sc, *seed).Print(os.Stdout) })
+		run("fig4", func() { experiments.RunFig4(sc, *seed).Print(os.Stdout) })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,80 @@
+// Gossip: seed one rumor at one node of a 30-node push epidemic and
+// measure how infection spreads round by round — the classic
+// logarithmic epidemic curve, in four OverLog rules.
+//
+//	go run ./examples/gossip
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2"
+)
+
+const n = 30
+
+func main() {
+	plan, err := p2.Compile(p2.GossipSource, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := p2.NewSim(nil, 11)
+	rng := rand.New(rand.NewSource(11))
+
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("g%02d:gossip", i)
+	}
+	var nodes []*p2.Node
+	for i, addr := range addrs {
+		node, err := sim.SpawnNode(addr, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every node knows 4 random peers.
+		for _, p := range rng.Perm(n)[:5] {
+			if addrs[p] != addr {
+				node.AddFact("peer", p2.Str(addr), p2.Str(addrs[p]))
+			}
+		}
+		nodes = append(nodes, node)
+		_ = i
+	}
+
+	// Seed the rumor at node 0.
+	nodes[0].AddFact("rumor", p2.Str(addrs[0]), p2.Str("r1"), p2.Str("the-payload"))
+
+	infected := func() int {
+		c := 0
+		for _, node := range nodes {
+			if node.Table("rumor").Len() > 0 {
+				c++
+			}
+		}
+		return c
+	}
+
+	fmt.Println("round  time   infected")
+	round := 0
+	for infected() < n && round < 40 {
+		fmt.Printf("%5d  %4.0fs  %d/%d\n", round, sim.Now(), infected(), n)
+		sim.Run(2) // one gossip period
+		round++
+	}
+	fmt.Printf("%5d  %4.0fs  %d/%d\n", round, sim.Now(), infected(), n)
+	if infected() == n {
+		fmt.Printf("\nfully infected after %d rounds (~log2(%d)=%.1f expected for push epidemics)\n",
+			round, n, logish(n))
+	}
+}
+
+func logish(n int) float64 {
+	r, v := 0.0, 1.0
+	for v < float64(n) {
+		v *= 2
+		r++
+	}
+	return r
+}

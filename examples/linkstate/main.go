@@ -1,0 +1,79 @@
+// Linkstate: declarative distance-vector routing over a declared link
+// topology (the Section 7 "link-state- and path-vector-based overlays"
+// direction, in the style of declarative routing). Builds a small
+// weighted graph, lets the eight DV rules converge, prints each node's
+// routing table, then breaks a link and shows rerouting.
+//
+//	go run ./examples/linkstate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2"
+)
+
+func main() {
+	plan, err := p2.Compile(p2.LinkStateSource, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := p2.NewSim(nil, 5)
+
+	//      1        1
+	//  sf ─── den ─── chi
+	//   │              │
+	//   └──────8───────┘     plus chi ─1─ nyc
+	names := []string{"sf", "den", "chi", "nyc"}
+	nodes := map[string]*p2.Node{}
+	for _, name := range names {
+		n, err := sim.SpawnNode(name+":rt", plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[name] = n
+	}
+	link := func(x, y string, cost int64) {
+		nodes[x].AddFact("link", p2.Str(x+":rt"), p2.Str(y+":rt"), p2.Int(cost))
+		nodes[y].AddFact("link", p2.Str(y+":rt"), p2.Str(x+":rt"), p2.Int(cost))
+	}
+	link("sf", "den", 1)
+	link("den", "chi", 1)
+	link("chi", "nyc", 1)
+	link("sf", "chi", 8)
+
+	sim.Run(40)
+	printTables(nodes, names, "routing tables after convergence:")
+
+	fmt.Println("\nbreaking the den–chi link (den goes down) ...")
+	nodes["den"].Stop()
+	sim.Run(60)
+	printTables(nodes, names, "routing tables after failure (sf reroutes via the cost-8 link):")
+}
+
+func printTables(nodes map[string]*p2.Node, names []string, label string) {
+	fmt.Println(label)
+	for _, name := range names {
+		n := nodes[name]
+		if !n.Running() {
+			fmt.Printf("  %-4s (down)\n", name)
+			continue
+		}
+		fmt.Printf("  %-4s", name)
+		for _, row := range n.Table("bestPath").ScanSorted() {
+			fmt.Printf("  ->%s via %s cost %d;",
+				short(row.Field(1).AsStr()), short(row.Field(2).AsStr()), row.Field(3).AsInt())
+		}
+		fmt.Println()
+	}
+}
+
+func short(addr string) string {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}

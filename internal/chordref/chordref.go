@@ -1,0 +1,417 @@
+// Package chordref is a hand-coded, imperative Chord implementation on
+// the same event loop, transport, and simulated network as the P2
+// engine. It plays the role of the paper's comparison points (the MIT
+// Chord implementation and MACEDON's chord.mac): a conventional
+// state-machine implementation whose code size and per-lookup cost can
+// be measured against the 47-rule OverLog specification executing on
+// the dataflow engine.
+//
+// The protocol follows Stoica et al. (2003): recursive lookups routed
+// through a finger table, a bounded successor list for resilience,
+// periodic stabilization and finger fixing, and ping-based failure
+// detection. Functionally it matches what the OverLog spec maintains,
+// which is exactly the point: the comparison is between programming
+// models, not protocols.
+package chordref
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2/internal/eventloop"
+	"p2/internal/id"
+	"p2/internal/netif"
+	"p2/internal/transport"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// Config holds the protocol timers and limits.
+type Config struct {
+	NumSuccessors  int
+	StabilizeEvery float64
+	FixFingerEvery float64
+	PingEvery      float64
+	DeadAfter      float64
+	LookupTimeout  float64
+}
+
+// DefaultConfig mirrors the timer choices of the OverLog spec so the
+// two implementations are comparable.
+func DefaultConfig() Config {
+	return Config{
+		NumSuccessors:  4,
+		StabilizeEvery: 5,
+		FixFingerEvery: 10,
+		PingEvery:      5,
+		DeadAfter:      20,
+		LookupTimeout:  10,
+	}
+}
+
+// peer names a node by address and identifier.
+type peer struct {
+	addr string
+	nid  id.ID
+}
+
+func mkPeer(addr string) peer { return peer{addr: addr, nid: id.Hash(addr)} }
+
+// LookupCallback receives a finished lookup: the owner's address and
+// the hop count the request traveled.
+type LookupCallback func(owner string, hops int)
+
+// Node is one imperative Chord participant.
+type Node struct {
+	cfg   Config
+	addr  string
+	nid   id.ID
+	loop  eventloop.Loop
+	trans *transport.Transport
+	ep    netif.Endpoint
+	rng   *rand.Rand
+
+	succs      []peer // sorted by clockwise distance from nid, self excluded
+	pred       peer
+	fingers    [id.Bits]peer
+	lastHeard  map[string]float64
+	nextFinger int
+	landmark   string
+
+	pending   map[string]LookupCallback
+	lookupSeq int
+	stopped   bool
+}
+
+// NewNode creates a node; call Start to attach and begin maintenance.
+func NewNode(addr string, loop eventloop.Loop, net netif.Network, cfg Config, seed int64) (*Node, error) {
+	n := &Node{
+		cfg:       cfg,
+		addr:      addr,
+		nid:       id.Hash(addr),
+		loop:      loop,
+		rng:       rand.New(rand.NewSource(seed)),
+		lastHeard: make(map[string]float64),
+		pending:   make(map[string]LookupCallback),
+	}
+	ep, err := net.Attach(addr, func(from string, payload []byte) {
+		n.trans.Deliver(from, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.ep = ep
+	n.trans = transport.New(loop, ep, transport.DefaultConfig())
+	n.trans.OnReceive(n.onMessage)
+	return n, nil
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() id.ID { return n.nid }
+
+// Transport exposes the transport for accounting taps.
+func (n *Node) Transport() *transport.Transport { return n.trans }
+
+// Start boots the node: landmark "" or self means "create a new ring".
+func (n *Node) Start(landmark string) {
+	n.landmark = landmark
+	if landmark == "" || landmark == n.addr {
+		// First node: own successor.
+		n.succs = nil
+		n.pred = peer{}
+	} else {
+		n.join()
+	}
+	n.scheduleMaintenance()
+}
+
+// Stop halts maintenance and closes the transport.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.trans.Close()
+	n.ep.Close()
+}
+
+// Running reports liveness.
+func (n *Node) Running() bool { return !n.stopped }
+
+// BestSucc returns the closest live successor's address ("" if none).
+func (n *Node) BestSucc() string {
+	if len(n.succs) == 0 {
+		return ""
+	}
+	return n.succs[0].addr
+}
+
+// Pred returns the predecessor's address ("" if unknown).
+func (n *Node) Pred() string { return n.pred.addr }
+
+// Lookup resolves key and calls cb on completion (cb may never fire if
+// the lookup is lost — callers apply their own timeout, as with P2).
+func (n *Node) Lookup(key id.ID, cb LookupCallback) {
+	n.lookupSeq++
+	eid := fmt.Sprintf("%s!%d", n.addr, n.lookupSeq)
+	n.pending[eid] = cb
+	n.routeLookup(key, n.addr, eid, 0)
+}
+
+// --- message protocol ----------------------------------------------------
+//
+// Messages reuse the tuple codec so both implementations pay identical
+// marshaling costs:
+//
+//	lookupReq(dst, key, requester, eid, hops)
+//	lookupResp(dst, owner, eid, hops)
+//	getPred(dst, from) / predIs(dst, predAddr)
+//	getSuccs(dst, from) / succsAre(dst, s1, s2, ...)
+//	notify(dst, fromAddr)
+//	ping(dst, from) / pong(dst, from)
+
+func (n *Node) send(to string, name string, fields ...val.Value) {
+	all := append([]val.Value{val.Str(to)}, fields...)
+	n.trans.Send(to, tuple.New(name, all...))
+}
+
+func (n *Node) onMessage(from string, t *tuple.Tuple) {
+	if n.stopped {
+		return
+	}
+	n.lastHeard[from] = n.loop.Now()
+	switch t.Name() {
+	case "lookupReq":
+		key := t.Field(1).AsID()
+		requester := t.Field(2).AsStr()
+		eid := t.Field(3).AsStr()
+		hops := int(t.Field(4).AsInt())
+		n.routeLookup(key, requester, eid, hops)
+	case "lookupResp":
+		eid := t.Field(2).AsStr()
+		if cb, ok := n.pending[eid]; ok {
+			delete(n.pending, eid)
+			cb(t.Field(1).AsStr(), int(t.Field(3).AsInt()))
+		}
+	case "getPred":
+		if n.pred.addr != "" {
+			n.send(t.Field(1).AsStr(), "predIs", val.Str(n.pred.addr))
+		}
+	case "predIs":
+		n.considerSuccessor(mkPeer(t.Field(1).AsStr()))
+	case "getSuccs":
+		fields := make([]val.Value, 0, len(n.succs)+1)
+		for _, s := range n.succs {
+			fields = append(fields, val.Str(s.addr))
+		}
+		n.send(t.Field(1).AsStr(), "succsAre", fields...)
+	case "succsAre":
+		for i := 1; i < t.Arity(); i++ {
+			n.considerSuccessor(mkPeer(t.Field(i).AsStr()))
+		}
+	case "notify":
+		cand := mkPeer(t.Field(1).AsStr())
+		if n.pred.addr == "" || id.BetweenOO(cand.nid, n.pred.nid, n.nid) {
+			n.pred = cand
+		}
+		// A notifier is also a successor candidate: this is how the
+		// ring creator, which boots successorless, acquires its first
+		// successor from the first joiner.
+		n.considerSuccessor(cand)
+	case "ping":
+		n.send(t.Field(1).AsStr(), "pong", val.Str(n.addr))
+	case "pong":
+		// lastHeard already updated above.
+	}
+}
+
+// routeLookup implements the L1/L2/L3 logic imperatively: answer if the
+// key falls to our best successor, else forward to the closest
+// preceding finger.
+func (n *Node) routeLookup(key id.ID, requester, eid string, hops int) {
+	if best := n.bestSuccPeer(); best.addr != "" && id.BetweenOC(key, n.nid, best.nid) {
+		n.send(requester, "lookupResp", val.Str(best.addr), val.Str(eid), val.Int(int64(hops)))
+		return
+	}
+	next := n.closestPreceding(key)
+	if next.addr == "" || next.addr == n.addr {
+		// No route: if we are alone, we own everything.
+		if len(n.succs) == 0 {
+			n.send(requester, "lookupResp", val.Str(n.addr), val.Str(eid), val.Int(int64(hops)))
+		}
+		return
+	}
+	n.send(next.addr, "lookupReq", val.MakeID(key), val.Str(requester),
+		val.Str(eid), val.Int(int64(hops+1)))
+}
+
+func (n *Node) bestSuccPeer() peer {
+	if len(n.succs) == 0 {
+		return peer{}
+	}
+	return n.succs[0]
+}
+
+// closestPreceding scans fingers and successors for the node whose id
+// most closely precedes key.
+func (n *Node) closestPreceding(key id.ID) peer {
+	var best peer
+	bestDist := id.Zero.Sub(id.One) // max distance
+	consider := func(p peer) {
+		if p.addr == "" || p.addr == n.addr {
+			return
+		}
+		if !id.BetweenOO(p.nid, n.nid, key) {
+			return
+		}
+		d := p.nid.Dist(key).Sub(id.One)
+		if d.Less(bestDist) {
+			bestDist = d
+			best = p
+		}
+	}
+	for _, f := range n.fingers {
+		consider(f)
+	}
+	for _, s := range n.succs {
+		consider(s)
+	}
+	return best
+}
+
+// considerSuccessor merges a candidate into the bounded successor list.
+func (n *Node) considerSuccessor(cand peer) {
+	if cand.addr == "" || cand.addr == n.addr {
+		return
+	}
+	for _, s := range n.succs {
+		if s.addr == cand.addr {
+			return
+		}
+	}
+	if _, seen := n.lastHeard[cand.addr]; !seen {
+		n.lastHeard[cand.addr] = n.loop.Now() // freshness baseline
+	}
+	n.succs = append(n.succs, cand)
+	sort.Slice(n.succs, func(i, j int) bool {
+		return n.nid.Dist(n.succs[i].nid).Less(n.nid.Dist(n.succs[j].nid))
+	})
+	if len(n.succs) > n.cfg.NumSuccessors {
+		n.succs = n.succs[:n.cfg.NumSuccessors]
+	}
+	n.fingers[0] = n.succs[0]
+}
+
+func (n *Node) join() {
+	n.lookupSeq++
+	eid := fmt.Sprintf("%s!join%d", n.addr, n.lookupSeq)
+	n.pending[eid] = func(owner string, _ int) {
+		n.considerSuccessor(mkPeer(owner))
+	}
+	n.send(n.landmark, "lookupReq", val.MakeID(n.nid), val.Str(n.addr),
+		val.Str(eid), val.Int(0))
+}
+
+func (n *Node) scheduleMaintenance() {
+	jitter := func(p float64) float64 { return p * (0.5 + n.rng.Float64()) }
+	var stabilize, fixFinger, pingPeers func()
+	stabilize = func() {
+		if n.stopped {
+			return
+		}
+		n.stabilize()
+		n.loop.After(n.cfg.StabilizeEvery, stabilize)
+	}
+	fixFinger = func() {
+		if n.stopped {
+			return
+		}
+		n.fixFinger()
+		n.loop.After(n.cfg.FixFingerEvery, fixFinger)
+	}
+	pingPeers = func() {
+		if n.stopped {
+			return
+		}
+		n.pingPeers()
+		n.loop.After(n.cfg.PingEvery, pingPeers)
+	}
+	n.loop.After(jitter(n.cfg.StabilizeEvery), stabilize)
+	n.loop.After(jitter(n.cfg.FixFingerEvery), fixFinger)
+	n.loop.After(jitter(n.cfg.PingEvery), pingPeers)
+}
+
+func (n *Node) stabilize() {
+	if len(n.succs) == 0 {
+		// Successorless: retry the join path.
+		if n.landmark != "" && n.landmark != n.addr {
+			n.join()
+		}
+		return
+	}
+	best := n.succs[0]
+	n.send(best.addr, "getPred", val.Str(n.addr))
+	n.send(best.addr, "getSuccs", val.Str(n.addr))
+	n.send(best.addr, "notify", val.Str(n.addr))
+}
+
+func (n *Node) fixFinger() {
+	i := n.nextFinger
+	n.nextFinger = (n.nextFinger + 1) % id.Bits
+	target := n.nid.Add(id.Pow2(uint(i)))
+	n.lookupSeq++
+	eid := fmt.Sprintf("%s!fix%d", n.addr, n.lookupSeq)
+	n.pending[eid] = func(owner string, _ int) {
+		p := mkPeer(owner)
+		// Fill this finger and every subsequent one the owner covers —
+		// the imperative twin of the OverLog F6 eager rule.
+		for j := i; j < id.Bits; j++ {
+			t := n.nid.Add(id.Pow2(uint(j)))
+			if !id.BetweenOO(t, n.nid, p.nid) && t != p.nid {
+				break
+			}
+			n.fingers[j] = p
+			n.nextFinger = (j + 1) % id.Bits
+		}
+	}
+	n.routeLookup(target, n.addr, eid, 0)
+}
+
+func (n *Node) pingPeers() {
+	now := n.loop.Now()
+	stale := func(addr string) bool {
+		t, ok := n.lastHeard[addr]
+		return ok && now-t > n.cfg.DeadAfter
+	}
+	// Expire dead successors and predecessor; remember who died.
+	dead := make(map[string]bool)
+	alive := n.succs[:0]
+	for _, s := range n.succs {
+		if stale(s.addr) {
+			dead[s.addr] = true
+			continue
+		}
+		alive = append(alive, s)
+	}
+	n.succs = alive
+	if n.pred.addr != "" && stale(n.pred.addr) {
+		dead[n.pred.addr] = true
+		n.pred = peer{}
+	}
+	// Fingers are not pinged (matching the OverLog spec, where they age
+	// out by table TTL and are overwritten by fix-finger); clear only
+	// entries pointing at peers detected dead through succ/pred probes.
+	for i, f := range n.fingers {
+		if f.addr != "" && dead[f.addr] {
+			n.fingers[i] = peer{}
+		}
+	}
+	// Probe the living.
+	for _, s := range n.succs {
+		n.send(s.addr, "ping", val.Str(n.addr))
+	}
+	if n.pred.addr != "" {
+		n.send(n.pred.addr, "ping", val.Str(n.addr))
+	}
+}

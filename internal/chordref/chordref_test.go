@@ -1,0 +1,181 @@
+package chordref
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/id"
+	"p2/internal/simnet"
+)
+
+// ring builds an n-node imperative Chord ring and returns the loop and
+// nodes after `settle` virtual seconds.
+func ring(t testing.TB, n int, settle float64) (*eventloop.Sim, []*Node) {
+	t.Helper()
+	loop := eventloop.NewSim()
+	net := simnet.New(loop, simnet.DefaultConfig())
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("n%d:ref", i)
+		nd, err := NewNode(addr, loop, net, DefaultConfig(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		i := i
+		loop.At(float64(i), func() {
+			if i == 0 {
+				nd.Start("")
+			} else {
+				nd.Start(nodes[0].Addr())
+			}
+		})
+	}
+	loop.Run(settle)
+	return loop, nodes
+}
+
+// idealSucc maps each live node to its true ring successor.
+func idealSucc(nodes []*Node) map[string]string {
+	type entry struct {
+		nid  id.ID
+		addr string
+	}
+	var ring []entry
+	for _, n := range nodes {
+		if n.Running() {
+			ring = append(ring, entry{n.ID(), n.Addr()})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].nid.Less(ring[j].nid) })
+	m := make(map[string]string)
+	for i, e := range ring {
+		m[e.addr] = ring[(i+1)%len(ring)].addr
+	}
+	return m
+}
+
+func correctness(nodes []*Node) float64 {
+	ideal := idealSucc(nodes)
+	good, live := 0, 0
+	for _, n := range nodes {
+		if !n.Running() {
+			continue
+		}
+		live++
+		if n.BestSucc() == ideal[n.Addr()] {
+			good++
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	return float64(good) / float64(live)
+}
+
+func TestRingConverges(t *testing.T) {
+	_, nodes := ring(t, 10, 120)
+	if c := correctness(nodes); c < 1.0 {
+		t.Fatalf("correctness = %.2f", c)
+	}
+}
+
+func TestLookupsResolveCorrectly(t *testing.T) {
+	loop, nodes := ring(t, 12, 200)
+	ideal := idealSucc(nodes)
+	_ = ideal
+	// Ground truth: sorted ids.
+	type entry struct {
+		nid  id.ID
+		addr string
+	}
+	var sortedRing []entry
+	for _, n := range nodes {
+		sortedRing = append(sortedRing, entry{n.ID(), n.Addr()})
+	}
+	sort.Slice(sortedRing, func(i, j int) bool { return sortedRing[i].nid.Less(sortedRing[j].nid) })
+	owner := func(k id.ID) string {
+		for _, e := range sortedRing {
+			if !e.nid.Less(k) {
+				return e.addr
+			}
+		}
+		return sortedRing[0].addr
+	}
+	ok := 0
+	total := 20
+	for i := 0; i < total; i++ {
+		key := id.Hash(fmt.Sprintf("key%d", i))
+		var got string
+		nodes[i%len(nodes)].Lookup(key, func(o string, hops int) { got = o })
+		loop.RunFor(10)
+		if got == owner(key) {
+			ok++
+		}
+	}
+	if ok != total {
+		t.Fatalf("correct lookups = %d/%d", ok, total)
+	}
+}
+
+func TestHopCountLogarithmic(t *testing.T) {
+	loop, nodes := ring(t, 16, 400)
+	totalHops, count := 0, 0
+	for i := 0; i < 30; i++ {
+		key := id.Hash(fmt.Sprintf("hk%d", i))
+		nodes[i%len(nodes)].Lookup(key, func(o string, hops int) {
+			totalHops += hops
+			count++
+		})
+		loop.RunFor(10)
+	}
+	if count < 25 {
+		t.Fatalf("completed %d of 30", count)
+	}
+	if mean := float64(totalHops) / float64(count); mean > 6 {
+		t.Fatalf("mean hops = %.1f", mean)
+	}
+}
+
+func TestFailureRecovery(t *testing.T) {
+	loop, nodes := ring(t, 10, 150)
+	if correctness(nodes) < 1.0 {
+		t.Fatal("not converged before failure")
+	}
+	nodes[4].Stop()
+	nodes[7].Stop()
+	loop.RunFor(120)
+	if c := correctness(nodes); c < 1.0 {
+		t.Fatalf("correctness after failures = %.2f", c)
+	}
+}
+
+func TestSingletonOwnsEverything(t *testing.T) {
+	loop := eventloop.NewSim()
+	net := simnet.New(loop, simnet.DefaultConfig())
+	n, err := NewNode("solo:ref", loop, net, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start("")
+	var got string
+	n.Lookup(id.Hash("anything"), func(o string, hops int) { got = o })
+	loop.Run(5)
+	if got != "solo:ref" {
+		t.Fatalf("singleton lookup = %q", got)
+	}
+	if n.Pred() != "" {
+		t.Fatal("singleton has no pred")
+	}
+}
+
+func TestStopSilences(t *testing.T) {
+	loop, nodes := ring(t, 4, 60)
+	nodes[2].Stop()
+	if nodes[2].Running() {
+		t.Fatal("still running")
+	}
+	loop.RunFor(30) // must not panic or loop forever
+}

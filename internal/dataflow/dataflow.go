@@ -1,0 +1,124 @@
+// Package dataflow implements P2's element framework (§3.3) and its
+// library of dataflow elements (§3.4).
+//
+// A dataflow graph is a set of elements connected port-to-port. Hand-off
+// between elements is either push (source invokes sink) or pull (sink
+// invokes source), mirroring Click. Both carry a Poke — a continuation
+// invoked if and only if the flow stalled as a result of the call: a
+// push that returned false signals "stop pushing until poked"; a pull
+// that returned nil signals "nothing now, poked when there is".
+//
+// Pokes are idempotent retry hints. An element may receive a poke it no
+// longer cares about; correct elements treat pokes as "try again" and
+// re-examine state. This is exactly the callback/continuation signaling
+// scheme the paper describes, which keeps scheduling policy out of
+// element implementations.
+//
+// Tuples are immutable and passed by reference. Elements that "modify"
+// tuples construct new ones.
+package dataflow
+
+import (
+	"fmt"
+
+	"p2/internal/tuple"
+)
+
+// Poke is an idempotent continuation used to restart a stalled flow.
+type Poke func()
+
+// Element is a node in a P2 dataflow graph.
+type Element interface {
+	// Name identifies the element in graph dumps and errors.
+	Name() string
+}
+
+// Pusher accepts tuples pushed into an input port. The return value is
+// the flow-control signal: false means "do not push again until poke
+// fires". The tuple itself is always accepted (§3.3: "push calls are
+// always assumed to succeed").
+type Pusher interface {
+	Element
+	Push(port int, t *tuple.Tuple, poke Poke) bool
+}
+
+// Puller produces tuples on demand from an output port. A nil result
+// means no tuple is available; poke will be invoked when one may be.
+type Puller interface {
+	Element
+	Pull(port int, poke Poke) *tuple.Tuple
+}
+
+// PushTarget names a (Pusher, port) pair — the sink side of a push edge.
+type PushTarget struct {
+	To   Pusher
+	Port int
+}
+
+// PullSource names a (Puller, port) pair — the source side of a pull edge.
+type PullSource struct {
+	From Puller
+	Port int
+}
+
+// Base carries the bookkeeping common to all elements: a name and the
+// push-output / pull-input bindings. Embed it and use out/in helpers.
+type Base struct {
+	name string
+	outs []PushTarget
+	ins  []PullSource
+}
+
+// NewBase returns a Base with room for nOut push outputs and nIn pull
+// inputs.
+func NewBase(name string, nOut, nIn int) Base {
+	return Base{name: name, outs: make([]PushTarget, nOut), ins: make([]PullSource, nIn)}
+}
+
+// Name returns the element name.
+func (b *Base) Name() string { return b.name }
+
+// ConnectOut binds push output port i to the target.
+func (b *Base) ConnectOut(i int, to Pusher, port int) {
+	b.outs[i] = PushTarget{To: to, Port: port}
+}
+
+// ConnectIn binds pull input port i to the source.
+func (b *Base) ConnectIn(i int, from Puller, port int) {
+	b.ins[i] = PullSource{From: from, Port: port}
+}
+
+// PushOut pushes t through output port i, forwarding the poke.
+func (b *Base) PushOut(i int, t *tuple.Tuple, poke Poke) bool {
+	o := b.outs[i]
+	if o.To == nil {
+		panic(fmt.Sprintf("dataflow: element %q output %d not connected", b.name, i))
+	}
+	return o.To.Push(o.Port, t, poke)
+}
+
+// PullIn pulls from input port i, forwarding the poke.
+func (b *Base) PullIn(i int, poke Poke) *tuple.Tuple {
+	in := b.ins[i]
+	if in.From == nil {
+		panic(fmt.Sprintf("dataflow: element %q input %d not connected", b.name, i))
+	}
+	return in.From.Pull(in.Port, poke)
+}
+
+// pokeSlot stores at most one pending poke. Arming twice overwrites —
+// pokes are idempotent retry hints, so the latest continuation wins.
+type pokeSlot struct {
+	p Poke
+}
+
+func (s *pokeSlot) arm(p Poke) { s.p = p }
+
+// fire invokes and clears the pending poke, if any.
+func (s *pokeSlot) fire() {
+	if s.p != nil {
+		p := s.p
+		s.p = nil
+		p()
+	}
+}

@@ -1,0 +1,398 @@
+package dataflow
+
+import (
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+func tp(name string, vs ...val.Value) *tuple.Tuple { return tuple.New(name, vs...) }
+
+func intTuple(n int64) *tuple.Tuple { return tp("t", val.Int(n)) }
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue("q", 10)
+	for i := int64(0); i < 3; i++ {
+		if !q.Push(0, intTuple(i), nil) {
+			t.Fatal("push into roomy queue must succeed")
+		}
+	}
+	for i := int64(0); i < 3; i++ {
+		got := q.Pull(0, nil)
+		if got == nil || got.Field(0).AsInt() != i {
+			t.Fatalf("pull %d = %v", i, got)
+		}
+	}
+	if q.Pull(0, nil) != nil {
+		t.Fatal("empty queue must return nil")
+	}
+}
+
+func TestQueueBlockingAndPokes(t *testing.T) {
+	q := NewQueue("q", 2)
+	var producerPoked, consumerPoked int
+	producerPoke := func() { producerPoked++ }
+	consumerPoke := func() { consumerPoked++ }
+
+	// Consumer finds it empty, arms poke.
+	if q.Pull(0, consumerPoke) != nil {
+		t.Fatal("queue should be empty")
+	}
+	// First push fills one slot and pokes the consumer.
+	q.Push(0, intTuple(1), producerPoke)
+	if consumerPoked != 1 {
+		t.Fatalf("consumer poked %d times, want 1", consumerPoked)
+	}
+	// Second push fills the queue: returns false.
+	if q.Push(0, intTuple(2), producerPoke) {
+		t.Fatal("push filling the queue must return false")
+	}
+	// Third push is refused outright.
+	if q.Push(0, intTuple(3), producerPoke) {
+		t.Fatal("push into full queue must be refused")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, refused tuple must not be stored", q.Len())
+	}
+	// Pull opens space and pokes the producer.
+	q.Pull(0, consumerPoke)
+	if producerPoked != 1 {
+		t.Fatalf("producer poked %d times, want 1", producerPoked)
+	}
+}
+
+func TestQueueMinimumCapacity(t *testing.T) {
+	q := NewQueue("q", 0)
+	if q.Push(0, intTuple(1), nil) {
+		t.Fatal("capacity clamps to 1; first push fills it")
+	}
+	if q.Pull(0, nil) == nil {
+		t.Fatal("the tuple must still have been accepted")
+	}
+}
+
+func TestTimedPullPushDrainsQueue(t *testing.T) {
+	loop := eventloop.NewSim()
+	q := NewQueue("q", 10)
+	var got []int64
+	sink := NewSink("sink", func(t *tuple.Tuple) { got = append(got, t.Field(0).AsInt()) })
+	tpp := NewTimedPullPush("tpp", loop, 0)
+	tpp.ConnectIn(0, q, 0)
+	tpp.ConnectOut(0, sink, 0)
+	tpp.Start()
+
+	for i := int64(0); i < 5; i++ {
+		q.Push(0, intTuple(i), nil)
+	}
+	loop.Run(1)
+	if len(got) != 5 {
+		t.Fatalf("sink got %v", got)
+	}
+	// New arrivals after the queue drained must poke it awake.
+	q.Push(0, intTuple(99), nil)
+	loop.Run(2)
+	if len(got) != 6 || got[5] != 99 {
+		t.Fatalf("wakeup failed: %v", got)
+	}
+}
+
+func TestTimedPullPushInterval(t *testing.T) {
+	loop := eventloop.NewSim()
+	q := NewQueue("q", 10)
+	var times []float64
+	sink := NewSink("sink", func(*tuple.Tuple) { times = append(times, loop.Now()) })
+	tpp := NewTimedPullPush("tpp", loop, 1.0)
+	tpp.ConnectIn(0, q, 0)
+	tpp.ConnectOut(0, sink, 0)
+	for i := int64(0); i < 3; i++ {
+		q.Push(0, intTuple(i), nil)
+	}
+	tpp.Start()
+	loop.Run(10)
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	if times[1]-times[0] < 1.0 || times[2]-times[1] < 1.0 {
+		t.Fatalf("rate not limited: %v", times)
+	}
+}
+
+func TestTimedPullPushBackpressure(t *testing.T) {
+	loop := eventloop.NewSim()
+	src := NewQueue("src", 10)
+	dst := NewQueue("dst", 1)
+	tpp := NewTimedPullPush("tpp", loop, 0)
+	tpp.ConnectIn(0, src, 0)
+	tpp.ConnectOut(0, dst, 0)
+	tpp.Start()
+	for i := int64(0); i < 4; i++ {
+		src.Push(0, intTuple(i), nil)
+	}
+	loop.Run(1)
+	// dst holds 1; tpp is parked on dst's poke.
+	if dst.Len() != 1 || src.Len() != 3 {
+		t.Fatalf("dst=%d src=%d", dst.Len(), src.Len())
+	}
+	// Draining dst unblocks the transfer chain.
+	for i := int64(0); i < 4; i++ {
+		got := dst.Pull(0, nil)
+		if got == nil {
+			loop.Run(loop.Now() + 1)
+			got = dst.Pull(0, nil)
+		}
+		if got == nil || got.Field(0).AsInt() != i {
+			t.Fatalf("tuple %d = %v", i, got)
+		}
+		loop.Run(loop.Now() + 1)
+	}
+	if src.Len() != 0 {
+		t.Fatalf("src not drained: %d", src.Len())
+	}
+}
+
+func TestTimedPullPushStop(t *testing.T) {
+	loop := eventloop.NewSim()
+	q := NewQueue("q", 10)
+	n := 0
+	sink := NewSink("sink", func(*tuple.Tuple) { n++ })
+	tpp := NewTimedPullPush("tpp", loop, 0)
+	tpp.ConnectIn(0, q, 0)
+	tpp.ConnectOut(0, sink, 0)
+	tpp.Start()
+	tpp.Start() // idempotent
+	q.Push(0, intTuple(1), nil)
+	loop.Run(1)
+	tpp.Stop()
+	q.Push(0, intTuple(2), nil)
+	loop.Run(2)
+	if n != 1 {
+		t.Fatalf("after stop, n = %d", n)
+	}
+}
+
+func TestDemuxRouting(t *testing.T) {
+	d := NewDemux("d", func(t *tuple.Tuple) string { return t.Name() }, 2, -1)
+	var a, b []*tuple.Tuple
+	d.ConnectOut(0, NewSink("a", func(t *tuple.Tuple) { a = append(a, t) }), 0)
+	d.ConnectOut(1, NewSink("b", func(t *tuple.Tuple) { b = append(b, t) }), 0)
+	d.Route("lookup", 0)
+	d.Route("ping", 1)
+	d.Push(0, tp("lookup"), nil)
+	d.Push(0, tp("ping"), nil)
+	d.Push(0, tp("unknown"), nil) // dropped
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("a=%d b=%d", len(a), len(b))
+	}
+}
+
+func TestDemuxDefaultPort(t *testing.T) {
+	d := NewDemux("d", func(t *tuple.Tuple) string { return t.Name() }, 2, 1)
+	var def []*tuple.Tuple
+	d.ConnectOut(0, NewDiscard("x"), 0)
+	d.ConnectOut(1, NewSink("def", func(t *tuple.Tuple) { def = append(def, t) }), 0)
+	d.Route("known", 0)
+	d.Push(0, tp("mystery"), nil)
+	if len(def) != 1 {
+		t.Fatal("unrouted tuple must reach default port")
+	}
+}
+
+func TestDupFansOut(t *testing.T) {
+	dup := NewDup("dup", 3)
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		dup.ConnectOut(i, NewSink("s", func(*tuple.Tuple) { counts[i]++ }), 0)
+	}
+	dup.Push(0, tp("x"), nil)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("output %d got %d", i, c)
+		}
+	}
+}
+
+func TestMuxForwards(t *testing.T) {
+	m := NewMux("m")
+	var got []*tuple.Tuple
+	m.ConnectOut(0, NewSink("s", func(t *tuple.Tuple) { got = append(got, t) }), 0)
+	m.Push(0, tp("a"), nil)
+	m.Push(1, tp("b"), nil)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	rr := NewRoundRobin("rr", 2)
+	q0, q1 := NewQueue("q0", 10), NewQueue("q1", 10)
+	rr.ConnectIn(0, q0, 0)
+	rr.ConnectIn(1, q1, 0)
+	for i := int64(0); i < 3; i++ {
+		q0.Push(0, tp("a", val.Int(i)), nil)
+		q1.Push(0, tp("b", val.Int(i)), nil)
+	}
+	var names []string
+	for {
+		got := rr.Pull(0, nil)
+		if got == nil {
+			break
+		}
+		names = append(names, got.Name())
+	}
+	if len(names) != 6 {
+		t.Fatalf("pulled %d", len(names))
+	}
+	// Strict alternation once both queues are loaded.
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatalf("not round-robin: %v", names)
+		}
+	}
+}
+
+func TestRoundRobinPokesAllInputsWhenDry(t *testing.T) {
+	rr := NewRoundRobin("rr", 2)
+	q0, q1 := NewQueue("q0", 10), NewQueue("q1", 10)
+	rr.ConnectIn(0, q0, 0)
+	rr.ConnectIn(1, q1, 0)
+	poked := 0
+	if rr.Pull(0, func() { poked++ }) != nil {
+		t.Fatal("should be dry")
+	}
+	// Arrival on either queue wakes the consumer.
+	q1.Push(0, tp("x"), nil)
+	if poked == 0 {
+		t.Fatal("consumer not poked on arrival")
+	}
+}
+
+func TestPeriodicEmitsOnSchedule(t *testing.T) {
+	loop := eventloop.NewSim()
+	var fired []float64
+	mk := func(addr string, seq int64, period float64) *tuple.Tuple {
+		return tp("periodic", val.Str(addr), val.Str("e"), val.Float(period))
+	}
+	p := NewPeriodic("p", loop, "n1", 2.0, 3, mk)
+	p.ConnectOut(0, NewSink("s", func(*tuple.Tuple) { fired = append(fired, loop.Now()) }), 0)
+	p.Start(0.5)
+	loop.Run(20)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	want := []float64{0.5, 2.5, 4.5}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestPeriodicUnlimitedAndStop(t *testing.T) {
+	loop := eventloop.NewSim()
+	n := 0
+	mk := func(addr string, seq int64, period float64) *tuple.Tuple { return tp("periodic") }
+	p := NewPeriodic("p", loop, "n1", 1.0, 0, mk) // 0 = unlimited
+	p.ConnectOut(0, NewSink("s", func(*tuple.Tuple) { n++ }), 0)
+	p.Start(0)
+	loop.Run(10.5)
+	if n != 11 {
+		t.Fatalf("n = %d, want 11", n)
+	}
+	p.Stop()
+	loop.Run(20)
+	if n != 11 {
+		t.Fatalf("stop failed, n = %d", n)
+	}
+}
+
+func TestPeriodicOneShot(t *testing.T) {
+	// periodic(X, E, 0, 1): fire exactly once, immediately — the idiom
+	// Narada uses for initialization facts.
+	loop := eventloop.NewSim()
+	n := 0
+	mk := func(addr string, seq int64, period float64) *tuple.Tuple { return tp("periodic") }
+	p := NewPeriodic("p", loop, "n1", 0, 1, mk)
+	p.ConnectOut(0, NewSink("s", func(*tuple.Tuple) { n++ }), 0)
+	p.Start(0)
+	loop.Run(5)
+	if n != 1 {
+		t.Fatalf("one-shot fired %d times", n)
+	}
+}
+
+func TestTapObservesAndForwards(t *testing.T) {
+	var seen, sunk int
+	tap := NewTap("tap", func(*tuple.Tuple) { seen++ })
+	tap.ConnectOut(0, NewSink("s", func(*tuple.Tuple) { sunk++ }), 0)
+	tap.Push(0, tp("x"), nil)
+	if seen != 1 || sunk != 1 {
+		t.Fatalf("seen=%d sunk=%d", seen, sunk)
+	}
+}
+
+func TestSourcePull(t *testing.T) {
+	i := int64(0)
+	src := NewSource("src", func() *tuple.Tuple {
+		if i >= 2 {
+			return nil
+		}
+		i++
+		return intTuple(i)
+	})
+	if src.Pull(0, nil) == nil || src.Pull(0, nil) == nil || src.Pull(0, nil) != nil {
+		t.Fatal("source sequence wrong")
+	}
+}
+
+func TestUnconnectedPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unconnected port")
+		}
+	}()
+	m := NewMux("m")
+	m.Push(0, tp("x"), nil)
+}
+
+func TestGraphBookkeeping(t *testing.T) {
+	g := NewGraph()
+	q := Add(g, NewQueue("q", 1))
+	Add(g, NewMux("m"))
+	if g.Size() != 2 || len(g.Elements()) != 2 {
+		t.Fatal("graph bookkeeping wrong")
+	}
+	if q.Name() != "q" {
+		t.Fatal("Add must return the element")
+	}
+}
+
+// BenchmarkElementHandoff measures the cost of one push hand-off through
+// a minimal chain — the paper reports ~50 machine instructions per
+// transition (§3.3); this is the Go equivalent claim.
+func BenchmarkElementHandoff(b *testing.B) {
+	m := NewMux("m")
+	m.ConnectOut(0, NewDiscard("d"), 0)
+	t := intTuple(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Push(0, t, nil)
+	}
+}
+
+// BenchmarkHandoffWithPoke measures hand-off through a queue including
+// poke signaling — the paper's "75 instructions if the callback is
+// invoked" case.
+func BenchmarkHandoffWithPoke(b *testing.B) {
+	q := NewQueue("q", 1)
+	poke := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(0, intTuple(1), poke)
+		q.Pull(0, poke)
+	}
+}

@@ -1,0 +1,499 @@
+package dataflow
+
+import (
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// The relational elements below are the database half of P2 (§3.4):
+// equijoins of a stream against a table, PEL-driven selections and
+// projections, aggregations, and the bridge elements that move tuples
+// in and out of stored tables. They are push elements that may emit
+// zero or more tuples downstream per input.
+
+// Join is the stream×table equijoin at the core of OverLog execution
+// (§2.5). For each pushed tuple it looks up matches in the table's
+// secondary index and emits one concatenated tuple per match:
+// fields(input) ++ fields(match), under the configured output name.
+type Join struct {
+	Base
+	tbl       *table.Table
+	streamKey []int // key positions in the incoming tuple
+	tableKey  []int // indexed positions in the stored tuples
+	outName   string
+}
+
+// NewJoin builds an equijoin element and ensures the table index exists.
+func NewJoin(name string, tbl *table.Table, streamKey, tableKey []int, outName string) *Join {
+	tbl.EnsureIndex(tableKey)
+	return &Join{
+		Base:      NewBase(name, 1, 0),
+		tbl:       tbl,
+		streamKey: append([]int(nil), streamKey...),
+		tableKey:  append([]int(nil), tableKey...),
+		outName:   outName,
+	}
+}
+
+// Push probes the table and emits all matches downstream.
+func (j *Join) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	key := t.Key(j.streamKey)
+	ok := true
+	for _, m := range j.tbl.Lookup(j.tableKey, key) {
+		fields := make([]val.Value, 0, t.Arity()+m.Arity())
+		fields = append(fields, t.Fields()...)
+		fields = append(fields, m.Fields()...)
+		if !j.PushOut(0, tuple.New(j.outName, fields...), poke) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// NotJoin is the antijoin used for "not pred(...)" bodies: the input
+// passes through unchanged iff the table contains no match.
+type NotJoin struct {
+	Base
+	tbl       *table.Table
+	streamKey []int
+	tableKey  []int
+}
+
+// NewNotJoin builds an antijoin element.
+func NewNotJoin(name string, tbl *table.Table, streamKey, tableKey []int) *NotJoin {
+	tbl.EnsureIndex(tableKey)
+	return &NotJoin{
+		Base:      NewBase(name, 1, 0),
+		tbl:       tbl,
+		streamKey: append([]int(nil), streamKey...),
+		tableKey:  append([]int(nil), tableKey...),
+	}
+}
+
+// Push forwards t iff the table has no matching row.
+func (j *NotJoin) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	if len(j.tbl.Lookup(j.tableKey, t.Key(j.streamKey))) > 0 {
+		return true // match exists: tuple eliminated
+	}
+	return j.PushOut(0, t, poke)
+}
+
+// Select filters tuples through a boolean PEL program.
+type Select struct {
+	Base
+	prog *pel.Program
+	vm   *pel.VM
+	env  *pel.Env
+}
+
+// NewSelect builds a PEL-parameterized filter.
+func NewSelect(name string, prog *pel.Program, env *pel.Env) *Select {
+	return &Select{Base: NewBase(name, 1, 0), prog: prog, vm: pel.NewVM(), env: env}
+}
+
+// Push forwards t iff the program evaluates truthy. Evaluation errors
+// drop the tuple — a rule body that fails to evaluate derives nothing.
+func (s *Select) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	v, err := s.vm.Eval(s.prog, t, s.env)
+	if err != nil || !v.AsBool() {
+		return true
+	}
+	return s.PushOut(0, t, poke)
+}
+
+// Assign evaluates a PEL expression and appends the result as a new
+// trailing field — how "X := expr" extends a rule's binding environment.
+type Assign struct {
+	Base
+	prog *pel.Program
+	vm   *pel.VM
+	env  *pel.Env
+}
+
+// NewAssign builds an appending evaluator.
+func NewAssign(name string, prog *pel.Program, env *pel.Env) *Assign {
+	return &Assign{Base: NewBase(name, 1, 0), prog: prog, vm: pel.NewVM(), env: env}
+}
+
+// Push emits t extended with the evaluated value. Errors drop the tuple.
+func (a *Assign) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	v, err := a.vm.Eval(a.prog, t, a.env)
+	if err != nil {
+		return true
+	}
+	fields := make([]val.Value, 0, t.Arity()+1)
+	fields = append(fields, t.Fields()...)
+	fields = append(fields, v)
+	return a.PushOut(0, tuple.New(t.Name(), fields...), poke)
+}
+
+// Project constructs the rule-head tuple: one PEL program per output
+// field, evaluated against the incoming (joined, extended) tuple.
+type Project struct {
+	Base
+	outName string
+	progs   []*pel.Program
+	vm      *pel.VM
+	env     *pel.Env
+}
+
+// NewProject builds a head constructor.
+func NewProject(name, outName string, progs []*pel.Program, env *pel.Env) *Project {
+	return &Project{Base: NewBase(name, 1, 0), outName: outName, progs: progs, vm: pel.NewVM(), env: env}
+}
+
+// Push emits the projected head tuple.
+func (p *Project) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	fields := make([]val.Value, len(p.progs))
+	for i, prog := range p.progs {
+		v, err := p.vm.Eval(prog, t, p.env)
+		if err != nil {
+			return true // head underivable; drop
+		}
+		fields[i] = v
+	}
+	return p.PushOut(0, tuple.New(p.outName, fields...), poke)
+}
+
+// AggFunc names an aggregate function.
+type AggFunc int
+
+// The aggregate functions OverLog supports in rule heads.
+const (
+	AggMin AggFunc = iota
+	AggMax
+	AggCount
+	AggSum
+	AggAvg
+)
+
+// String returns the OverLog spelling.
+func (f AggFunc) String() string {
+	switch f {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	}
+	return "agg?"
+}
+
+// AggStream performs per-event aggregation for rules whose head carries
+// an aggregate (e.g. L2's min<D>, Narada P0's max<R>).
+//
+// Because a strand processes exactly one event per flush, and every
+// non-aggregate head field is bound by the triggering event, there is
+// exactly one group per event. Two semantics apply, matching P2:
+//
+//   - min/max are EXEMPLAR aggregates: Flush emits the entire working
+//     tuple of the row that achieved the extremum. Non-event-bound head
+//     fields (like the member address Y in P0's "pick the member with
+//     the max random number") therefore come from the winning row.
+//   - count/sum/avg are accumulators: Flush emits the event tuple with
+//     the aggregate value appended. count emits even when zero rows
+//     arrived — Narada's R5/R6 "membersFound ... C == 0" idiom; sum and
+//     avg emit only when at least one row arrived.
+type AggStream struct {
+	Base
+	fn     AggFunc
+	aggPos int // aggregated field position in the working tuple; -1 for count<*>
+
+	count   int64
+	sum     float64
+	best    *tuple.Tuple
+	bestVal val.Value
+}
+
+// NewAggStream builds a per-event aggregator.
+func NewAggStream(name string, fn AggFunc, aggPos int) *AggStream {
+	return &AggStream{Base: NewBase(name, 1, 0), fn: fn, aggPos: aggPos}
+}
+
+// Push accumulates one working tuple.
+func (a *AggStream) Push(_ int, t *tuple.Tuple, _ Poke) bool {
+	a.count++
+	switch a.fn {
+	case AggMin:
+		v := t.Field(a.aggPos)
+		if a.best == nil || v.Cmp(a.bestVal) < 0 {
+			a.best, a.bestVal = t, v
+		}
+	case AggMax:
+		v := t.Field(a.aggPos)
+		if a.best == nil || v.Cmp(a.bestVal) > 0 {
+			a.best, a.bestVal = t, v
+		}
+	case AggSum, AggAvg:
+		a.sum += t.Field(a.aggPos).AsFloat()
+	}
+	return true
+}
+
+// Flush emits the aggregate result and resets for the next event.
+// For min/max the winning working tuple flows downstream unchanged (its
+// aggPos field already holds the extremum). For count/sum/avg the event
+// tuple flows with the aggregate appended as a trailing field.
+func (a *AggStream) Flush(event *tuple.Tuple, poke Poke) {
+	defer a.reset()
+	switch a.fn {
+	case AggMin, AggMax:
+		if a.best != nil {
+			a.PushOut(0, a.best, poke)
+		}
+	case AggCount:
+		if event == nil {
+			return
+		}
+		fields := make([]val.Value, 0, event.Arity()+1)
+		fields = append(fields, event.Fields()...)
+		fields = append(fields, val.Int(a.count))
+		a.PushOut(0, tuple.New(event.Name(), fields...), poke)
+	case AggSum, AggAvg:
+		if event == nil || a.count == 0 {
+			return
+		}
+		v := a.sum
+		if a.fn == AggAvg {
+			v /= float64(a.count)
+		}
+		fields := make([]val.Value, 0, event.Arity()+1)
+		fields = append(fields, event.Fields()...)
+		fields = append(fields, val.Float(v))
+		a.PushOut(0, tuple.New(event.Name(), fields...), poke)
+	}
+}
+
+func (a *AggStream) reset() {
+	a.count, a.sum, a.best, a.bestVal = 0, 0, nil, val.Null
+}
+
+// aggState accumulates one table-aggregate group.
+type aggState struct {
+	group []val.Value
+	best  val.Value
+	sum   float64
+	count int64
+}
+
+func (s *aggState) add(fn AggFunc, v val.Value) {
+	s.count++
+	switch fn {
+	case AggMin:
+		if s.best.IsNull() || v.Cmp(s.best) < 0 {
+			s.best = v
+		}
+	case AggMax:
+		if s.best.IsNull() || v.Cmp(s.best) > 0 {
+			s.best = v
+		}
+	case AggSum, AggAvg:
+		s.sum += v.AsFloat()
+	}
+}
+
+func (s *aggState) result(fn AggFunc) val.Value {
+	switch fn {
+	case AggCount:
+		return val.Int(s.count)
+	case AggSum:
+		return val.Float(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return val.Null
+		}
+		return val.Float(s.sum / float64(s.count))
+	default:
+		return s.best
+	}
+}
+
+// AggTable maintains a continuous aggregate over a stored table (§3.4:
+// "aggregation elements that maintain an up-to-date aggregate ... on a
+// table and emit it whenever it changes"). It recomputes on every
+// insert/delete/expiry and pushes group results whose value changed.
+// This is how rules like N3 (bestSuccDist min<D> over succDist) run.
+type AggTable struct {
+	Base
+	tbl      *table.Table
+	fn       AggFunc
+	groupPos []int
+	aggPos   int
+	outName  string
+	last     map[string]val.Value
+}
+
+// NewAggTable builds the element and hooks the table's listeners.
+func NewAggTable(name string, tbl *table.Table, fn AggFunc, groupPos []int, aggPos int,
+	outName string) *AggTable {
+	a := &AggTable{
+		Base:     NewBase(name, 1, 0),
+		tbl:      tbl,
+		fn:       fn,
+		groupPos: append([]int(nil), groupPos...),
+		aggPos:   aggPos,
+		outName:  outName,
+		last:     make(map[string]val.Value),
+	}
+	recompute := func(*tuple.Tuple) { a.Recompute() }
+	tbl.OnInsert(recompute)
+	tbl.OnDelete(recompute)
+	return a
+}
+
+// Recompute scans the table, updates group aggregates, and emits
+// changed groups downstream. Vanished groups are forgotten silently —
+// soft state decays rather than retracts, per the paper's model.
+func (a *AggTable) Recompute() {
+	groups := make(map[string]*aggState)
+	var order []string
+	for _, t := range a.tbl.Scan() {
+		key := t.Key(a.groupPos)
+		st, ok := groups[key]
+		if !ok {
+			group := make([]val.Value, len(a.groupPos))
+			for i, p := range a.groupPos {
+				group[i] = t.Field(p)
+			}
+			st = &aggState{group: group}
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.add(a.fn, t.Field(a.aggPos))
+	}
+	for key := range a.last {
+		if _, ok := groups[key]; !ok {
+			delete(a.last, key)
+		}
+	}
+	for _, key := range order {
+		st := groups[key]
+		v := st.result(a.fn)
+		if prev, ok := a.last[key]; ok && prev.Equal(v) {
+			continue
+		}
+		a.last[key] = v
+		fields := make([]val.Value, 0, len(st.group)+1)
+		fields = append(fields, st.group...)
+		fields = append(fields, v)
+		a.PushOut(0, tuple.New(a.outName, fields...), nil)
+	}
+}
+
+// Insert stores pushed tuples into a table and forwards the tuple
+// downstream only when the insertion changed the table — the delta
+// stream that re-enters the strand demultiplexer in Figure 2.
+type Insert struct {
+	Base
+	tbl *table.Table
+}
+
+// NewInsert builds a table-insert bridge.
+func NewInsert(name string, tbl *table.Table) *Insert {
+	return &Insert{Base: NewBase(name, 1, 0), tbl: tbl}
+}
+
+// Push inserts t; deltas propagate downstream.
+func (e *Insert) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	res := e.tbl.Insert(t)
+	if !res.Delta {
+		return true
+	}
+	return e.PushOut(0, t, poke)
+}
+
+// Delete removes pushed tuples (by primary key) from a table — the
+// action of OverLog's "delete" rule heads.
+type Delete struct {
+	Base
+	tbl *table.Table
+}
+
+// NewDelete builds a table-delete bridge.
+func NewDelete(name string, tbl *table.Table) *Delete {
+	return &Delete{Base: NewBase(name, 0, 0), tbl: tbl}
+}
+
+// Push deletes t's primary-key match, if any.
+func (e *Delete) Push(_ int, t *tuple.Tuple, _ Poke) bool {
+	e.tbl.Delete(t)
+	return true
+}
+
+// Range is the range(I, Lo, Hi) generator: for each input tuple it
+// evaluates the bounds and emits one copy per integer in [lo, hi] with
+// the iteration value appended — how the naive finger-fixing rule F1
+// walks all finger indices.
+type Range struct {
+	Base
+	lo, hi *pel.Program
+	vm     *pel.VM
+	env    *pel.Env
+}
+
+// NewRange builds a range generator.
+func NewRange(name string, lo, hi *pel.Program, env *pel.Env) *Range {
+	return &Range{Base: NewBase(name, 1, 0), lo: lo, hi: hi, vm: pel.NewVM(), env: env}
+}
+
+// Push expands t over the iteration range.
+func (r *Range) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	loV, err := r.vm.Eval(r.lo, t, r.env)
+	if err != nil {
+		return true
+	}
+	hiV, err := r.vm.Eval(r.hi, t, r.env)
+	if err != nil {
+		return true
+	}
+	ok := true
+	for v := loV.AsInt(); v <= hiV.AsInt(); v++ {
+		fields := make([]val.Value, 0, t.Arity()+1)
+		fields = append(fields, t.Fields()...)
+		fields = append(fields, val.Int(v))
+		if !r.PushOut(0, tuple.New(t.Name(), fields...), poke) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Dedup suppresses tuples identical to one already seen, using a
+// private table keyed on the full tuple (§3.4: "the element responsible
+// for eliminating duplicate results ... uses a table to keep track of
+// what it has seen so far"). The TTL bounds memory.
+type Dedup struct {
+	Base
+	seen *table.Table
+}
+
+// NewDedup builds a duplicate eliminator whose memory lasts ttl seconds.
+func NewDedup(name string, ttl float64, clock interface{ Now() float64 }, arity int) *Dedup {
+	pk := make([]int, arity)
+	for i := range pk {
+		pk[i] = i
+	}
+	return &Dedup{
+		Base: NewBase(name, 1, 0),
+		seen: table.New(name+".seen", ttl, 0, pk, clockAdapter{clock}),
+	}
+}
+
+type clockAdapter struct{ c interface{ Now() float64 } }
+
+func (a clockAdapter) Now() float64 { return a.c.Now() }
+
+// Push forwards t only the first time it is seen within the TTL.
+func (d *Dedup) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	if !d.seen.Insert(t).Delta {
+		return true
+	}
+	return d.PushOut(0, t, poke)
+}

@@ -1,0 +1,434 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+func env(loop eventloop.Loop) *pel.Env {
+	return &pel.Env{Clock: loop, Rand: rand.New(rand.NewSource(7)), Local: "n1"}
+}
+
+func collect(out *[]*tuple.Tuple) *Sink {
+	return NewSink("collect", func(t *tuple.Tuple) { *out = append(*out, t) })
+}
+
+func TestJoinEmitsAllMatches(t *testing.T) {
+	loop := eventloop.NewSim()
+	// neighbor(X, Y) table with X at position 0.
+	nb := table.New("neighbor", table.Infinity, 0, []int{1}, loop)
+	nb.Insert(tp("neighbor", val.Str("n1"), val.Str("n2")))
+	nb.Insert(tp("neighbor", val.Str("n1"), val.Str("n3")))
+	nb.Insert(tp("neighbor", val.Str("nX"), val.Str("n4"))) // different X
+
+	// Join refreshSeq(X, S) with neighbor(X, Y) on X.
+	j := NewJoin("j", nb, []int{0}, []int{0}, "r_j1")
+	var got []*tuple.Tuple
+	j.ConnectOut(0, collect(&got), 0)
+	j.Push(0, tp("refreshSeq", val.Str("n1"), val.Int(7)), nil)
+
+	if len(got) != 2 {
+		t.Fatalf("join emitted %d tuples, want 2", len(got))
+	}
+	for _, g := range got {
+		if g.Name() != "r_j1" || g.Arity() != 4 {
+			t.Fatalf("bad joined tuple %v", g)
+		}
+		if g.Field(0).AsStr() != "n1" || g.Field(1).AsInt() != 7 || g.Field(2).AsStr() != "n1" {
+			t.Fatalf("field layout wrong: %v", g)
+		}
+	}
+	if got[0].Field(3).AsStr() == got[1].Field(3).AsStr() {
+		t.Fatal("both matches must appear")
+	}
+}
+
+func TestJoinNoMatchEmitsNothing(t *testing.T) {
+	loop := eventloop.NewSim()
+	nb := table.New("neighbor", table.Infinity, 0, []int{1}, loop)
+	j := NewJoin("j", nb, []int{0}, []int{0}, "out")
+	var got []*tuple.Tuple
+	j.ConnectOut(0, collect(&got), 0)
+	j.Push(0, tp("evt", val.Str("n1")), nil)
+	if len(got) != 0 {
+		t.Fatalf("empty table join emitted %v", got)
+	}
+}
+
+func TestJoinMultiFieldKey(t *testing.T) {
+	loop := eventloop.NewSim()
+	member := table.New("member", table.Infinity, 0, []int{1, 2}, loop)
+	member.Insert(tp("member", val.Str("n1"), val.Str("a"), val.Int(1)))
+	member.Insert(tp("member", val.Str("n1"), val.Str("b"), val.Int(2)))
+	// Join on (field0, field1) of stream against (0, 1) of table.
+	j := NewJoin("j", member, []int{0, 1}, []int{0, 1}, "out")
+	var got []*tuple.Tuple
+	j.ConnectOut(0, collect(&got), 0)
+	j.Push(0, tp("refresh", val.Str("n1"), val.Str("b")), nil)
+	if len(got) != 1 || got[0].Field(4).AsInt() != 2 {
+		t.Fatalf("multi-key join got %v", got)
+	}
+}
+
+func TestNotJoin(t *testing.T) {
+	loop := eventloop.NewSim()
+	member := table.New("member", table.Infinity, 0, []int{1}, loop)
+	member.Insert(tp("member", val.Str("n1"), val.Str("a")))
+	nj := NewNotJoin("nj", member, []int{1}, []int{1})
+	var got []*tuple.Tuple
+	nj.ConnectOut(0, collect(&got), 0)
+	// "a" is known: eliminated.
+	nj.Push(0, tp("candidate", val.Str("n1"), val.Str("a")), nil)
+	if len(got) != 0 {
+		t.Fatal("antijoin must eliminate matches")
+	}
+	// "z" unknown: passes.
+	nj.Push(0, tp("candidate", val.Str("n1"), val.Str("z")), nil)
+	if len(got) != 1 {
+		t.Fatal("antijoin must pass non-matches")
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	loop := eventloop.NewSim()
+	// Keep tuples with field1 > 10.
+	prog := pel.NewBuilder().Field(1).Const(val.Int(10)).Op(pel.OpGt).Build()
+	sel := NewSelect("sel", prog, env(loop))
+	var got []*tuple.Tuple
+	sel.ConnectOut(0, collect(&got), 0)
+	sel.Push(0, tp("x", val.Str("n1"), val.Int(5)), nil)
+	sel.Push(0, tp("x", val.Str("n1"), val.Int(15)), nil)
+	if len(got) != 1 || got[0].Field(1).AsInt() != 15 {
+		t.Fatalf("select got %v", got)
+	}
+}
+
+func TestSelectErrorDropsTuple(t *testing.T) {
+	loop := eventloop.NewSim()
+	bad := pel.NewBuilder().Op(pel.OpAdd).Build() // underflow
+	sel := NewSelect("sel", bad, env(loop))
+	var got []*tuple.Tuple
+	sel.ConnectOut(0, collect(&got), 0)
+	if !sel.Push(0, tp("x"), nil) {
+		t.Fatal("errors must not block flow")
+	}
+	if len(got) != 0 {
+		t.Fatal("error must drop the tuple")
+	}
+}
+
+func TestAssignAppends(t *testing.T) {
+	loop := eventloop.NewSim()
+	// NewSeq := Seq + 1 where Seq is field 1.
+	prog := pel.NewBuilder().Field(1).Const(val.Int(1)).Op(pel.OpAdd).Build()
+	a := NewAssign("a", prog, env(loop))
+	var got []*tuple.Tuple
+	a.ConnectOut(0, collect(&got), 0)
+	a.Push(0, tp("seq", val.Str("n1"), val.Int(41)), nil)
+	if len(got) != 1 || got[0].Arity() != 3 || got[0].Field(2).AsInt() != 42 {
+		t.Fatalf("assign got %v", got)
+	}
+}
+
+func TestProjectBuildsHead(t *testing.T) {
+	loop := eventloop.NewSim()
+	progs := []*pel.Program{
+		pel.NewBuilder().Field(2).Build(),
+		pel.NewBuilder().Field(0).Build(),
+	}
+	p := NewProject("p", "head", progs, env(loop))
+	var got []*tuple.Tuple
+	p.ConnectOut(0, collect(&got), 0)
+	p.Push(0, tp("work", val.Str("a"), val.Str("b"), val.Str("c")), nil)
+	if len(got) != 1 || got[0].Name() != "head" {
+		t.Fatalf("project got %v", got)
+	}
+	if got[0].Field(0).AsStr() != "c" || got[0].Field(1).AsStr() != "a" {
+		t.Fatalf("projection wrong: %v", got[0])
+	}
+}
+
+func TestAggStreamMinIsExemplar(t *testing.T) {
+	// L2-style: min<D> with D at field 1; the WHOLE winning row flows.
+	agg := NewAggStream("agg", AggMin, 1)
+	var got []*tuple.Tuple
+	agg.ConnectOut(0, collect(&got), 0)
+	agg.Push(0, tp("w", val.Str("fingerA"), val.Int(30)), nil)
+	agg.Push(0, tp("w", val.Str("fingerB"), val.Int(10)), nil)
+	agg.Push(0, tp("w", val.Str("fingerC"), val.Int(99)), nil)
+	agg.Flush(tp("evt"), nil)
+	if len(got) != 1 {
+		t.Fatalf("agg emitted %d, want 1", len(got))
+	}
+	// Exemplar: the non-aggregated field identifies the winning row.
+	if got[0].Field(0).AsStr() != "fingerB" || got[0].Field(1).AsInt() != 10 {
+		t.Fatalf("min exemplar wrong: %v", got[0])
+	}
+	// Flush resets state.
+	got = nil
+	agg.Flush(tp("evt"), nil)
+	if len(got) != 0 {
+		t.Fatal("second flush must be empty")
+	}
+}
+
+func TestAggStreamMaxPicksWinnerRow(t *testing.T) {
+	// Narada P0: pick the member with the max random number — the
+	// member address rides along with the winning row.
+	agg := NewAggStream("agg", AggMax, 1)
+	var got []*tuple.Tuple
+	agg.ConnectOut(0, collect(&got), 0)
+	agg.Push(0, tp("w", val.Str("memberA"), val.Float(0.2)), nil)
+	agg.Push(0, tp("w", val.Str("memberB"), val.Float(0.9)), nil)
+	agg.Push(0, tp("w", val.Str("memberC"), val.Float(0.5)), nil)
+	agg.Flush(tp("evt"), nil)
+	if len(got) != 1 || got[0].Field(0).AsStr() != "memberB" {
+		t.Fatalf("max exemplar = %v", got)
+	}
+}
+
+func TestAggStreamMinMaxNoRowsEmitsNothing(t *testing.T) {
+	agg := NewAggStream("agg", AggMin, 0)
+	var got []*tuple.Tuple
+	agg.ConnectOut(0, collect(&got), 0)
+	agg.Flush(tp("evt"), nil)
+	if len(got) != 0 {
+		t.Fatal("min with no rows must emit nothing")
+	}
+}
+
+func TestAggStreamCountSumAvg(t *testing.T) {
+	event := tp("refresh", val.Str("n1"), val.Str("addr9"))
+	check := func(fn AggFunc, want val.Value) {
+		agg := NewAggStream("agg", fn, 0)
+		var got []*tuple.Tuple
+		agg.ConnectOut(0, collect(&got), 0)
+		for _, v := range []int64{4, 9, 2} {
+			agg.Push(0, tp("w", val.Int(v)), nil)
+		}
+		agg.Flush(event, nil)
+		if len(got) != 1 {
+			t.Fatalf("%v emitted %d", fn, len(got))
+		}
+		g := got[0]
+		// Accumulators emit event fields + aggregate appended.
+		if g.Field(0).AsStr() != "n1" || g.Field(1).AsStr() != "addr9" {
+			t.Fatalf("%v lost event fields: %v", fn, g)
+		}
+		if !g.Field(2).Equal(want) {
+			t.Fatalf("%v = %v, want %v", fn, g.Field(2), want)
+		}
+	}
+	check(AggCount, val.Int(3))
+	check(AggSum, val.Float(15))
+	check(AggAvg, val.Float(5))
+}
+
+func TestAggStreamZeroCount(t *testing.T) {
+	// Narada R5/R6: count<*> with no matching rows emits C == 0.
+	agg := NewAggStream("agg", AggCount, -1)
+	var got []*tuple.Tuple
+	agg.ConnectOut(0, collect(&got), 0)
+	event := tp("refresh", val.Str("n1"), val.Str("addr9"))
+	agg.Flush(event, nil)
+	if len(got) != 1 {
+		t.Fatalf("zero count not emitted: %v", got)
+	}
+	if got[0].Field(2).AsInt() != 0 {
+		t.Fatalf("zero count = %v", got[0])
+	}
+	// Sum/avg with no rows stay silent.
+	for _, fn := range []AggFunc{AggSum, AggAvg} {
+		agg := NewAggStream("agg", fn, 0)
+		var out []*tuple.Tuple
+		agg.ConnectOut(0, collect(&out), 0)
+		agg.Flush(event, nil)
+		if len(out) != 0 {
+			t.Fatalf("%v with no rows emitted %v", fn, out)
+		}
+	}
+	// Nil event (defensive): nothing emitted.
+	agg2 := NewAggStream("agg", AggCount, -1)
+	var out2 []*tuple.Tuple
+	agg2.ConnectOut(0, collect(&out2), 0)
+	agg2.Flush(nil, nil)
+	if len(out2) != 0 {
+		t.Fatal("nil event must emit nothing")
+	}
+}
+
+func TestAggStreamAggFuncNames(t *testing.T) {
+	names := map[AggFunc]string{AggMin: "min", AggMax: "max", AggCount: "count", AggSum: "sum", AggAvg: "avg"}
+	for fn, want := range names {
+		if fn.String() != want {
+			t.Errorf("%d.String() = %q", fn, fn.String())
+		}
+	}
+}
+
+func TestAggTableEmitsOnChange(t *testing.T) {
+	loop := eventloop.NewSim()
+	succ := table.New("succDist", table.Infinity, 0, []int{1}, loop)
+	var got []*tuple.Tuple
+	// min<D> grouped by node address (field 0), D at field 2.
+	agg := NewAggTable("agg", succ, AggMin, []int{0}, 2, "bestSuccDist")
+	agg.ConnectOut(0, collect(&got), 0)
+
+	succ.Insert(tp("succDist", val.Str("n1"), val.Str("s1"), val.Int(40)))
+	if len(got) != 1 || got[0].Field(1).AsInt() != 40 {
+		t.Fatalf("first agg = %v", got)
+	}
+	// A worse row does not change the min: no emission.
+	succ.Insert(tp("succDist", val.Str("n1"), val.Str("s2"), val.Int(70)))
+	if len(got) != 1 {
+		t.Fatalf("no-change emitted: %v", got)
+	}
+	// A better row updates the min.
+	succ.Insert(tp("succDist", val.Str("n1"), val.Str("s3"), val.Int(10)))
+	if len(got) != 2 || got[1].Field(1).AsInt() != 10 {
+		t.Fatalf("min update = %v", got)
+	}
+	// Deleting the best row re-raises the min.
+	succ.Delete(tp("succDist", val.Str("n1"), val.Str("s3"), val.Int(10)))
+	if len(got) != 3 || got[2].Field(1).AsInt() != 40 {
+		t.Fatalf("after delete = %v", got)
+	}
+}
+
+func TestAggTableExpiryTriggersRecompute(t *testing.T) {
+	loop := eventloop.NewSim()
+	succ := table.New("succDist", 10, 0, []int{1}, loop)
+	var got []*tuple.Tuple
+	agg := NewAggTable("agg", succ, AggMin, []int{0}, 2, "best")
+	agg.ConnectOut(0, collect(&got), 0)
+	succ.Insert(tp("succDist", val.Str("n1"), val.Str("s1"), val.Int(5)))
+	loop.Run(5)
+	succ.Insert(tp("succDist", val.Str("n1"), val.Str("s2"), val.Int(50)))
+	loop.Run(11) // s1 expires
+	succ.Expire()
+	if len(got) != 2 || got[1].Field(1).AsInt() != 50 {
+		t.Fatalf("expiry recompute = %v", got)
+	}
+}
+
+func TestInsertEmitsDeltasOnly(t *testing.T) {
+	loop := eventloop.NewSim()
+	tb := table.New("member", table.Infinity, 0, []int{1}, loop)
+	ins := NewInsert("ins", tb)
+	var got []*tuple.Tuple
+	ins.ConnectOut(0, collect(&got), 0)
+	row := tp("member", val.Str("n1"), val.Str("a"))
+	ins.Push(0, row, nil)
+	ins.Push(0, row, nil) // refresh, no delta
+	if len(got) != 1 {
+		t.Fatalf("insert deltas = %d, want 1", len(got))
+	}
+	if tb.Len() != 1 {
+		t.Fatal("tuple not stored")
+	}
+}
+
+func TestDeleteElement(t *testing.T) {
+	loop := eventloop.NewSim()
+	tb := table.New("neighbor", table.Infinity, 0, []int{1}, loop)
+	tb.Insert(tp("neighbor", val.Str("n1"), val.Str("a")))
+	del := NewDelete("del", tb)
+	del.Push(0, tp("neighbor", val.Str("n1"), val.Str("a")), nil)
+	if tb.Len() != 0 {
+		t.Fatal("delete element failed")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	loop := eventloop.NewSim()
+	d := NewDedup("d", 100, loop, 2)
+	var got []*tuple.Tuple
+	d.ConnectOut(0, collect(&got), 0)
+	a := tp("x", val.Str("n1"), val.Int(1))
+	d.Push(0, a, nil)
+	d.Push(0, a, nil)
+	d.Push(0, tp("x", val.Str("n1"), val.Int(2)), nil)
+	if len(got) != 2 {
+		t.Fatalf("dedup passed %d, want 2", len(got))
+	}
+}
+
+func TestDedupTTLForgets(t *testing.T) {
+	loop := eventloop.NewSim()
+	d := NewDedup("d", 10, loop, 1)
+	var got []*tuple.Tuple
+	d.ConnectOut(0, collect(&got), 0)
+	a := tp("x", val.Int(1))
+	d.Push(0, a, nil)
+	loop.Run(11)
+	d.Push(0, a, nil) // memory expired: passes again
+	if len(got) != 2 {
+		t.Fatalf("dedup with expired memory passed %d", len(got))
+	}
+}
+
+// A miniature rule strand wired by hand: the R6 example from §2.5 —
+// member@Y(Y, X, S, TimeY, true) :- refreshSeq@X(X, S), neighbor@X(X, Y).
+// This is the integration test for the element suite before the planner
+// automates the wiring.
+func TestHandWiredRuleStrand(t *testing.T) {
+	loop := eventloop.NewSim()
+	e := env(loop)
+	neighbor := table.New("neighbor", table.Infinity, 0, []int{1}, loop)
+	neighbor.Insert(tp("neighbor", val.Str("n1"), val.Str("n2")))
+	neighbor.Insert(tp("neighbor", val.Str("n1"), val.Str("n3")))
+
+	join := NewJoin("r6.join", neighbor, []int{0}, []int{0}, "r6_w")
+	// Work tuple layout after join: [X, S, X', Y] — project head
+	// member(Y, X, S, f_now, true).
+	head := NewProject("r6.head", "member", []*pel.Program{
+		pel.NewBuilder().Field(3).Build(),
+		pel.NewBuilder().Field(0).Build(),
+		pel.NewBuilder().Field(1).Build(),
+		pel.NewBuilder().Op(pel.OpNow).Build(),
+		pel.NewBuilder().Const(val.Bool(true)).Build(),
+	}, e)
+	var got []*tuple.Tuple
+	join.ConnectOut(0, head, 0)
+	head.ConnectOut(0, collect(&got), 0)
+
+	loop.Run(3.5)
+	join.Push(0, tp("refreshSeq", val.Str("n1"), val.Int(8)), nil)
+
+	if len(got) != 2 {
+		t.Fatalf("strand derived %d tuples, want 2", len(got))
+	}
+	for _, m := range got {
+		if m.Name() != "member" || m.Field(1).AsStr() != "n1" || m.Field(2).AsInt() != 8 {
+			t.Fatalf("bad member tuple %v", m)
+		}
+		if m.Field(3).AsTime() != 3.5 || !m.Field(4).AsBool() {
+			t.Fatalf("timestamp/liveness wrong: %v", m)
+		}
+		if m.Field(0).AsStr() != "n2" && m.Field(0).AsStr() != "n3" {
+			t.Fatalf("destination wrong: %v", m)
+		}
+	}
+}
+
+func BenchmarkJoinProbe(b *testing.B) {
+	loop := eventloop.NewSim()
+	nb := table.New("neighbor", table.Infinity, 0, []int{1}, loop)
+	for i := 0; i < 8; i++ {
+		nb.Insert(tp("neighbor", val.Str("n1"), val.Str("p"+string(rune('a'+i)))))
+	}
+	j := NewJoin("j", nb, []int{0}, []int{0}, "out")
+	j.ConnectOut(0, NewDiscard("d"), 0)
+	evt := tp("refreshSeq", val.Str("n1"), val.Int(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Push(0, evt, nil)
+	}
+}

@@ -1,0 +1,483 @@
+// Package engine implements the P2 node runtime: it instantiates a
+// compiled Plan as a live dataflow graph on one node — tables, rule
+// strands, periodic timers, continuous table aggregates, and the
+// network stack — and executes it on a run-to-completion event loop.
+//
+// This is the component Figure 1 of the paper calls the "runtime plan
+// executor". A Node is wired to a netif.Network (simulated or real UDP)
+// through the reliable transport; derived tuples whose location
+// specifier names another node are sent there, everything else loops
+// back locally exactly as in Figure 2's dataflow.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"p2/internal/dataflow"
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+	"p2/internal/pel"
+	"p2/internal/planner"
+	"p2/internal/table"
+	"p2/internal/transport"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// Options configures a Node.
+type Options struct {
+	// Seed drives the node's deterministic randomness (f_rand,
+	// f_coinFlip, periodic jitter).
+	Seed int64
+	// Transport tunes reliability and congestion control; zero value
+	// uses transport.DefaultConfig.
+	Transport *transport.Config
+	// SweepInterval is how often finite-TTL tables are swept for
+	// expired tuples (default 1 s). Sweeps keep continuous aggregates
+	// current even when a table is otherwise idle.
+	SweepInterval float64
+	// NoJitter disables the random stagger of first periodic firings.
+	// Experiments that need lock-step timers set it.
+	NoJitter bool
+	// TraceWriter, when set, receives one line per event on every
+	// relation the program watch()es — the paper's on-line debugging
+	// facility (§3.5's logging ports, §7 "On-line distributed
+	// debugging").
+	TraceWriter io.Writer
+}
+
+// Direction classifies watch events.
+type Direction int
+
+// Watch event directions.
+const (
+	DirDerived  Direction = iota // produced by a local rule
+	DirSent                      // shipped to another node
+	DirReceived                  // arrived from another node
+	DirInserted                  // stored into a table (delta only)
+	DirDeleted                   // removed from a table by a delete rule
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirDerived:
+		return "derived"
+	case DirSent:
+		return "sent"
+	case DirReceived:
+		return "received"
+	case DirInserted:
+		return "inserted"
+	case DirDeleted:
+		return "deleted"
+	}
+	return "?"
+}
+
+// WatchEvent is delivered to watch callbacks — P2's introspection hook
+// (the paper's watch() directive and logging ports).
+type WatchEvent struct {
+	Node  string
+	Dir   Direction
+	Peer  string // remote address for Sent/Received
+	Tuple *tuple.Tuple
+	Time  float64
+}
+
+// WatchFunc observes watch events.
+type WatchFunc func(WatchEvent)
+
+// Stats counts node activity.
+type Stats struct {
+	RulesFired    int64
+	TuplesDerived int64
+	TuplesSent    int64
+	TuplesRecv    int64
+	TuplesDropped int64 // no table, strand, or watcher wanted them
+}
+
+// Node is one P2 participant executing a Plan.
+type Node struct {
+	addr string
+	loop eventloop.Loop
+	net  netif.Network
+	plan *planner.Plan
+	opts Options
+
+	ep        netif.Endpoint
+	trans     *transport.Transport
+	env       *pel.Env
+	rng       *rand.Rand
+	tables    map[string]*table.Table
+	strands   map[string][]*strand
+	periodics []*dataflow.Periodic
+	watchers  map[string][]WatchFunc
+	eventSeq  int64
+	started   bool
+	stopped   bool
+	stats     Stats
+	sweeper   *eventloop.Timer
+}
+
+// strand is one rule's compiled element chain.
+type strand struct {
+	rule  *planner.Rule
+	entry dataflow.Pusher
+	agg   *dataflow.AggStream
+}
+
+// NewNode builds a node for addr executing plan over net, scheduling on
+// loop. Call Start to attach and begin execution.
+func NewNode(addr string, loop eventloop.Loop, net netif.Network, plan *planner.Plan, opts Options) *Node {
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = 1.0
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ int64(len(addr))*7919 ^ hashAddr(addr)))
+	n := &Node{
+		addr:     addr,
+		loop:     loop,
+		net:      net,
+		plan:     plan,
+		opts:     opts,
+		rng:      rng,
+		tables:   make(map[string]*table.Table),
+		strands:  make(map[string][]*strand),
+		watchers: make(map[string][]WatchFunc),
+	}
+	n.env = &pel.Env{Clock: loop, Rand: rng, Local: addr}
+	return n
+}
+
+func hashAddr(addr string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(addr); i++ {
+		h ^= int64(addr[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() string { return n.addr }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Transport exposes the node's transport for accounting taps.
+func (n *Node) Transport() *transport.Transport { return n.trans }
+
+// Table returns the named materialized table, or nil — the harness uses
+// this for white-box assertions.
+func (n *Node) Table(name string) *table.Table { return n.tables[name] }
+
+// Plan returns the plan this node executes.
+func (n *Node) Plan() *planner.Plan { return n.plan }
+
+// Watch registers fn for every event concerning the named relation.
+func (n *Node) Watch(name string, fn WatchFunc) {
+	n.watchers[name] = append(n.watchers[name], fn)
+}
+
+// Start attaches the node to the network, creates tables, installs
+// facts, and starts periodic timers.
+func (n *Node) Start() error {
+	if n.started {
+		return fmt.Errorf("engine: node %s already started", n.addr)
+	}
+	n.started = true
+
+	ep, err := n.net.Attach(n.addr, func(from string, payload []byte) {
+		if n.trans != nil {
+			n.trans.Deliver(from, payload)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("engine: node %s: %w", n.addr, err)
+	}
+	n.ep = ep
+	tcfg := transport.DefaultConfig()
+	if n.opts.Transport != nil {
+		tcfg = *n.opts.Transport
+	}
+	n.trans = transport.New(n.loop, ep, tcfg)
+	n.trans.OnReceive(n.onNetReceive)
+
+	for name, spec := range n.plan.Tables {
+		n.tables[name] = spec.NewTable(n.loop)
+	}
+	for _, r := range n.plan.Rules {
+		n.buildStrand(r)
+	}
+	for _, ta := range n.plan.TableAggs {
+		n.buildTableAgg(ta)
+	}
+	if n.opts.TraceWriter != nil {
+		for _, name := range n.plan.Watches {
+			n.Watch(name, func(ev WatchEvent) {
+				peer := ""
+				switch ev.Dir {
+				case DirSent:
+					peer = " ->" + ev.Peer
+				case DirReceived:
+					peer = " <-" + ev.Peer
+				}
+				fmt.Fprintf(n.opts.TraceWriter, "%10.3f %s %s%s %s\n",
+					ev.Time, ev.Node, ev.Dir, peer, ev.Tuple)
+			})
+		}
+	}
+	for _, f := range n.plan.Facts {
+		t := tuple.New(f.Name, f.Tuple(n.addr)...)
+		n.deliverLocal(t, DirDerived)
+	}
+	n.scheduleSweep()
+	return nil
+}
+
+// Stop halts timers, closes the transport, and detaches from the
+// network. Used both for orderly shutdown and churn-kill.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	for _, p := range n.periodics {
+		p.Stop()
+	}
+	if n.sweeper != nil {
+		n.sweeper.Cancel()
+	}
+	if n.trans != nil {
+		n.trans.Close()
+	}
+	if n.ep != nil {
+		n.ep.Close()
+	}
+}
+
+// Running reports whether the node has started and not stopped.
+func (n *Node) Running() bool { return n.started && !n.stopped }
+
+// AddFact injects a tuple as if declared as a fact — used to hand a
+// node its landmark, environment rows, etc. Valid after Start.
+func (n *Node) AddFact(name string, fields ...val.Value) {
+	n.InjectTuple(tuple.New(name, fields...))
+}
+
+// InjectTuple delivers t to this node as a local event or table row —
+// the API applications use to issue lookups, joins, and configuration.
+func (n *Node) InjectTuple(t *tuple.Tuple) {
+	n.loop.Defer(func() {
+		if !n.stopped {
+			n.deliverLocal(t, DirDerived)
+		}
+	})
+}
+
+// scheduleSweep periodically expires finite-TTL tables so deletions
+// (and the continuous aggregates hanging off them) surface promptly.
+func (n *Node) scheduleSweep() {
+	if n.stopped {
+		return
+	}
+	n.sweeper = n.loop.After(n.opts.SweepInterval, func() {
+		if n.stopped {
+			return
+		}
+		for _, tb := range n.tables {
+			tb.Expire()
+		}
+		n.scheduleSweep()
+	})
+}
+
+// buildStrand compiles one rule into a chain of dataflow elements.
+func (n *Node) buildStrand(r *planner.Rule) {
+	var elems []dataflow.Pusher
+	label := func(kind string) string { return fmt.Sprintf("%s.%s.%s", n.addr, r.ID, kind) }
+
+	for i, op := range r.Ops {
+		switch o := op.(type) {
+		case *planner.OpJoin:
+			tbl := n.tables[o.Table]
+			if o.Neg {
+				elems = append(elems, dataflow.NewNotJoin(label(fmt.Sprintf("antijoin%d", i)), tbl, o.StreamKey, o.TableKey))
+			} else {
+				elems = append(elems, dataflow.NewJoin(label(fmt.Sprintf("join%d", i)), tbl, o.StreamKey, o.TableKey, "w"))
+			}
+		case *planner.OpSelect:
+			elems = append(elems, dataflow.NewSelect(label(fmt.Sprintf("select%d", i)), o.Prog, n.env))
+		case *planner.OpAssign:
+			elems = append(elems, dataflow.NewAssign(label(fmt.Sprintf("assign%d", i)), o.Prog, n.env))
+		case *planner.OpRange:
+			elems = append(elems, dataflow.NewRange(label(fmt.Sprintf("range%d", i)), o.Lo, o.Hi, n.env))
+		}
+	}
+
+	var agg *dataflow.AggStream
+	if r.Agg != nil {
+		agg = dataflow.NewAggStream(label("agg"), r.Agg.Fn, r.Agg.AggPos)
+		elems = append(elems, agg)
+	}
+	project := dataflow.NewProject(label("head"), r.HeadName, r.HeadProgs, n.env)
+	elems = append(elems, project)
+	sink := dataflow.NewSink(label("sink"), func(t *tuple.Tuple) { n.deliverHead(r, t) })
+
+	// Wire the chain: each element's output 0 feeds the next.
+	for i := 0; i < len(elems)-1; i++ {
+		connect(elems[i], elems[i+1])
+	}
+	connect(elems[len(elems)-1], sink)
+
+	s := &strand{rule: r, entry: elems[0], agg: agg}
+	if r.Trigger.Kind == planner.TrigPeriodic {
+		n.startPeriodic(r, s)
+	} else {
+		n.strands[r.Trigger.Name] = append(n.strands[r.Trigger.Name], s)
+	}
+}
+
+// connect binds src output 0 to dst input 0. All strand-internal
+// elements are push elements.
+func connect(src, dst dataflow.Pusher) {
+	type outConnector interface {
+		ConnectOut(i int, to dataflow.Pusher, port int)
+	}
+	src.(outConnector).ConnectOut(0, dst, 0)
+}
+
+func (n *Node) startPeriodic(r *planner.Rule, s *strand) {
+	trig := r.Trigger
+	extra := trig.Extra
+	ruleID := r.ID
+	mk := func(addr string, seq int64, period float64) *tuple.Tuple {
+		n.eventSeq++
+		fields := make([]val.Value, 0, 2+len(extra))
+		fields = append(fields, val.Str(addr))
+		fields = append(fields, val.Str(fmt.Sprintf("%s!%s!%d", addr, ruleID, n.eventSeq)))
+		fields = append(fields, extra...)
+		return tuple.New("periodic", fields...)
+	}
+	p := dataflow.NewPeriodic(fmt.Sprintf("%s.%s.periodic", n.addr, r.ID),
+		n.loop, n.addr, trig.Period, trig.Count, mk)
+	p.ConnectOut(0, dataflow.NewSink(fmt.Sprintf("%s.%s.trigger", n.addr, r.ID), func(t *tuple.Tuple) {
+		n.runStrand(s, t)
+	}), 0)
+	n.periodics = append(n.periodics, p)
+	// The first firing lands one period out; with jitter enabled the
+	// phase is uniformly random in (0, period] so nodes do not tick in
+	// lock step. One-shot timers (period 0) fire immediately.
+	delay := trig.Period
+	if !n.opts.NoJitter && trig.Period > 0 {
+		delay = n.rng.Float64() * trig.Period
+	}
+	p.Start(delay)
+}
+
+func (n *Node) buildTableAgg(ta *planner.TableAggRule) {
+	tbl := n.tables[ta.Table]
+	agg := dataflow.NewAggTable(fmt.Sprintf("%s.%s.tableagg", n.addr, ta.ID),
+		tbl, ta.Fn, ta.GroupPos, ta.AggPos, "g")
+	project := dataflow.NewProject(fmt.Sprintf("%s.%s.head", n.addr, ta.ID),
+		ta.HeadName, ta.HeadProgs, n.env)
+	rule := &planner.Rule{ID: ta.ID, HeadName: ta.HeadName, Materialized: ta.Materialized}
+	sink := dataflow.NewSink(fmt.Sprintf("%s.%s.sink", n.addr, ta.ID), func(t *tuple.Tuple) {
+		n.deliverHead(rule, t)
+	})
+	agg.ConnectOut(0, project, 0)
+	project.ConnectOut(0, sink, 0)
+}
+
+// runStrand executes one rule strand for one event, run-to-completion.
+func (n *Node) runStrand(s *strand, event *tuple.Tuple) {
+	if n.stopped {
+		return
+	}
+	n.stats.RulesFired++
+	s.entry.Push(0, event, nil)
+	if s.agg != nil {
+		s.agg.Flush(event, nil)
+	}
+}
+
+// deliverHead routes a derived head tuple: delete action, local
+// delivery, or network send, chosen by the tuple's location specifier.
+func (n *Node) deliverHead(r *planner.Rule, t *tuple.Tuple) {
+	if n.stopped {
+		return
+	}
+	n.stats.TuplesDerived++
+	if r.Delete {
+		if tbl := n.tables[r.HeadName]; tbl != nil {
+			if tbl.Delete(t) {
+				n.notifyWatch(t, DirDeleted, "")
+			}
+		}
+		return
+	}
+	dest := t.Loc()
+	if dest == n.addr || dest == "" {
+		n.deliverLocal(t, DirDerived)
+		return
+	}
+	n.stats.TuplesSent++
+	n.notifyWatch(t, DirSent, dest)
+	n.trans.Send(dest, t)
+}
+
+// onNetReceive accepts tuples from the transport.
+func (n *Node) onNetReceive(from string, t *tuple.Tuple) {
+	if n.stopped {
+		return
+	}
+	n.stats.TuplesRecv++
+	n.notifyWatch(t, DirReceived, from)
+	n.deliverLocal(t, DirDerived)
+}
+
+// deliverLocal stores or dispatches a tuple on this node: materialized
+// relations insert (deltas re-trigger listening rules), stream names
+// trigger their strands directly.
+func (n *Node) deliverLocal(t *tuple.Tuple, dir Direction) {
+	if dir == DirDerived {
+		n.notifyWatch(t, DirDerived, "")
+	}
+	name := t.Name()
+	if tbl, ok := n.tables[name]; ok {
+		res := tbl.Insert(t)
+		if res.Delta {
+			n.notifyWatch(t, DirInserted, "")
+			n.trigger(name, t)
+		}
+		return
+	}
+	if _, ok := n.strands[name]; ok {
+		n.trigger(name, t)
+		return
+	}
+	if len(n.watchers[name]) == 0 {
+		n.stats.TuplesDropped++
+	}
+}
+
+// trigger schedules every strand listening on name. Runs are deferred
+// so each strand executes run-to-completion with a quiesced stack.
+func (n *Node) trigger(name string, t *tuple.Tuple) {
+	for _, s := range n.strands[name] {
+		s := s
+		n.loop.Defer(func() { n.runStrand(s, t) })
+	}
+}
+
+func (n *Node) notifyWatch(t *tuple.Tuple, dir Direction, peer string) {
+	fns := n.watchers[t.Name()]
+	if len(fns) == 0 {
+		return
+	}
+	ev := WatchEvent{Node: n.addr, Dir: dir, Peer: peer, Tuple: t, Time: n.loop.Now()}
+	for _, fn := range fns {
+		fn(ev)
+	}
+}

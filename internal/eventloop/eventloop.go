@@ -1,0 +1,291 @@
+// Package eventloop provides P2's execution model: a single-threaded,
+// run-to-completion event loop in the style of libasync (§3.1: "Each
+// event handler runs to completion before the next one is called").
+//
+// Two implementations share the Loop interface:
+//
+//   - Sim: a discrete-event loop over virtual time, shared by every node
+//     in a simulation. Twenty minutes of protocol time execute in
+//     milliseconds and runs are bit-for-bit reproducible.
+//   - Real: a wall-clock loop backed by time.Timer, used when deploying
+//     P2 nodes over real UDP sockets.
+//
+// Time is modeled as float64 seconds, matching the val.Time kind that
+// OverLog's f_now() returns.
+package eventloop
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time in seconds.
+type Clock interface {
+	Now() float64
+}
+
+// Loop schedules callbacks. All callbacks run sequentially — handlers
+// never observe concurrent execution, which is what lets table and
+// dataflow code run lock-free.
+type Loop interface {
+	Clock
+	// At schedules fn at absolute time t (clamped to now if in the past).
+	At(t float64, fn func()) *Timer
+	// After schedules fn d seconds from now.
+	After(d float64, fn func()) *Timer
+	// Defer schedules fn to run as soon as the current handler
+	// completes — the "deferred procedure call" from §3.3.
+	Defer(fn func())
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap position, -1 when popped
+}
+
+// Cancel prevents the callback from firing. Safe to call after firing.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.canceled = true
+	}
+}
+
+// When returns the scheduled absolute time.
+func (t *Timer) When() float64 { return t.at }
+
+// timerHeap orders timers by (time, insertion sequence) so simultaneous
+// events fire deterministically in scheduling order.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Sim is a virtual-time discrete-event loop. Not safe for concurrent
+// use: a simulation is a single goroutine by construction.
+type Sim struct {
+	now     float64
+	seq     uint64
+	heap    timerHeap
+	running bool
+}
+
+// NewSim returns a simulation loop starting at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at virtual time t.
+func (s *Sim) At(t float64, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, tm)
+	return tm
+}
+
+// After schedules fn d seconds from the current virtual time.
+func (s *Sim) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Defer schedules fn at the current virtual time, after already-queued
+// same-instant events.
+func (s *Sim) Defer(fn func()) { s.At(s.now, fn) }
+
+// Step fires the next pending event, advancing virtual time. It reports
+// whether an event ran.
+func (s *Sim) Step() bool {
+	for s.heap.Len() > 0 {
+		tm := heap.Pop(&s.heap).(*Timer)
+		if tm.canceled {
+			continue
+		}
+		s.now = tm.at
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or virtual time would pass
+// until. It returns the number of events fired. On return the clock
+// reads min(until, time of last event) — or exactly until if the queue
+// drained earlier.
+func (s *Sim) Run(until float64) int {
+	n := 0
+	for s.heap.Len() > 0 {
+		next := s.heap[0]
+		if next.canceled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = next.at
+		next.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunFor advances the loop by d seconds of virtual time.
+func (s *Sim) RunFor(d float64) int { return s.Run(s.now + d) }
+
+// Pending returns the number of scheduled (possibly canceled) events.
+func (s *Sim) Pending() int { return s.heap.Len() }
+
+// Real is a wall-clock loop. Callbacks still run one at a time on the
+// loop goroutine; Post is the only entry point safe to call from other
+// goroutines (e.g. a UDP reader).
+type Real struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   timerHeap
+	seq    uint64
+	posted []func()
+	stop   bool
+	start  time.Time
+}
+
+// NewReal returns a wall-clock loop; time zero is the moment of creation.
+func NewReal() *Real {
+	r := &Real{start: time.Now()}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Now returns seconds since the loop was created.
+func (r *Real) Now() float64 { return time.Since(r.start).Seconds() }
+
+// At schedules fn at absolute loop time t.
+func (r *Real) At(t float64, fn func()) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	tm := &Timer{at: t, seq: r.seq, fn: fn}
+	heap.Push(&r.heap, tm)
+	r.cond.Signal()
+	return tm
+}
+
+// After schedules fn d seconds from now.
+func (r *Real) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return r.At(r.Now()+d, fn)
+}
+
+// Defer schedules fn to run as soon as possible on the loop.
+func (r *Real) Defer(fn func()) { r.Post(fn) }
+
+// Post enqueues fn from any goroutine; it runs on the loop goroutine.
+func (r *Real) Post(fn func()) {
+	r.mu.Lock()
+	r.posted = append(r.posted, fn)
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// Stop makes Run return after the current handler.
+func (r *Real) Stop() {
+	r.mu.Lock()
+	r.stop = true
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// Run processes posted functions and timers until Stop is called.
+// It must be called from exactly one goroutine.
+func (r *Real) Run() {
+	for {
+		r.mu.Lock()
+		for {
+			if r.stop {
+				r.mu.Unlock()
+				return
+			}
+			if len(r.posted) > 0 {
+				break
+			}
+			if r.heap.Len() > 0 {
+				next := r.heap[0]
+				if next.canceled {
+					heap.Pop(&r.heap)
+					continue
+				}
+				wait := next.at - r.Now()
+				if wait <= 0 {
+					break
+				}
+				// Wake up when the timer is due or when signaled.
+				t := time.AfterFunc(time.Duration(wait*float64(time.Second)), r.cond.Signal)
+				r.cond.Wait()
+				t.Stop()
+				continue
+			}
+			r.cond.Wait()
+		}
+		// Collect runnable work under the lock, run it outside.
+		var fns []func()
+		fns = append(fns, r.posted...)
+		r.posted = r.posted[:0]
+		now := r.Now()
+		for r.heap.Len() > 0 {
+			next := r.heap[0]
+			if next.canceled {
+				heap.Pop(&r.heap)
+				continue
+			}
+			if next.at > now {
+				break
+			}
+			heap.Pop(&r.heap)
+			fns = append(fns, next.fn)
+		}
+		r.mu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"runtime"
+
+	"p2/internal/chordref"
+	"p2/internal/harness"
+)
+
+// handcodedLines defers to the chordref package's embedded source.
+func handcodedLines() int { return chordref.SourceLines() }
+
+// Footprint reports the memory cost of running Chord nodes — the
+// paper's "about 800 kB of working set" claim (§1). It builds a small
+// live ring and attributes the heap growth per node.
+type Footprint struct {
+	Nodes          int
+	BytesPerNode   uint64
+	TotalHeapDelta uint64
+}
+
+// MeasureFootprint runs n full Chord nodes for warm seconds of virtual
+// time and measures amortized heap bytes per node.
+func MeasureFootprint(n int, warm float64) Footprint {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	h := harness.NewChord(harness.Opts{N: n, Seed: 1, JoinSpacing: 0.25})
+	h.Run(float64(n)*0.25 + warm)
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	delta := uint64(0)
+	if after.HeapAlloc > before.HeapAlloc {
+		delta = after.HeapAlloc - before.HeapAlloc
+	}
+	// Keep h alive past the measurement.
+	runtime.KeepAlive(h)
+	return Footprint{Nodes: n, BytesPerNode: delta / uint64(n), TotalHeapDelta: delta}
+}

@@ -1,0 +1,384 @@
+// Package harness builds and measures Chord overlays for the
+// evaluation (§5): static rings for Figure 3, churned rings for
+// Figure 4, with the metrics the paper reports — lookup hop counts,
+// lookup latency, per-node maintenance bandwidth, and Bamboo-style
+// lookup consistency.
+//
+// Everything runs in virtual time on one simulation loop, so a
+// 20-minute churn run with 400 nodes is deterministic and fast.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2/internal/engine"
+	"p2/internal/eventloop"
+	"p2/internal/id"
+	"p2/internal/overlays"
+	"p2/internal/planner"
+	"p2/internal/simnet"
+	"p2/internal/transport"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// Opts configures a Chord network build.
+type Opts struct {
+	N           int     // initial population
+	Seed        int64   // master seed
+	JoinSpacing float64 // seconds between node starts (default 0.5)
+	Defines     map[string]val.Value
+	Net         *simnet.Config // nil = paper topology
+	Unreliable  bool           // fire-and-forget transport (ablation)
+}
+
+// LookupResult records one issued lookup's fate.
+type LookupResult struct {
+	EventID   string
+	Key       id.ID
+	From      string
+	Issued    float64
+	Completed float64 // 0 if never
+	Owner     string  // responding node's address
+	Hops      int
+	Done      bool
+}
+
+// Latency returns completion latency in seconds (or -1 if unfinished).
+func (lr *LookupResult) Latency() float64 {
+	if !lr.Done {
+		return -1
+	}
+	return lr.Completed - lr.Issued
+}
+
+// Chord is a running Chord deployment under measurement.
+type Chord struct {
+	Loop *eventloop.Sim
+	Net  *simnet.Net
+	Plan *planner.Plan
+
+	opts      Opts
+	rng       *rand.Rand
+	nodes     map[string]*engine.Node // live and dead
+	order     []string                // creation order
+	landmark  string
+	nextID    int
+	lookupSeq int
+
+	pending map[string]*LookupResult
+	Results []*LookupResult
+
+	// traffic classification: bytes by class, per node, via transport taps
+	lookupBytes int64
+	maintBytes  int64
+
+	churnTimers []*eventloop.Timer
+	churnMean   float64
+	churning    bool
+}
+
+// NewChord builds (but does not yet run) a Chord network: nodes start
+// staggered on the virtual clock and join through the first node.
+func NewChord(opts Opts) *Chord {
+	if opts.JoinSpacing <= 0 {
+		opts.JoinSpacing = 0.5
+	}
+	loop := eventloop.NewSim()
+	cfg := simnet.DefaultConfig()
+	if opts.Net != nil {
+		cfg = *opts.Net
+	}
+	cfg.Seed = opts.Seed
+	h := &Chord{
+		Loop:    loop,
+		Net:     simnet.New(loop, cfg),
+		Plan:    overlays.ChordPlan(opts.Defines),
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:   make(map[string]*engine.Node),
+		pending: make(map[string]*LookupResult),
+	}
+	for i := 0; i < opts.N; i++ {
+		at := float64(i) * opts.JoinSpacing
+		h.Loop.At(at, func() { h.spawn() })
+	}
+	return h
+}
+
+// spawn creates and starts the next node; the first becomes the
+// landmark, everyone else joins through it.
+func (h *Chord) spawn() *engine.Node {
+	addr := fmt.Sprintf("n%d:p2", h.nextID)
+	h.nextID++
+	opts := engine.Options{Seed: h.rng.Int63()}
+	if h.opts.Unreliable {
+		tc := transport.DefaultConfig()
+		tc.Unreliable = true
+		opts.Transport = &tc
+	}
+	n := engine.NewNode(addr, h.Loop, h.Net, h.Plan, opts)
+	if err := n.Start(); err != nil {
+		panic(fmt.Sprintf("harness: start %s: %v", addr, err))
+	}
+	h.nodes[addr] = n
+	h.order = append(h.order, addr)
+
+	if h.landmark == "" {
+		h.landmark = addr
+		n.AddFact("landmark", val.Str(addr), val.Str("-"))
+	} else {
+		n.AddFact("landmark", val.Str(addr), val.Str(h.landmark))
+	}
+	n.AddFact("join", val.Str(addr), val.Str(addr+"!boot"))
+
+	// Measurement taps.
+	n.Watch("lookup", func(ev engine.WatchEvent) {
+		if ev.Dir != engine.DirSent {
+			return
+		}
+		eid := ev.Tuple.Field(3).AsStr()
+		if lr, ok := h.pending[eid]; ok {
+			lr.Hops++
+		}
+	})
+	n.Watch("lookupResults", func(ev engine.WatchEvent) {
+		if ev.Dir != engine.DirReceived && ev.Dir != engine.DirDerived {
+			return
+		}
+		// lookupResults(R, K, S, SI, E): only the requester counts it,
+		// and only once.
+		if ev.Node != ev.Tuple.Field(0).AsStr() {
+			return
+		}
+		eid := ev.Tuple.Field(4).AsStr()
+		lr, ok := h.pending[eid]
+		if !ok || lr.Done {
+			return
+		}
+		lr.Done = true
+		lr.Completed = ev.Time
+		lr.Owner = ev.Tuple.Field(3).AsStr()
+	})
+	n.Transport().OnSent(func(to string, t *tuple.Tuple, wire int, rexmit bool) {
+		// Charge the ack a reliable transmission will trigger to the
+		// same class as its data tuple (ack frame + headers = 37 B).
+		const ackCost = 37
+		switch t.Name() {
+		case "lookup", "lookupResults":
+			h.lookupBytes += int64(wire + ackCost)
+		default:
+			h.maintBytes += int64(wire + ackCost)
+		}
+	})
+	return n
+}
+
+// Node returns the engine node at addr (nil if unknown).
+func (h *Chord) Node(addr string) *engine.Node { return h.nodes[addr] }
+
+// LiveAddrs returns the addresses of running nodes in creation order.
+func (h *Chord) LiveAddrs() []string {
+	var out []string
+	for _, a := range h.order {
+		if n := h.nodes[a]; n != nil && n.Running() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Run advances virtual time by d seconds.
+func (h *Chord) Run(d float64) { h.Loop.RunFor(d) }
+
+// Lookup issues one lookup for key from the given node and returns its
+// result record (filled in as the simulation progresses).
+func (h *Chord) Lookup(from string, key id.ID) *LookupResult {
+	h.lookupSeq++
+	eid := fmt.Sprintf("lk!%d", h.lookupSeq)
+	lr := &LookupResult{
+		EventID: eid,
+		Key:     key,
+		From:    from,
+		Issued:  h.Loop.Now(),
+	}
+	h.pending[eid] = lr
+	h.Results = append(h.Results, lr)
+	h.nodes[from].InjectTuple(tuple.New("lookup",
+		val.Str(from), val.MakeID(key), val.Str(from), val.Str(eid)))
+	return lr
+}
+
+// RandomLiveAddr picks a uniformly random live node.
+func (h *Chord) RandomLiveAddr() string {
+	live := h.LiveAddrs()
+	return live[h.rng.Intn(len(live))]
+}
+
+// RandomKey draws a uniform identifier.
+func (h *Chord) RandomKey() id.ID { return id.Random(h.rng) }
+
+// IdealOwner computes the ground-truth successor of key among live
+// nodes — the node every consistent lookup should return.
+func (h *Chord) IdealOwner(key id.ID) string {
+	type entry struct {
+		nid  id.ID
+		addr string
+	}
+	var ring []entry
+	for _, a := range h.LiveAddrs() {
+		ring = append(ring, entry{id.Hash(a), a})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].nid.Less(ring[j].nid) })
+	for _, e := range ring {
+		if !e.nid.Less(key) { // first nid >= key
+			return e.addr
+		}
+	}
+	return ring[0].addr // wrap
+}
+
+// RingCorrectness returns the fraction of live nodes whose bestSucc is
+// the true next live node on the identifier ring — the convergence
+// metric for static experiments.
+func (h *Chord) RingCorrectness() float64 {
+	live := h.LiveAddrs()
+	if len(live) == 0 {
+		return 0
+	}
+	type entry struct {
+		nid  id.ID
+		addr string
+	}
+	ring := make([]entry, 0, len(live))
+	for _, a := range live {
+		ring = append(ring, entry{id.Hash(a), a})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].nid.Less(ring[j].nid) })
+	ideal := make(map[string]string, len(ring))
+	for i, e := range ring {
+		ideal[e.addr] = ring[(i+1)%len(ring)].addr
+	}
+	good := 0
+	for _, a := range live {
+		tb := h.nodes[a].Table("bestSucc")
+		if tb == nil {
+			continue
+		}
+		rows := tb.Scan()
+		if len(rows) == 1 && rows[0].Field(2).AsStr() == ideal[a] {
+			good++
+		}
+	}
+	return float64(good) / float64(len(live))
+}
+
+// TrafficBytes returns cumulative (lookupClass, maintenanceClass) bytes
+// across all nodes since the last ResetTraffic.
+func (h *Chord) TrafficBytes() (lookup, maintenance int64) {
+	return h.lookupBytes, h.maintBytes
+}
+
+// ResetTraffic zeroes the traffic classification counters and the
+// simulator's raw counters.
+func (h *Chord) ResetTraffic() {
+	h.lookupBytes, h.maintBytes = 0, 0
+	h.Net.ResetStats()
+}
+
+// Kill stops the node at addr and removes it from the network —
+// process-crash semantics for churn.
+func (h *Chord) Kill(addr string) {
+	if n := h.nodes[addr]; n != nil && n.Running() {
+		n.Stop()
+		h.Net.Kill(addr)
+	}
+}
+
+// StartChurn begins Bamboo-style churn: every node except the landmark
+// lives for an exponentially distributed session with the given mean,
+// then dies and is immediately replaced by a fresh node joining through
+// the landmark, keeping the population constant.
+func (h *Chord) StartChurn(meanSession float64) {
+	h.churnMean = meanSession
+	h.churning = true
+	for _, a := range h.LiveAddrs() {
+		if a == h.landmark {
+			continue
+		}
+		h.scheduleDeath(a)
+	}
+}
+
+// StopChurn cancels scheduled deaths.
+func (h *Chord) StopChurn() {
+	h.churning = false
+	for _, t := range h.churnTimers {
+		t.Cancel()
+	}
+	h.churnTimers = h.churnTimers[:0]
+}
+
+func (h *Chord) scheduleDeath(addr string) {
+	session := h.rng.ExpFloat64() * h.churnMean
+	t := h.Loop.After(session, func() {
+		if !h.churning {
+			return
+		}
+		h.Kill(addr)
+		repl := h.spawn()
+		h.scheduleDeath(repl.Addr())
+	})
+	h.churnTimers = append(h.churnTimers, t)
+}
+
+// ConsistencyProbe issues the same key lookup from sample random live
+// nodes at once and reports, after waiting timeout seconds, the
+// fraction that agreed on the most popular owner — the consistency
+// metric of Figure 4(ii), following Bamboo's methodology. The fraction
+// is over all issued lookups, so unanswered lookups count against
+// consistency.
+func (h *Chord) ConsistencyProbe(sample int, timeout float64) float64 {
+	key := h.RandomKey()
+	var results []*LookupResult
+	seen := make(map[string]bool)
+	live := h.LiveAddrs()
+	if sample > len(live) {
+		sample = len(live)
+	}
+	for len(results) < sample {
+		from := live[h.rng.Intn(len(live))]
+		if seen[from] {
+			continue
+		}
+		seen[from] = true
+		results = append(results, h.Lookup(from, key))
+	}
+	h.Run(timeout)
+	counts := make(map[string]int)
+	for _, lr := range results {
+		if lr.Done {
+			counts[lr.Owner]++
+		}
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(sample)
+}
+
+// CompletedLookups returns results that finished.
+func (h *Chord) CompletedLookups() []*LookupResult {
+	var out []*LookupResult
+	for _, lr := range h.Results {
+		if lr.Done {
+			out = append(out, lr)
+		}
+	}
+	return out
+}

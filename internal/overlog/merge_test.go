@@ -1,0 +1,81 @@
+package overlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeConcatenatesAndShares(t *testing.T) {
+	a := MustParse(`
+		materialize(neighbor, 120, infinity, keys(2)).
+		define(t1, 5).
+		watch(x).
+		A1 x@X(X) :- e@X(X).
+	`)
+	b := MustParse(`
+		materialize(neighbor, 120, infinity, keys(2)).
+		materialize(seen, 60, 100, keys(2)).
+		define(t1, 5).
+		define(t2, 7).
+		watch(x).
+		watch(y).
+		B1 y@X(X) :- x@X(X), neighbor@X(X, Y).
+		B0 seen@X(X, "boot").
+	`)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Materialize) != 2 {
+		t.Fatalf("tables = %d, want shared neighbor + seen", len(m.Materialize))
+	}
+	if len(m.Defines) != 2 {
+		t.Fatalf("defines = %d", len(m.Defines))
+	}
+	if len(m.Watches) != 2 {
+		t.Fatalf("watches = %v", m.Watches)
+	}
+	if m.RuleCount() != 2 || len(m.Facts) != 1 {
+		t.Fatalf("rules=%d facts=%d", m.RuleCount(), len(m.Facts))
+	}
+	// The merged program prints and reparses.
+	if _, err := Parse(m.String()); err != nil {
+		t.Fatalf("merged program does not reparse: %v", err)
+	}
+}
+
+func TestMergeConflictingTables(t *testing.T) {
+	a := MustParse(`materialize(t, 120, infinity, keys(2)).`)
+	b := MustParse(`materialize(t, 60, infinity, keys(2)).`)
+	if _, err := Merge(a, b); err == nil || !strings.Contains(err.Error(), "declared as") {
+		t.Fatalf("conflicting tables must fail: %v", err)
+	}
+	c := MustParse(`materialize(t, 120, 10, keys(2)).`)
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("size conflict must fail")
+	}
+	d := MustParse(`materialize(t, 120, infinity, keys(1)).`)
+	if _, err := Merge(a, d); err == nil {
+		t.Fatal("key conflict must fail")
+	}
+}
+
+func TestMergeConflictingDefines(t *testing.T) {
+	a := MustParse(`define(k, 1).`)
+	b := MustParse(`define(k, 2).`)
+	if _, err := Merge(a, b); err == nil || !strings.Contains(err.Error(), "defined as") {
+		t.Fatalf("conflicting defines must fail: %v", err)
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	m, err := Merge()
+	if err != nil || m.RuleCount() != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+	a := MustParse(`r x@X(X) :- e@X(X).`)
+	m, err = Merge(a)
+	if err != nil || m.RuleCount() != 1 {
+		t.Fatal("single merge should pass through")
+	}
+}

@@ -1,0 +1,328 @@
+// Package pel implements the P2 Expression Language: a small stack-based
+// postfix byte-code language for manipulating Values and Tuples (§3.1).
+//
+// PEL is not written by humans. The planner compiles OverLog expressions
+// — selections, assignments, projections, aggregate arguments — into PEL
+// programs, and dataflow elements are parameterized by them. A Program
+// evaluates against an input tuple and an Env (clock, random source,
+// local address) and leaves its result on top of the VM stack.
+package pel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"p2/internal/eventloop"
+	"p2/internal/id"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// Op is a PEL opcode.
+type Op uint8
+
+// The PEL instruction set.
+const (
+	OpConst Op = iota // push consts[arg]
+	OpField           // push input.Field(arg)
+	OpPop             // discard top
+	OpDup             // duplicate top
+	OpSwap            // swap top two
+
+	OpAdd // binary arithmetic: pop b, pop a, push a OP b
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpShl
+	OpShr
+	OpNeg // unary minus
+
+	OpEq // comparisons: push bool
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	OpAnd // logical on truthiness
+	OpOr
+	OpNot
+
+	OpIn // pop hi, lo, k; arg bit0 = lo closed, bit1 = hi closed
+
+	OpNow      // push current time from env clock
+	OpRand     // push uniform float64 in [0,1)
+	OpCoinFlip // pop p, push bool (true with probability p)
+	OpSha1     // pop v, push ID = SHA-1(string render of v)
+	OpLocal    // push env.Local (this node's address)
+	OpToID     // pop v, push v coerced to ID
+	OpToStr    // pop v, push string render
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpField: "field", OpPop: "pop", OpDup: "dup",
+	OpSwap: "swap", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpMod: "mod", OpShl: "shl", OpShr: "shr", OpNeg: "neg", OpEq: "eq",
+	OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpAnd: "and", OpOr: "or", OpNot: "not", OpIn: "in", OpNow: "now",
+	OpRand: "rand", OpCoinFlip: "coinflip", OpSha1: "sha1",
+	OpLocal: "local", OpToID: "toid", OpToStr: "tostr",
+}
+
+// Instr is a single byte-code instruction.
+type Instr struct {
+	Op  Op
+	Arg int
+}
+
+// Program is a compiled PEL expression.
+type Program struct {
+	code   []Instr
+	consts []val.Value
+}
+
+// Env supplies the runtime context PEL built-ins read.
+type Env struct {
+	Clock eventloop.Clock
+	Rand  *rand.Rand
+	Local string // this node's address, for f_localAddr()
+}
+
+// Builder assembles Programs. Methods chain.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Const appends a push-constant instruction.
+func (b *Builder) Const(v val.Value) *Builder {
+	b.p.consts = append(b.p.consts, v)
+	b.p.code = append(b.p.code, Instr{OpConst, len(b.p.consts) - 1})
+	return b
+}
+
+// Field appends a push-input-field instruction.
+func (b *Builder) Field(i int) *Builder { return b.Emit(OpField, i) }
+
+// Emit appends an arbitrary instruction.
+func (b *Builder) Emit(op Op, arg int) *Builder {
+	b.p.code = append(b.p.code, Instr{op, arg})
+	return b
+}
+
+// Op appends a zero-argument instruction.
+func (b *Builder) Op(op Op) *Builder { return b.Emit(op, 0) }
+
+// In appends an interval-membership instruction with bound closedness.
+func (b *Builder) In(loClosed, hiClosed bool) *Builder {
+	arg := 0
+	if loClosed {
+		arg |= 1
+	}
+	if hiClosed {
+		arg |= 2
+	}
+	return b.Emit(OpIn, arg)
+}
+
+// Build finalizes the program.
+func (b *Builder) Build() *Program {
+	p := b.p
+	return &p
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.code) }
+
+// String disassembles the program for the olgc inspector.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for i, in := range p.code {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch in.Op {
+		case OpConst:
+			fmt.Fprintf(&sb, "push(%s)", p.consts[in.Arg])
+		case OpField:
+			fmt.Fprintf(&sb, "$%d", in.Arg)
+		case OpIn:
+			lo, hi := "(", ")"
+			if in.Arg&1 != 0 {
+				lo = "["
+			}
+			if in.Arg&2 != 0 {
+				hi = "]"
+			}
+			fmt.Fprintf(&sb, "in%s%s", lo, hi)
+		default:
+			sb.WriteString(opNames[in.Op])
+		}
+	}
+	return sb.String()
+}
+
+// VM executes PEL programs. A VM is reusable and not safe for concurrent
+// use — exactly one lives per dataflow strand.
+type VM struct {
+	stack []val.Value
+}
+
+// NewVM returns a fresh VM.
+func NewVM() *VM { return &VM{stack: make([]val.Value, 0, 16)} }
+
+// Eval runs p against the input tuple and environment, returning the
+// value left on top of the stack. Errors indicate malformed programs
+// (stack underflow, missing constant), which are planner bugs.
+func (vm *VM) Eval(p *Program, in *tuple.Tuple, env *Env) (val.Value, error) {
+	st := vm.stack[:0]
+	pop := func() val.Value {
+		v := st[len(st)-1]
+		st = st[:len(st)-1]
+		return v
+	}
+	for pc, ins := range p.code {
+		// Stack-depth checks for operand-consuming opcodes.
+		need := arity(ins.Op)
+		if len(st) < need {
+			return val.Null, fmt.Errorf("pel: stack underflow at pc %d (%s)", pc, opNames[ins.Op])
+		}
+		switch ins.Op {
+		case OpConst:
+			if ins.Arg >= len(p.consts) {
+				return val.Null, fmt.Errorf("pel: bad const index %d", ins.Arg)
+			}
+			st = append(st, p.consts[ins.Arg])
+		case OpField:
+			st = append(st, in.Field(ins.Arg))
+		case OpPop:
+			pop()
+		case OpDup:
+			st = append(st, st[len(st)-1])
+		case OpSwap:
+			st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+		case OpAdd:
+			b := pop()
+			a := pop()
+			st = append(st, val.Add(a, b))
+		case OpSub:
+			b := pop()
+			a := pop()
+			st = append(st, val.Sub(a, b))
+		case OpMul:
+			b := pop()
+			a := pop()
+			st = append(st, val.Mul(a, b))
+		case OpDiv:
+			b := pop()
+			a := pop()
+			st = append(st, val.Div(a, b))
+		case OpMod:
+			b := pop()
+			a := pop()
+			st = append(st, val.Mod(a, b))
+		case OpShl:
+			b := pop()
+			a := pop()
+			st = append(st, val.Shl(a, b))
+		case OpShr:
+			b := pop()
+			a := pop()
+			st = append(st, val.Shr(a, b))
+		case OpNeg:
+			st[len(st)-1] = val.Neg(st[len(st)-1])
+		case OpEq:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) == 0))
+		case OpNe:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) != 0))
+		case OpLt:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) < 0))
+		case OpLe:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) <= 0))
+		case OpGt:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) > 0))
+		case OpGe:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.Cmp(b) >= 0))
+		case OpAnd:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.AsBool() && b.AsBool()))
+		case OpOr:
+			b := pop()
+			a := pop()
+			st = append(st, val.Bool(a.AsBool() || b.AsBool()))
+		case OpNot:
+			st[len(st)-1] = val.Bool(!st[len(st)-1].AsBool())
+		case OpIn:
+			hi := pop()
+			lo := pop()
+			k := pop()
+			st = append(st, val.Bool(val.In(k, lo, hi, ins.Arg&1 != 0, ins.Arg&2 != 0)))
+		case OpNow:
+			if env == nil || env.Clock == nil {
+				return val.Null, fmt.Errorf("pel: f_now with no clock in env")
+			}
+			st = append(st, val.Time(env.Clock.Now()))
+		case OpRand:
+			if env == nil || env.Rand == nil {
+				return val.Null, fmt.Errorf("pel: f_rand with no rng in env")
+			}
+			st = append(st, val.Float(env.Rand.Float64()))
+		case OpCoinFlip:
+			if env == nil || env.Rand == nil {
+				return val.Null, fmt.Errorf("pel: f_coinFlip with no rng in env")
+			}
+			p := pop().AsFloat()
+			st = append(st, val.Bool(env.Rand.Float64() < p))
+		case OpSha1:
+			v := pop()
+			st = append(st, val.MakeID(id.Hash(v.AsStr())))
+		case OpLocal:
+			if env == nil {
+				return val.Null, fmt.Errorf("pel: f_localAddr with no env")
+			}
+			st = append(st, val.Str(env.Local))
+		case OpToID:
+			st[len(st)-1] = val.MakeID(st[len(st)-1].AsID())
+		case OpToStr:
+			st[len(st)-1] = val.Str(st[len(st)-1].AsStr())
+		default:
+			return val.Null, fmt.Errorf("pel: unknown opcode %d at pc %d", ins.Op, pc)
+		}
+	}
+	vm.stack = st[:0] // retain capacity
+	if len(st) == 0 {
+		return val.Null, fmt.Errorf("pel: program left empty stack")
+	}
+	return st[len(st)-1], nil
+}
+
+// arity returns how many stack operands an opcode consumes.
+func arity(op Op) int {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr, OpSwap:
+		return 2
+	case OpNeg, OpNot, OpPop, OpDup, OpCoinFlip, OpSha1, OpToID, OpToStr:
+		return 1
+	case OpIn:
+		return 3
+	}
+	return 0
+}

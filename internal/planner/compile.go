@@ -1,0 +1,914 @@
+package planner
+
+import (
+	"fmt"
+
+	"p2/internal/dataflow"
+	"p2/internal/overlog"
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/val"
+)
+
+// Compile translates a parsed program into a Plan. extra supplies or
+// overrides symbolic constants (the programmatic equivalent of define
+// statements).
+func Compile(prog *overlog.Program, extra map[string]val.Value) (*Plan, error) {
+	p := &Plan{
+		Source:  prog,
+		Tables:  make(map[string]*TableSpec),
+		Defines: make(map[string]val.Value),
+		Arities: make(map[string]int),
+		Watches: append([]string(nil), prog.Watches...),
+	}
+	for _, d := range prog.Defines {
+		p.Defines[d.Name] = d.Value
+	}
+	for k, v := range extra {
+		p.Defines[k] = v
+	}
+
+	for _, m := range prog.Materialize {
+		if _, dup := p.Tables[m.Name]; dup {
+			return nil, fmt.Errorf("planner: table %s materialized twice", m.Name)
+		}
+		ttl := m.Lifetime
+		if m.Infinite || ttl <= 0 {
+			ttl = table.Infinity
+		}
+		keys := make([]int, len(m.Keys))
+		for i, k := range m.Keys {
+			keys[i] = k - 1 // OverLog keys() is 1-based
+		}
+		p.Tables[m.Name] = &TableSpec{Name: m.Name, TTL: ttl, MaxSize: m.Size, Keys: keys}
+	}
+
+	if err := p.inferArities(prog); err != nil {
+		return nil, err
+	}
+
+	for _, f := range prog.Facts {
+		spec, err := p.compileFact(f)
+		if err != nil {
+			return nil, err
+		}
+		p.Facts = append(p.Facts, spec)
+	}
+
+	for _, r := range prog.Rules {
+		if err := p.compileRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// MustCompile compiles or panics — for embedding known-good specs.
+func MustCompile(prog *overlog.Program, extra map[string]val.Value) *Plan {
+	p, err := Compile(prog, extra)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// builtin relations whose arity varies by use.
+func arityExempt(name string) bool { return name == "periodic" || name == "range" }
+
+func (p *Plan) inferArities(prog *overlog.Program) error {
+	note := func(name string, n int, where string) error {
+		if arityExempt(name) {
+			return nil
+		}
+		if prev, ok := p.Arities[name]; ok && prev != n {
+			return fmt.Errorf("planner: %s used with arity %d and %d (%s)", name, prev, n, where)
+		}
+		p.Arities[name] = n
+		return nil
+	}
+	for _, f := range prog.Facts {
+		if err := note(f.Atom.Name, len(f.Atom.Args), "fact "+f.ID); err != nil {
+			return err
+		}
+	}
+	for _, r := range prog.Rules {
+		if err := note(r.Head.Name, len(r.Head.Args), "rule "+r.ID); err != nil {
+			return err
+		}
+		for _, t := range r.Body {
+			if a, ok := t.(*overlog.Atom); ok {
+				if err := note(a.Name, len(a.Args), "rule "+r.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Plan) compileFact(f *overlog.Fact) (*FactSpec, error) {
+	spec := &FactSpec{Name: f.Atom.Name}
+	for i, arg := range f.Atom.Args {
+		switch a := p.resolve(arg).(type) {
+		case *overlog.Lit:
+			spec.Args = append(spec.Args, FactArg{Value: a.Val})
+		case *overlog.VarRef:
+			spec.Args = append(spec.Args, FactArg{Local: true})
+		default:
+			return nil, fmt.Errorf("planner: fact %s arg %d must be a constant or variable", f.Atom.Name, i)
+		}
+	}
+	return spec, nil
+}
+
+// resolve rewrites ConstRef nodes to literals using the defines map.
+func (p *Plan) resolve(e overlog.Expr) overlog.Expr {
+	switch x := e.(type) {
+	case *overlog.ConstRef:
+		if v, ok := p.Defines[x.Name]; ok {
+			return &overlog.Lit{Val: v}
+		}
+		return x
+	case *overlog.Unary:
+		return &overlog.Unary{Op: x.Op, X: p.resolve(x.X)}
+	case *overlog.Binary:
+		return &overlog.Binary{Op: x.Op, X: p.resolve(x.X), Y: p.resolve(x.Y)}
+	case *overlog.RangeTest:
+		return &overlog.RangeTest{
+			K: p.resolve(x.K), Lo: p.resolve(x.Lo), Hi: p.resolve(x.Hi),
+			LoClosed: x.LoClosed, HiClosed: x.HiClosed,
+		}
+	case *overlog.Call:
+		args := make([]overlog.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = p.resolve(a)
+		}
+		return &overlog.Call{Name: x.Name, Loc: x.Loc, Args: args}
+	}
+	return e
+}
+
+// ruleCtx tracks the variable environment while compiling one rule.
+type ruleCtx struct {
+	plan  *Plan
+	rule  *overlog.Rule
+	env   map[string]int
+	width int
+	ops   []Op
+}
+
+func (c *ruleCtx) errf(format string, args ...any) error {
+	id := c.rule.ID
+	if id == "" {
+		id = c.rule.Head.Name
+	}
+	return fmt.Errorf("planner: rule %s: %s", id, fmt.Sprintf(format, args...))
+}
+
+func (p *Plan) compileRule(r *overlog.Rule) error {
+	c := &ruleCtx{plan: p, rule: r, env: make(map[string]int)}
+
+	if err := c.checkCollocation(); err != nil {
+		return err
+	}
+
+	event, rest, kind, isTableAgg, err := c.classify()
+	if err != nil {
+		return err
+	}
+	if isTableAgg {
+		return p.compileTableAgg(r, event)
+	}
+
+	trig, err := c.compileTrigger(event, kind)
+	if err != nil {
+		return err
+	}
+	// Bind event atom arguments.
+	if err := c.bindAtomArgs(event, 0, true); err != nil {
+		return err
+	}
+	c.width = len(event.Args)
+
+	for _, t := range rest {
+		switch term := t.(type) {
+		case *overlog.Atom:
+			if err := c.compileBodyAtom(term); err != nil {
+				return err
+			}
+		case *overlog.Assign:
+			if _, dup := c.env[term.Var]; dup {
+				return c.errf("variable %s assigned twice", term.Var)
+			}
+			prog, err := c.compileExpr(term.Expr)
+			if err != nil {
+				return err
+			}
+			c.ops = append(c.ops, &OpAssign{Prog: prog})
+			c.env[term.Var] = c.width
+			c.width++
+		case *overlog.Cond:
+			prog, err := c.compileExpr(term.Expr)
+			if err != nil {
+				return err
+			}
+			c.ops = append(c.ops, &OpSelect{Prog: prog})
+		}
+	}
+
+	rule := &Rule{
+		ID:           r.ID,
+		HeadName:     r.Head.Name,
+		Delete:       r.Delete,
+		Trigger:      trig,
+		Ops:          c.ops,
+		Materialized: p.IsTable(r.Head.Name),
+	}
+	if r.Delete && !rule.Materialized {
+		return c.errf("delete head %s is not a materialized table", r.Head.Name)
+	}
+	if err := c.compileHead(rule, len(event.Args)); err != nil {
+		return err
+	}
+	p.Rules = append(p.Rules, rule)
+	return nil
+}
+
+// checkCollocation enforces the single-location-variable restriction on
+// rule bodies (§7: "our planner currently handles rules with collocated
+// terms only").
+func (c *ruleCtx) checkCollocation() error {
+	loc := ""
+	for _, t := range c.rule.Body {
+		a, ok := t.(*overlog.Atom)
+		if !ok {
+			continue
+		}
+		if a.Loc == "" {
+			continue
+		}
+		if loc == "" {
+			loc = a.Loc
+		} else if loc != a.Loc {
+			return c.errf("multi-node rule body (@%s and @%s); rewrite with collocated terms as in Appendix A", loc, a.Loc)
+		}
+	}
+	// Located function calls must match the body location.
+	for _, t := range c.rule.Body {
+		var e overlog.Expr
+		switch term := t.(type) {
+		case *overlog.Assign:
+			e = term.Expr
+		case *overlog.Cond:
+			e = term.Expr
+		default:
+			continue
+		}
+		if bad := findMislocatedCall(e, loc); bad != "" {
+			return c.errf("function %s located off the rule body", bad)
+		}
+	}
+	if c.rule.Delete && c.rule.Head.Loc != "" && loc != "" && c.rule.Head.Loc != loc {
+		return c.errf("delete heads must be local to the rule body")
+	}
+	return nil
+}
+
+func findMislocatedCall(e overlog.Expr, loc string) string {
+	switch x := e.(type) {
+	case *overlog.Call:
+		if x.Loc != "" && x.Loc != loc {
+			return x.Name + "@" + x.Loc
+		}
+		for _, a := range x.Args {
+			if bad := findMislocatedCall(a, loc); bad != "" {
+				return bad
+			}
+		}
+	case *overlog.Unary:
+		return findMislocatedCall(x.X, loc)
+	case *overlog.Binary:
+		if bad := findMislocatedCall(x.X, loc); bad != "" {
+			return bad
+		}
+		return findMislocatedCall(x.Y, loc)
+	case *overlog.RangeTest:
+		for _, sub := range []overlog.Expr{x.K, x.Lo, x.Hi} {
+			if bad := findMislocatedCall(sub, loc); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+// classify finds the rule's event. Returns the event atom, the
+// remaining body terms in order, and the trigger kind; or flags the
+// rule as a continuous table aggregate.
+func (c *ruleCtx) classify() (event *overlog.Atom, rest []overlog.Term, kind TriggerKind, tableAgg bool, err error) {
+	var streams []*overlog.Atom
+	var firstTable *overlog.Atom
+	atomCount := 0
+	for _, t := range c.rule.Body {
+		a, ok := t.(*overlog.Atom)
+		if !ok || a.Neg {
+			continue
+		}
+		atomCount++
+		switch {
+		case a.Name == "periodic":
+			streams = append(streams, a)
+		case a.Name == "range":
+			// generator, never a trigger
+		case c.plan.IsTable(a.Name):
+			if firstTable == nil {
+				firstTable = a
+			}
+		default:
+			streams = append(streams, a)
+		}
+	}
+	if len(streams) > 1 {
+		return nil, nil, 0, false, c.errf("two event streams (%s, %s) in one body: only stream x table equijoins are supported; split the rule", streams[0].Name, streams[1].Name)
+	}
+	if len(streams) == 1 {
+		event = streams[0]
+		kind = TrigStream
+		if event.Name == "periodic" {
+			kind = TrigPeriodic
+		}
+	} else {
+		if firstTable == nil {
+			return nil, nil, 0, false, c.errf("no triggering predicate in body")
+		}
+		// A lone-table body with an aggregate head is a continuous
+		// table aggregate.
+		if headHasAgg(c.rule.Head) && atomCount == 1 && len(c.rule.Body) == 1 {
+			return firstTable, nil, 0, true, nil
+		}
+		event = firstTable
+		kind = TrigDelta
+	}
+	for _, t := range c.rule.Body {
+		if a, ok := t.(*overlog.Atom); ok && a == event {
+			continue
+		}
+		rest = append(rest, t)
+	}
+	return event, rest, kind, false, nil
+}
+
+func headHasAgg(h *overlog.Atom) bool {
+	for _, a := range h.Args {
+		if _, ok := a.(*overlog.AggRef); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ruleCtx) compileTrigger(event *overlog.Atom, kind TriggerKind) (Trigger, error) {
+	trig := Trigger{Kind: kind, Name: event.Name, Arity: len(event.Args)}
+	if kind != TrigPeriodic {
+		return trig, nil
+	}
+	if len(event.Args) < 3 {
+		return trig, c.errf("periodic needs (Node, Event, Period) arguments")
+	}
+	period, ok := constNumber(c.plan.resolve(event.Args[2]))
+	if !ok {
+		return trig, c.errf("periodic period must be a constant")
+	}
+	trig.Period = period
+	if len(event.Args) >= 4 {
+		count, ok := constNumber(c.plan.resolve(event.Args[3]))
+		if !ok {
+			return trig, c.errf("periodic count must be a constant")
+		}
+		trig.Count = int64(count)
+	}
+	for _, a := range event.Args[2:] {
+		if lit, ok := c.plan.resolve(a).(*overlog.Lit); ok {
+			trig.Extra = append(trig.Extra, lit.Val)
+		} else {
+			trig.Extra = append(trig.Extra, val.Null)
+		}
+	}
+	return trig, nil
+}
+
+func constNumber(e overlog.Expr) (float64, bool) {
+	if lit, ok := e.(*overlog.Lit); ok {
+		return lit.Val.AsFloat(), true
+	}
+	return 0, false
+}
+
+// bindAtomArgs binds variables of an atom whose fields occupy working
+// positions base..base+len(args)-1, generating equality selections for
+// literals and repeated variables.
+func (c *ruleCtx) bindAtomArgs(a *overlog.Atom, base int, isEvent bool) error {
+	for i, raw := range a.Args {
+		pos := base + i
+		switch arg := c.plan.resolve(raw).(type) {
+		case *overlog.Wildcard:
+			// don't care
+		case *overlog.VarRef:
+			if prev, bound := c.env[arg.Name]; bound {
+				prog := pel.NewBuilder().Field(pos).Field(prev).Op(pel.OpEq).Build()
+				c.ops = append(c.ops, &OpSelect{Prog: prog})
+			} else {
+				c.env[arg.Name] = pos
+			}
+		case *overlog.Lit:
+			prog := pel.NewBuilder().Field(pos).Const(arg.Val).Op(pel.OpEq).Build()
+			c.ops = append(c.ops, &OpSelect{Prog: prog})
+		case *overlog.ConstRef:
+			return c.errf("undefined constant %q in %s", arg.Name, a.Name)
+		default:
+			return c.errf("%s argument %d must be a variable or constant", a.Name, i)
+		}
+	}
+	return nil
+}
+
+// compileBodyAtom turns a non-event body atom into a join, antijoin, or
+// range generator.
+func (c *ruleCtx) compileBodyAtom(a *overlog.Atom) error {
+	if a.Name == "range" {
+		return c.compileRange(a)
+	}
+	if !c.plan.IsTable(a.Name) {
+		return c.errf("two event streams in one body (%s): only stream x table equijoins are supported; split the rule", a.Name)
+	}
+
+	var streamKey, tableKey []int
+	type lateBind struct {
+		name string
+		pos  int // atom-relative position
+	}
+	var newVars []lateBind
+	var dupPairs [][2]int // atom-relative positions that must be equal
+
+	for i, raw := range a.Args {
+		switch arg := c.plan.resolve(raw).(type) {
+		case *overlog.Wildcard:
+		case *overlog.VarRef:
+			if prev, bound := c.env[arg.Name]; bound {
+				streamKey = append(streamKey, prev)
+				tableKey = append(tableKey, i)
+				continue
+			}
+			// A fresh variable repeated within the atom becomes a
+			// post-join equality between table positions.
+			fresh := -1
+			for _, nv := range newVars {
+				if nv.name == arg.Name {
+					fresh = nv.pos
+					break
+				}
+			}
+			if fresh >= 0 {
+				dupPairs = append(dupPairs, [2]int{fresh, i})
+			} else {
+				newVars = append(newVars, lateBind{arg.Name, i})
+			}
+		case *overlog.Lit:
+			// Extend the working tuple with the constant so it can
+			// participate in the index key.
+			c.ops = append(c.ops, &OpAssign{Prog: pel.NewBuilder().Const(arg.Val).Build()})
+			streamKey = append(streamKey, c.width)
+			c.width++
+			tableKey = append(tableKey, i)
+		case *overlog.ConstRef:
+			return c.errf("undefined constant %q in %s", arg.Name, a.Name)
+		default:
+			return c.errf("%s argument %d must be a variable or constant", a.Name, i)
+		}
+	}
+
+	if a.Neg {
+		// Fresh variables in a negated atom are existential; nothing
+		// binds. Using one later trips the unbound-variable error.
+		if len(streamKey) == 0 {
+			return c.errf("negated atom %s shares no variables with the rule", a.Name)
+		}
+		if len(dupPairs) > 0 {
+			return c.errf("repeated fresh variable in negated atom %s", a.Name)
+		}
+		c.ops = append(c.ops, &OpJoin{Table: a.Name, StreamKey: streamKey, TableKey: tableKey, Neg: true})
+		return nil
+	}
+
+	if len(streamKey) == 0 {
+		return c.errf("join with %s shares no variables (cartesian products are not supported)", a.Name)
+	}
+	base := c.width
+	c.ops = append(c.ops, &OpJoin{Table: a.Name, StreamKey: streamKey, TableKey: tableKey})
+	for _, pair := range dupPairs {
+		prog := pel.NewBuilder().Field(base + pair[0]).Field(base + pair[1]).Op(pel.OpEq).Build()
+		c.ops = append(c.ops, &OpSelect{Prog: prog})
+	}
+	for _, nv := range newVars {
+		c.env[nv.name] = base + nv.pos
+	}
+	c.width = base + len(a.Args)
+	return nil
+}
+
+func (c *ruleCtx) compileRange(a *overlog.Atom) error {
+	if len(a.Args) != 3 {
+		return c.errf("range needs (Var, Lo, Hi)")
+	}
+	v, ok := c.plan.resolve(a.Args[0]).(*overlog.VarRef)
+	if !ok {
+		return c.errf("range first argument must be a fresh variable")
+	}
+	if _, bound := c.env[v.Name]; bound {
+		return c.errf("range variable %s already bound", v.Name)
+	}
+	lo, err := c.compileExpr(a.Args[1])
+	if err != nil {
+		return err
+	}
+	hi, err := c.compileExpr(a.Args[2])
+	if err != nil {
+		return err
+	}
+	c.ops = append(c.ops, &OpRange{Lo: lo, Hi: hi})
+	c.env[v.Name] = c.width
+	c.width++
+	return nil
+}
+
+// compileHead builds the head projection and aggregate specification.
+func (c *ruleCtx) compileHead(rule *Rule, eventArity int) error {
+	head := c.rule.Head
+	var aggArg *overlog.AggRef
+	aggIndex := -1
+	for i, a := range head.Args {
+		if ar, ok := a.(*overlog.AggRef); ok {
+			if aggArg != nil {
+				return c.errf("multiple aggregates in head")
+			}
+			aggArg = ar
+			aggIndex = i
+		}
+	}
+	if err := c.checkHeadLoc(head, aggArg); err != nil {
+		return err
+	}
+
+	if aggArg == nil {
+		for _, a := range head.Args {
+			prog, err := c.compileExpr(a)
+			if err != nil {
+				return err
+			}
+			rule.HeadProgs = append(rule.HeadProgs, prog)
+		}
+		return nil
+	}
+
+	fn, err := aggFunc(aggArg.Fn)
+	if err != nil {
+		return c.errf("%v", err)
+	}
+	agg := &StreamAgg{Fn: fn, AggPos: -1}
+	if aggArg.Var != "*" {
+		pos, bound := c.env[aggArg.Var]
+		if !bound {
+			return c.errf("aggregate variable %s is unbound", aggArg.Var)
+		}
+		agg.AggPos = pos
+	} else if fn != dataflow.AggCount {
+		return c.errf("%s<*> is only valid for count", aggArg.Fn)
+	}
+	rule.Agg = agg
+
+	switch fn {
+	case dataflow.AggMin, dataflow.AggMax:
+		// Exemplar semantics: head programs run against the winning
+		// working tuple; the aggregate argument reads its own position.
+		for i, a := range head.Args {
+			if i == aggIndex {
+				rule.HeadProgs = append(rule.HeadProgs,
+					pel.NewBuilder().Field(agg.AggPos).Build())
+				continue
+			}
+			prog, err := c.compileExpr(a)
+			if err != nil {
+				return err
+			}
+			rule.HeadProgs = append(rule.HeadProgs, prog)
+		}
+	default:
+		// Accumulator semantics: head programs run against the event
+		// tuple extended with the aggregate value; every non-aggregate
+		// head field must be event-bound.
+		for i, a := range head.Args {
+			if i == aggIndex {
+				rule.HeadProgs = append(rule.HeadProgs,
+					pel.NewBuilder().Field(eventArity).Build())
+				continue
+			}
+			if v := firstVarBeyond(a, c.env, eventArity); v != "" {
+				return c.errf("%s head field %s is not bound by the event; %s aggregates require event-bound fields", aggArg.Fn, v, aggArg.Fn)
+			}
+			prog, err := c.compileExpr(a)
+			if err != nil {
+				return err
+			}
+			rule.HeadProgs = append(rule.HeadProgs, prog)
+		}
+	}
+	return nil
+}
+
+// checkHeadLoc enforces the convention that the head's location
+// variable is its first argument.
+func (c *ruleCtx) checkHeadLoc(head *overlog.Atom, agg *overlog.AggRef) error {
+	if head.Loc == "" {
+		return nil
+	}
+	if len(head.Args) == 0 {
+		return c.errf("located head %s has no arguments", head.Name)
+	}
+	switch a := head.Args[0].(type) {
+	case *overlog.VarRef:
+		if a.Name == head.Loc {
+			return nil
+		}
+	case *overlog.AggRef:
+		if a.Var == head.Loc {
+			return nil
+		}
+	}
+	return c.errf("head location @%s must be the first head argument", head.Loc)
+}
+
+// firstVarBeyond returns a variable in e whose binding position is at
+// or beyond limit, or "" if all variables are bound below limit.
+func firstVarBeyond(e overlog.Expr, env map[string]int, limit int) string {
+	switch x := e.(type) {
+	case *overlog.VarRef:
+		if pos, ok := env[x.Name]; ok && pos >= limit {
+			return x.Name
+		}
+	case *overlog.Unary:
+		return firstVarBeyond(x.X, env, limit)
+	case *overlog.Binary:
+		if v := firstVarBeyond(x.X, env, limit); v != "" {
+			return v
+		}
+		return firstVarBeyond(x.Y, env, limit)
+	case *overlog.RangeTest:
+		for _, sub := range []overlog.Expr{x.K, x.Lo, x.Hi} {
+			if v := firstVarBeyond(sub, env, limit); v != "" {
+				return v
+			}
+		}
+	case *overlog.Call:
+		for _, a := range x.Args {
+			if v := firstVarBeyond(a, env, limit); v != "" {
+				return v
+			}
+		}
+	}
+	return ""
+}
+
+func aggFunc(name string) (dataflow.AggFunc, error) {
+	switch name {
+	case "min":
+		return dataflow.AggMin, nil
+	case "max":
+		return dataflow.AggMax, nil
+	case "count":
+		return dataflow.AggCount, nil
+	case "sum":
+		return dataflow.AggSum, nil
+	case "avg":
+		return dataflow.AggAvg, nil
+	}
+	return 0, fmt.Errorf("unknown aggregate %q", name)
+}
+
+// compileTableAgg handles rules like "bestSuccDist(NI, min<D>) :-
+// succDist(NI, S, D)": a continuous aggregate over one table.
+func (p *Plan) compileTableAgg(r *overlog.Rule, atom *overlog.Atom) error {
+	c := &ruleCtx{plan: p, rule: r, env: make(map[string]int)}
+	if r.Delete {
+		return c.errf("table aggregates cannot be deletions")
+	}
+	// Bind atom argument positions.
+	for i, raw := range atom.Args {
+		switch arg := p.resolve(raw).(type) {
+		case *overlog.VarRef:
+			if _, dup := c.env[arg.Name]; !dup {
+				c.env[arg.Name] = i
+			}
+		case *overlog.Wildcard:
+		default:
+			return c.errf("table aggregate body arguments must be variables")
+		}
+	}
+	var aggArg *overlog.AggRef
+	ta := &TableAggRule{
+		ID:           r.ID,
+		Table:        atom.Name,
+		HeadName:     r.Head.Name,
+		Materialized: p.IsTable(r.Head.Name),
+	}
+	var groupOrds []int // head arg index -> group ordinal
+	for _, raw := range r.Head.Args {
+		if ar, ok := raw.(*overlog.AggRef); ok {
+			if aggArg != nil {
+				return c.errf("multiple aggregates in head")
+			}
+			aggArg = ar
+			groupOrds = append(groupOrds, -1)
+			continue
+		}
+		v, ok := p.resolve(raw).(*overlog.VarRef)
+		if !ok {
+			return c.errf("table aggregate head fields must be variables")
+		}
+		pos, bound := c.env[v.Name]
+		if !bound {
+			return c.errf("head variable %s not bound by %s", v.Name, atom.Name)
+		}
+		groupOrds = append(groupOrds, len(ta.GroupPos))
+		ta.GroupPos = append(ta.GroupPos, pos)
+	}
+	if aggArg == nil {
+		return c.errf("table aggregate rule lacks an aggregate") // unreachable by classify
+	}
+	fn, err := aggFunc(aggArg.Fn)
+	if err != nil {
+		return c.errf("%v", err)
+	}
+	ta.Fn = fn
+	if aggArg.Var == "*" {
+		if fn != dataflow.AggCount {
+			return c.errf("%s<*> is only valid for count", aggArg.Fn)
+		}
+		ta.AggPos = 0
+	} else {
+		pos, bound := c.env[aggArg.Var]
+		if !bound {
+			return c.errf("aggregate variable %s not bound by %s", aggArg.Var, atom.Name)
+		}
+		ta.AggPos = pos
+	}
+	if err := c.checkHeadLoc(r.Head, aggArg); err != nil {
+		return err
+	}
+	// Head projection over [group fields..., aggregate].
+	for i := range r.Head.Args {
+		ord := groupOrds[i]
+		if ord < 0 {
+			ord = len(ta.GroupPos)
+		}
+		ta.HeadProgs = append(ta.HeadProgs, pel.NewBuilder().Field(ord).Build())
+	}
+	p.TableAggs = append(p.TableAggs, ta)
+	return nil
+}
+
+// compileExpr lowers an OverLog expression to PEL against the current
+// variable environment.
+func (c *ruleCtx) compileExpr(e overlog.Expr) (*pel.Program, error) {
+	b := pel.NewBuilder()
+	if err := c.emit(b, c.plan.resolve(e)); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+var binOps = map[string]pel.Op{
+	"+": pel.OpAdd, "-": pel.OpSub, "*": pel.OpMul, "/": pel.OpDiv,
+	"%": pel.OpMod, "<<": pel.OpShl, ">>": pel.OpShr,
+	"==": pel.OpEq, "!=": pel.OpNe, "<": pel.OpLt, "<=": pel.OpLe,
+	">": pel.OpGt, ">=": pel.OpGe, "&&": pel.OpAnd, "||": pel.OpOr,
+}
+
+func (c *ruleCtx) emit(b *pel.Builder, e overlog.Expr) error {
+	switch x := e.(type) {
+	case *overlog.Lit:
+		b.Const(x.Val)
+	case *overlog.VarRef:
+		pos, ok := c.env[x.Name]
+		if !ok {
+			return c.errf("unbound variable %s", x.Name)
+		}
+		b.Field(pos)
+	case *overlog.ConstRef:
+		return c.errf("undefined constant %q (add a define or pass it at compile time)", x.Name)
+	case *overlog.Wildcard:
+		return c.errf("wildcard in expression")
+	case *overlog.Unary:
+		if err := c.emit(b, x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "-":
+			b.Op(pel.OpNeg)
+		case "!":
+			b.Op(pel.OpNot)
+		default:
+			return c.errf("unknown unary operator %q", x.Op)
+		}
+	case *overlog.Binary:
+		op, ok := binOps[x.Op]
+		if !ok {
+			return c.errf("unknown operator %q", x.Op)
+		}
+		if err := c.emit(b, x.X); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Y); err != nil {
+			return err
+		}
+		b.Op(op)
+	case *overlog.RangeTest:
+		if err := c.emit(b, x.K); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Lo); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Hi); err != nil {
+			return err
+		}
+		b.In(x.LoClosed, x.HiClosed)
+	case *overlog.Call:
+		return c.emitCall(b, x)
+	case *overlog.AggRef:
+		return c.errf("aggregate %s<%s> outside rule head", x.Fn, x.Var)
+	default:
+		return c.errf("unsupported expression %T", e)
+	}
+	return nil
+}
+
+func (c *ruleCtx) emitCall(b *pel.Builder, x *overlog.Call) error {
+	expectArgs := func(n int) error {
+		if len(x.Args) != n {
+			return c.errf("%s expects %d argument(s), got %d", x.Name, n, len(x.Args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "f_now":
+		if err := expectArgs(0); err != nil {
+			return err
+		}
+		b.Op(pel.OpNow)
+	case "f_rand":
+		if err := expectArgs(0); err != nil {
+			return err
+		}
+		b.Op(pel.OpRand)
+	case "f_localAddr":
+		if err := expectArgs(0); err != nil {
+			return err
+		}
+		b.Op(pel.OpLocal)
+	case "f_coinFlip":
+		if err := expectArgs(1); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Args[0]); err != nil {
+			return err
+		}
+		b.Op(pel.OpCoinFlip)
+	case "f_sha1":
+		if err := expectArgs(1); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Args[0]); err != nil {
+			return err
+		}
+		b.Op(pel.OpSha1)
+	case "f_toID":
+		if err := expectArgs(1); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Args[0]); err != nil {
+			return err
+		}
+		b.Op(pel.OpToID)
+	case "f_toStr":
+		if err := expectArgs(1); err != nil {
+			return err
+		}
+		if err := c.emit(b, x.Args[0]); err != nil {
+			return err
+		}
+		b.Op(pel.OpToStr)
+	default:
+		return c.errf("unknown function %s", x.Name)
+	}
+	return nil
+}

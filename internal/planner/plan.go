@@ -1,0 +1,262 @@
+// Package planner compiles parsed OverLog programs into executable
+// plans: table schemas, per-rule dataflow strand specifications, facts,
+// and watches (§3.5). The engine instantiates one dataflow graph per
+// node from a Plan.
+//
+// Compilation follows the paper's translation: each rule becomes a
+// strand headed by its event (the body's unique stream predicate, a
+// periodic timer, or a table delta), followed by equijoins against
+// materialized tables via index lookups, PEL-compiled selections and
+// assignments, an optional per-event aggregate, and a projection that
+// constructs the head tuple. Rules whose body is a lone table with an
+// aggregate head compile to continuous table aggregates instead.
+//
+// The planner enforces the restrictions the paper states for its 2005
+// implementation: rule bodies must be collocated (one location variable)
+// and joins are stream×table only; multi-stream bodies are rejected with
+// a pointer to the Appendix A rewrite style.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"p2/internal/dataflow"
+	"p2/internal/overlog"
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/val"
+)
+
+// Plan is a compiled OverLog program, independent of any particular
+// node: the engine instantiates it per node address.
+type Plan struct {
+	Source    *overlog.Program
+	Tables    map[string]*TableSpec
+	Rules     []*Rule
+	TableAggs []*TableAggRule
+	Facts     []*FactSpec
+	Watches   []string
+	Defines   map[string]val.Value
+	// Arities records the inferred arity of every relation.
+	Arities map[string]int
+}
+
+// TableSpec describes one materialized relation.
+type TableSpec struct {
+	Name    string
+	TTL     float64 // seconds; table.Infinity when unbounded
+	MaxSize int     // 0 = unbounded
+	Keys    []int   // 0-based primary key positions
+}
+
+// NewTable instantiates the spec as a concrete table on the given clock.
+func (ts *TableSpec) NewTable(clock interface{ Now() float64 }) *table.Table {
+	return table.New(ts.Name, ts.TTL, ts.MaxSize, ts.Keys, clock)
+}
+
+// TriggerKind classifies what fires a rule strand.
+type TriggerKind int
+
+// The trigger kinds.
+const (
+	TrigPeriodic TriggerKind = iota // built-in periodic() timer
+	TrigStream                      // arrival of a named event tuple
+	TrigDelta                       // insertion delta on a materialized table
+)
+
+func (k TriggerKind) String() string {
+	switch k {
+	case TrigPeriodic:
+		return "periodic"
+	case TrigStream:
+		return "stream"
+	case TrigDelta:
+		return "delta"
+	}
+	return "?"
+}
+
+// Trigger describes a rule's event source.
+type Trigger struct {
+	Kind   TriggerKind
+	Name   string // stream or table name ("periodic" for timers)
+	Period float64
+	Count  int64 // periodic firings; 0 = unlimited
+	Arity  int
+	// Extra holds the literal values of periodic() arguments beyond
+	// (address, eventID); the engine emits them in the trigger tuple.
+	Extra []val.Value
+}
+
+// Op is one step in a rule strand.
+type Op interface{ op() }
+
+// OpJoin probes a table with keys drawn from the working tuple. Neg
+// makes it an antijoin (the "not" prefix).
+type OpJoin struct {
+	Table     string
+	StreamKey []int
+	TableKey  []int
+	Neg       bool
+}
+
+// OpSelect filters the working tuple through a boolean PEL program.
+type OpSelect struct {
+	Prog *pel.Program
+}
+
+// OpAssign appends one computed field to the working tuple.
+type OpAssign struct {
+	Prog *pel.Program
+}
+
+// OpRange appends an iteration variable ranging over [Lo, Hi],
+// duplicating the working tuple per value — the range(I, lo, hi)
+// generator predicate.
+type OpRange struct {
+	Lo, Hi *pel.Program
+}
+
+func (*OpJoin) op()   {}
+func (*OpSelect) op() {}
+func (*OpAssign) op() {}
+func (*OpRange) op()  {}
+
+// StreamAgg describes a per-event head aggregate.
+type StreamAgg struct {
+	Fn     dataflow.AggFunc
+	AggPos int // working-tuple position of the aggregated field; -1 for count<*>
+}
+
+// Rule is a compiled strand specification.
+type Rule struct {
+	ID       string
+	HeadName string
+	Delete   bool
+	Trigger  Trigger
+	Ops      []Op
+	Agg      *StreamAgg
+	// HeadProgs construct the head tuple. Their input layout is the
+	// final working tuple; for count/sum/avg aggregates it is the event
+	// tuple with the aggregate appended (see dataflow.AggStream).
+	HeadProgs []*pel.Program
+	// Materialized reports whether the head relation is a table.
+	Materialized bool
+}
+
+// TableAggRule is a continuous aggregate over a single table.
+type TableAggRule struct {
+	ID           string
+	Table        string
+	Fn           dataflow.AggFunc
+	GroupPos     []int // positions in the stored tuple
+	AggPos       int
+	HeadName     string
+	HeadProgs    []*pel.Program // input layout: group fields ++ aggregate
+	Materialized bool
+}
+
+// FactArg is either a constant or the local-address placeholder (fact
+// variables denote "this node").
+type FactArg struct {
+	Local bool
+	Value val.Value
+}
+
+// FactSpec is one startup tuple.
+type FactSpec struct {
+	Name string
+	Args []FactArg
+}
+
+// Tuple materializes the fact for a node with the given address.
+func (f *FactSpec) Tuple(addr string) []val.Value {
+	fields := make([]val.Value, len(f.Args))
+	for i, a := range f.Args {
+		if a.Local {
+			fields[i] = val.Str(addr)
+		} else {
+			fields[i] = a.Value
+		}
+	}
+	return fields
+}
+
+// IsTable reports whether name is materialized in this plan.
+func (p *Plan) IsTable(name string) bool {
+	_, ok := p.Tables[name]
+	return ok
+}
+
+// RuleCount returns the number of rules compiled (strands plus table
+// aggregates) — the paper's complexity metric counts these identically.
+func (p *Plan) RuleCount() int { return len(p.Rules) + len(p.TableAggs) }
+
+// String renders a human-readable plan dump for the olgc inspector.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for _, ts := range sortedTables(p.Tables) {
+		fmt.Fprintf(&sb, "table %s ttl=%g max=%d keys=%v\n", ts.Name, ts.TTL, ts.MaxSize, ts.Keys)
+	}
+	for _, r := range p.Rules {
+		fmt.Fprintf(&sb, "rule %s: on %s(%s", r.ID, r.Trigger.Kind, r.Trigger.Name)
+		if r.Trigger.Kind == TrigPeriodic {
+			fmt.Fprintf(&sb, " every %gs", r.Trigger.Period)
+		}
+		sb.WriteString(")")
+		for _, op := range r.Ops {
+			switch o := op.(type) {
+			case *OpJoin:
+				neg := ""
+				if o.Neg {
+					neg = "anti"
+				}
+				fmt.Fprintf(&sb, " -> %sjoin %s%v=%v", neg, o.Table, o.StreamKey, o.TableKey)
+			case *OpSelect:
+				fmt.Fprintf(&sb, " -> select[%s]", o.Prog)
+			case *OpAssign:
+				fmt.Fprintf(&sb, " -> assign[%s]", o.Prog)
+			case *OpRange:
+				fmt.Fprintf(&sb, " -> range[%s..%s]", o.Lo, o.Hi)
+			}
+		}
+		if r.Agg != nil {
+			fmt.Fprintf(&sb, " -> agg %s@%d", r.Agg.Fn, r.Agg.AggPos)
+		}
+		verb := "emit"
+		if r.Delete {
+			verb = "delete"
+		} else if r.Materialized {
+			verb = "store"
+		}
+		fmt.Fprintf(&sb, " -> %s %s/%d\n", verb, r.HeadName, len(r.HeadProgs))
+	}
+	for _, ta := range p.TableAggs {
+		fmt.Fprintf(&sb, "tableagg %s: %s over %s groups=%v agg@%d -> %s\n",
+			ta.ID, ta.Fn, ta.Table, ta.GroupPos, ta.AggPos, ta.HeadName)
+	}
+	for _, f := range p.Facts {
+		fmt.Fprintf(&sb, "fact %s/%d\n", f.Name, len(f.Args))
+	}
+	return sb.String()
+}
+
+func sortedTables(m map[string]*TableSpec) []*TableSpec {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	out := make([]*TableSpec, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package simnet is a discrete-event network simulator standing in for
+// the paper's Emulab testbed (§5: 10 domain routers, 100 stub nodes,
+// 100 ms inter-domain and 2 ms intra-domain latency, 100 Mbps router
+// and 10 Mbps stub capacities).
+//
+// The simulator models, per datagram: serialization delay against the
+// sender's access-link capacity (with sender-side queueing), propagation
+// latency from the transit-stub topology, optional uniform loss, and
+// node death (datagrams to or from dead nodes vanish, as they would
+// with a crashed process). It runs on the shared virtual-time event
+// loop, so experiments are deterministic given a seed.
+//
+// Byte counters per node feed the maintenance-bandwidth figures.
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+)
+
+// Config describes the topology and link properties.
+type Config struct {
+	Domains      int     // number of stub domains (paper: 10)
+	IntraLatency float64 // seconds between nodes in one domain (paper: 2 ms)
+	InterLatency float64 // seconds across domains (paper: 100 ms)
+	StubBps      float64 // access link capacity in bytes/sec (paper: 10 Mbps)
+	LossRate     float64 // uniform datagram loss probability
+	Seed         int64   // rng seed for loss and placement
+	HeaderBytes  int     // per-datagram overhead charged (UDP+IP headers)
+}
+
+// DefaultConfig reproduces the paper's Emulab topology.
+func DefaultConfig() Config {
+	return Config{
+		Domains:      10,
+		IntraLatency: 0.002,
+		InterLatency: 0.100,
+		StubBps:      10e6 / 8, // 10 Mbps
+		LossRate:     0,
+		Seed:         1,
+		HeaderBytes:  28, // IPv4 + UDP
+	}
+}
+
+// Stats aggregates one node's traffic counters.
+type Stats struct {
+	BytesSent     int64
+	BytesReceived int64
+	PacketsSent   int64
+	PacketsRecv   int64
+	PacketsLost   int64
+}
+
+// Net is the simulated network. All methods must run on the simulation
+// goroutine (they schedule onto the shared event loop).
+type Net struct {
+	loop *eventloop.Sim
+	cfg  Config
+	rng  *rand.Rand
+
+	nodes map[string]*node
+	// partitioned pairs; key "a|b" with a < b lexically.
+	cuts map[string]bool
+}
+
+type node struct {
+	addr     string
+	domain   int
+	deliver  netif.DeliverFunc
+	linkFree float64 // time the access link next becomes idle
+	dead     bool
+	stats    Stats
+}
+
+// New creates a simulated network on the given loop.
+func New(loop *eventloop.Sim, cfg Config) *Net {
+	if cfg.Domains <= 0 {
+		cfg.Domains = 1
+	}
+	return &Net{
+		loop:  loop,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[string]*node),
+		cuts:  make(map[string]bool),
+	}
+}
+
+// Attach registers addr. Domain placement hashes the address, so a
+// node's location is stable across runs.
+func (n *Net) Attach(addr string, deliver netif.DeliverFunc) (netif.Endpoint, error) {
+	if existing, ok := n.nodes[addr]; ok && !existing.dead {
+		return nil, fmt.Errorf("simnet: %q already attached", addr)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	nd := &node{
+		addr:    addr,
+		domain:  int(h.Sum32()) % n.cfg.Domains,
+		deliver: deliver,
+	}
+	n.nodes[addr] = nd
+	return &endpoint{net: n, node: nd}, nil
+}
+
+// Kill marks addr dead: its in-flight and future datagrams vanish.
+// Used by the churn generator.
+func (n *Net) Kill(addr string) {
+	if nd, ok := n.nodes[addr]; ok {
+		nd.dead = true
+	}
+}
+
+// Alive reports whether addr is attached and not dead.
+func (n *Net) Alive(addr string) bool {
+	nd, ok := n.nodes[addr]
+	return ok && !nd.dead
+}
+
+// Partition cuts or heals bidirectional connectivity between a and b.
+func (n *Net) Partition(a, b string, cut bool) {
+	key := pairKey(a, b)
+	if cut {
+		n.cuts[key] = true
+	} else {
+		delete(n.cuts, key)
+	}
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Latency returns the one-way propagation delay between two addresses.
+func (n *Net) Latency(a, b string) float64 {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return n.cfg.InterLatency
+	}
+	if na.domain == nb.domain {
+		return n.cfg.IntraLatency
+	}
+	return n.cfg.InterLatency + 2*n.cfg.IntraLatency
+}
+
+// Stats returns a copy of addr's counters.
+func (n *Net) Stats(addr string) Stats {
+	if nd, ok := n.nodes[addr]; ok {
+		return nd.stats
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes every node's counters — used between experiment
+// warm-up and measurement phases.
+func (n *Net) ResetStats() {
+	for _, nd := range n.nodes {
+		nd.stats = Stats{}
+	}
+}
+
+// TotalStats sums counters across live and dead nodes.
+func (n *Net) TotalStats() Stats {
+	var s Stats
+	for _, nd := range n.nodes {
+		s.BytesSent += nd.stats.BytesSent
+		s.BytesReceived += nd.stats.BytesReceived
+		s.PacketsSent += nd.stats.PacketsSent
+		s.PacketsRecv += nd.stats.PacketsRecv
+		s.PacketsLost += nd.stats.PacketsLost
+	}
+	return s
+}
+
+// send models the datagram's journey; called by endpoints.
+func (n *Net) send(src *node, to string, payload []byte) {
+	if src.dead {
+		return
+	}
+	size := int64(len(payload) + n.cfg.HeaderBytes)
+	src.stats.BytesSent += size
+	src.stats.PacketsSent++
+
+	dst, ok := n.nodes[to]
+	if !ok || dst.dead || n.cuts[pairKey(src.addr, to)] {
+		src.stats.PacketsLost++
+		return
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		src.stats.PacketsLost++
+		return
+	}
+
+	now := n.loop.Now()
+	// Serialization against the sender's access link, with queueing.
+	txTime := 0.0
+	if n.cfg.StubBps > 0 {
+		txTime = float64(size) / n.cfg.StubBps
+	}
+	start := now
+	if src.linkFree > start {
+		start = src.linkFree
+	}
+	src.linkFree = start + txTime
+	arrive := src.linkFree + n.Latency(src.addr, to)
+
+	from := src.addr
+	n.loop.At(arrive, func() {
+		if dst.dead {
+			return
+		}
+		dst.stats.BytesReceived += size
+		dst.stats.PacketsRecv++
+		dst.deliver(from, payload)
+	})
+}
+
+type endpoint struct {
+	net  *Net
+	node *node
+}
+
+func (e *endpoint) Send(to string, payload []byte) {
+	// Copy the payload: senders may reuse buffers, and a real network
+	// would serialize at this boundary.
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	e.net.send(e.node, to, p)
+}
+
+func (e *endpoint) LocalAddr() string { return e.node.addr }
+
+func (e *endpoint) Close() { e.node.dead = true }

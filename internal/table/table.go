@@ -1,0 +1,337 @@
+// Package table implements P2's soft-state tables (§3.2).
+//
+// A Table is a queue of tuples with a primary key, an optional lifetime
+// (tuples expire TTL seconds after their last refresh) and an optional
+// maximum size (oldest tuples are evicted FIFO when full) — the two
+// constraints OverLog's materialize() directive declares. Secondary
+// in-memory indices provide the equality lookups that stream×table
+// equijoins perform.
+//
+// Tables are node-local and single-threaded: the run-to-completion event
+// loop means no locking is needed, mirroring the paper's libasync-based
+// design. Insert and delete listeners let the planner turn table deltas
+// into dataflow events and keep continuous aggregates current.
+package table
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"p2/internal/eventloop"
+	"p2/internal/tuple"
+)
+
+// Infinity marks an unbounded lifetime or size in a table declaration.
+const Infinity = math.MaxFloat64
+
+// Table is a soft-state relation. Not safe for concurrent use.
+type Table struct {
+	name    string
+	ttl     float64 // seconds; Infinity for immortal tuples
+	maxSize int     // 0 or negative = unbounded
+	pk      []int   // primary key field positions (0-based)
+	clock   eventloop.Clock
+
+	rows    map[string]*row // primary key → row
+	order   *list.List      // *row in insertion order, oldest first
+	indices map[string]*index
+
+	onInsert  []func(*tuple.Tuple)
+	onDelete  []func(*tuple.Tuple)
+	onRefresh []func(*tuple.Tuple)
+}
+
+type row struct {
+	t       *tuple.Tuple
+	expires float64
+	elem    *list.Element
+}
+
+type index struct {
+	positions []int
+	m         map[string][]*row
+}
+
+// New creates a table. ttl is the tuple lifetime in seconds (use
+// Infinity for no expiry); maxSize bounds the row count (<= 0 for
+// unbounded); pk lists the 0-based field positions of the primary key.
+// The clock supplies "now" for expiry decisions.
+func New(name string, ttl float64, maxSize int, pk []int, clock eventloop.Clock) *Table {
+	if ttl <= 0 {
+		ttl = Infinity
+	}
+	return &Table{
+		name:    name,
+		ttl:     ttl,
+		maxSize: maxSize,
+		pk:      append([]int(nil), pk...),
+		clock:   clock,
+		rows:    make(map[string]*row),
+		order:   list.New(),
+		indices: make(map[string]*index),
+	}
+}
+
+// Name returns the relation name.
+func (tb *Table) Name() string { return tb.name }
+
+// TTL returns the configured lifetime in seconds.
+func (tb *Table) TTL() float64 { return tb.ttl }
+
+// MaxSize returns the configured size bound (0 = unbounded).
+func (tb *Table) MaxSize() int { return tb.maxSize }
+
+// PrimaryKey returns the primary key positions.
+func (tb *Table) PrimaryKey() []int { return tb.pk }
+
+// Len returns the number of live rows, expiring stale ones first.
+func (tb *Table) Len() int {
+	tb.Expire()
+	return len(tb.rows)
+}
+
+// OnInsert registers fn to run whenever a genuinely new or changed
+// tuple is stored. Refreshes of identical tuples do not fire it — this
+// is what keeps recursive rules from deriving forever, matching
+// fixpoint semantics.
+func (tb *Table) OnInsert(fn func(*tuple.Tuple)) { tb.onInsert = append(tb.onInsert, fn) }
+
+// OnDelete registers fn to run whenever a tuple leaves the table:
+// explicit deletion, FIFO eviction, or TTL expiry.
+func (tb *Table) OnDelete(fn func(*tuple.Tuple)) { tb.onDelete = append(tb.onDelete, fn) }
+
+// OnRefresh registers fn to run when an identical tuple is re-inserted
+// (its TTL renewed but no delta produced).
+func (tb *Table) OnRefresh(fn func(*tuple.Tuple)) { tb.onRefresh = append(tb.onRefresh, fn) }
+
+// InsertResult describes what an Insert did.
+type InsertResult struct {
+	Stored   bool         // tuple is now in the table
+	Delta    bool         // the table's contents changed (fire delta rules)
+	Replaced *tuple.Tuple // previous row displaced by a primary-key match
+}
+
+// Insert stores t, applying primary-key replacement, FIFO size
+// eviction, and TTL stamping. Arity must match prior rows (enforced by
+// the planner; here we only guard the key positions).
+func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
+	tb.Expire()
+	now := tb.clock.Now()
+	key := t.Key(tb.pk)
+
+	if existing, ok := tb.rows[key]; ok {
+		if existing.t.Equal(t) {
+			// Pure refresh: renew lifetime, no delta.
+			existing.expires = tb.expiry(now)
+			tb.order.MoveToBack(existing.elem)
+			for _, fn := range tb.onRefresh {
+				fn(t)
+			}
+			return InsertResult{Stored: true}
+		}
+		old := existing.t
+		tb.removeRow(existing, false)
+		tb.addRow(t, now)
+		for _, fn := range tb.onInsert {
+			fn(t)
+		}
+		return InsertResult{Stored: true, Delta: true, Replaced: old}
+	}
+
+	tb.addRow(t, now)
+	// FIFO eviction when over capacity.
+	for tb.maxSize > 0 && len(tb.rows) > tb.maxSize {
+		oldest := tb.order.Front().Value.(*row)
+		tb.removeRow(oldest, true)
+	}
+	for _, fn := range tb.onInsert {
+		fn(t)
+	}
+	return InsertResult{Stored: true, Delta: true}
+}
+
+func (tb *Table) expiry(now float64) float64 {
+	if tb.ttl == Infinity {
+		return Infinity
+	}
+	return now + tb.ttl
+}
+
+func (tb *Table) addRow(t *tuple.Tuple, now float64) {
+	r := &row{t: t, expires: tb.expiry(now)}
+	r.elem = tb.order.PushBack(r)
+	tb.rows[t.Key(tb.pk)] = r
+	for _, ix := range tb.indices {
+		k := t.Key(ix.positions)
+		ix.m[k] = append(ix.m[k], r)
+	}
+}
+
+// removeRow unlinks r; when notify is set the delete listeners fire.
+func (tb *Table) removeRow(r *row, notify bool) {
+	delete(tb.rows, r.t.Key(tb.pk))
+	tb.order.Remove(r.elem)
+	for _, ix := range tb.indices {
+		k := r.t.Key(ix.positions)
+		rows := ix.m[k]
+		for i, cand := range rows {
+			if cand == r {
+				rows[i] = rows[len(rows)-1]
+				rows = rows[:len(rows)-1]
+				break
+			}
+		}
+		if len(rows) == 0 {
+			delete(ix.m, k)
+		} else {
+			ix.m[k] = rows
+		}
+	}
+	if notify {
+		for _, fn := range tb.onDelete {
+			fn(r.t)
+		}
+	}
+}
+
+// Delete removes the row whose primary key matches t. It reports
+// whether a row was removed.
+func (tb *Table) Delete(t *tuple.Tuple) bool {
+	tb.Expire()
+	r, ok := tb.rows[t.Key(tb.pk)]
+	if !ok {
+		return false
+	}
+	tb.removeRow(r, true)
+	return true
+}
+
+// DeleteWhere removes every live row for which pred returns true,
+// returning the count.
+func (tb *Table) DeleteWhere(pred func(*tuple.Tuple) bool) int {
+	tb.Expire()
+	var victims []*row
+	for e := tb.order.Front(); e != nil; e = e.Next() {
+		r := e.Value.(*row)
+		if pred(r.t) {
+			victims = append(victims, r)
+		}
+	}
+	for _, r := range victims {
+		tb.removeRow(r, true)
+	}
+	return len(victims)
+}
+
+// Clear removes every row, firing delete listeners.
+func (tb *Table) Clear() {
+	var victims []*row
+	for e := tb.order.Front(); e != nil; e = e.Next() {
+		victims = append(victims, e.Value.(*row))
+	}
+	for _, r := range victims {
+		tb.removeRow(r, true)
+	}
+}
+
+// Expire removes rows past their lifetime, firing delete listeners.
+// It returns the number expired. Callers rarely need this directly —
+// every accessor calls it — but the engine also sweeps periodically so
+// deletions surface promptly even in idle tables.
+//
+// Because the TTL is constant and refreshes move rows to the back, the
+// order list is sorted by expiry: expiry only ever pops from the front,
+// making the common no-expiry case O(1).
+func (tb *Table) Expire() int {
+	if tb.ttl == Infinity {
+		return 0
+	}
+	now := tb.clock.Now()
+	n := 0
+	for {
+		front := tb.order.Front()
+		if front == nil {
+			break
+		}
+		r := front.Value.(*row)
+		if r.expires > now {
+			break
+		}
+		tb.removeRow(r, true)
+		n++
+	}
+	return n
+}
+
+// EnsureIndex creates a secondary index over the given field positions
+// if one does not already exist.
+func (tb *Table) EnsureIndex(positions []int) {
+	sig := indexSig(positions)
+	if _, ok := tb.indices[sig]; ok {
+		return
+	}
+	ix := &index{positions: append([]int(nil), positions...), m: make(map[string][]*row)}
+	for e := tb.order.Front(); e != nil; e = e.Next() {
+		r := e.Value.(*row)
+		k := r.t.Key(ix.positions)
+		ix.m[k] = append(ix.m[k], r)
+	}
+	tb.indices[sig] = ix
+}
+
+func indexSig(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Lookup returns the live tuples whose indexed fields equal key.
+// The index must have been created with EnsureIndex; looking up a
+// missing index panics, which flags a planner bug immediately.
+func (tb *Table) Lookup(positions []int, key string) []*tuple.Tuple {
+	tb.Expire()
+	ix, ok := tb.indices[indexSig(positions)]
+	if !ok {
+		panic(fmt.Sprintf("table %s: lookup on missing index %v", tb.name, positions))
+	}
+	rows := ix.m[key]
+	out := make([]*tuple.Tuple, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.t)
+	}
+	return out
+}
+
+// LookupPK returns the live tuple with the given primary-key value, or
+// nil.
+func (tb *Table) LookupPK(key string) *tuple.Tuple {
+	tb.Expire()
+	if r, ok := tb.rows[key]; ok {
+		return r.t
+	}
+	return nil
+}
+
+// Scan returns all live tuples in insertion order.
+func (tb *Table) Scan() []*tuple.Tuple {
+	tb.Expire()
+	out := make([]*tuple.Tuple, 0, len(tb.rows))
+	for e := tb.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*row).t)
+	}
+	return out
+}
+
+// ScanSorted returns all live tuples ordered by their rendered form —
+// deterministic output for tests and the olgc inspector.
+func (tb *Table) ScanSorted() []*tuple.Tuple {
+	out := tb.Scan()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,382 @@
+// Package transport implements P2's networking subsystem above a raw
+// datagram network: data serialization, sequenced reliable transmission
+// with RTT-estimated retransmission, and per-destination AIMD congestion
+// control — the element chain §3.4 describes ("socket handling, packet
+// scheduling, congestion control, reliable transmission, data
+// serialization, and dispatch").
+//
+// One Transport lives per P2 node. Tuples submitted with Send are
+// framed one per datagram, tracked until acknowledged, and retransmitted
+// with exponential backoff up to a retry budget; receivers acknowledge
+// and de-duplicate, so the engine above sees at-most-once delivery per
+// transmission attempt. All state transitions happen on the node's
+// event loop.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+	"p2/internal/tuple"
+)
+
+// Config tunes reliability and congestion control.
+type Config struct {
+	MaxRetries int     // transmissions before giving up (total = 1 + retries)
+	InitialRTO float64 // seconds, used before an RTT sample exists
+	MinRTO     float64
+	MaxRTO     float64
+	WindowInit float64 // initial congestion window, packets
+	WindowMax  float64 // cap on the window
+	QueueCap   int     // per-destination backlog beyond the window
+	Unreliable bool    // fire-and-forget mode: no acks, no retries
+}
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxRetries: 4,
+		InitialRTO: 1.0,
+		MinRTO:     0.2,
+		MaxRTO:     8.0,
+		WindowInit: 4,
+		WindowMax:  64,
+		QueueCap:   512,
+	}
+}
+
+// Stats counts transport-level activity for the bandwidth figures.
+type Stats struct {
+	TuplesSent     int64
+	Retransmits    int64
+	Drops          int64 // gave up after MaxRetries
+	QueueDrops     int64 // backlog overflow
+	AcksSent       int64
+	DupsSuppressed int64
+}
+
+const (
+	pktData = 0
+	pktAck  = 1
+)
+
+const headerLen = 1 + 8 // type + seq
+
+// Transport provides reliable tuple delivery over a netif.Endpoint.
+type Transport struct {
+	loop eventloop.Loop
+	ep   netif.Endpoint
+	cfg  Config
+
+	onReceive func(from string, t *tuple.Tuple)
+	onSent    func(to string, t *tuple.Tuple, wireBytes int, retransmit bool)
+	onDrop    func(to string, t *tuple.Tuple)
+
+	dests  map[string]*dest
+	srcs   map[string]*recvState
+	stats  Stats
+	closed bool
+}
+
+// dest holds per-destination sender state.
+type dest struct {
+	addr     string
+	nextSeq  uint64
+	inflight map[uint64]*pending
+	backlog  []*tuple.Tuple
+
+	cwnd     float64
+	ssthresh float64
+	srtt     float64
+	rttvar   float64
+	rto      float64
+}
+
+type pending struct {
+	t       *tuple.Tuple
+	seq     uint64
+	payload []byte
+	sentAt  float64
+	retries int
+	timer   *eventloop.Timer
+	rexmit  bool // ever retransmitted (Karn: skip RTT sample)
+}
+
+// recvState tracks sequence numbers already delivered from one source.
+type recvState struct {
+	cum  uint64          // all seqs <= cum delivered
+	high map[uint64]bool // out-of-order seqs above cum
+}
+
+func (r *recvState) seen(seq uint64) bool {
+	return seq <= r.cum || r.high[seq]
+}
+
+func (r *recvState) mark(seq uint64) {
+	if seq <= r.cum {
+		return
+	}
+	r.high[seq] = true
+	for r.high[r.cum+1] {
+		delete(r.high, r.cum+1)
+		r.cum++
+	}
+}
+
+// New creates a transport bound to ep. Wire ep's delivery callback to
+// Deliver.
+func New(loop eventloop.Loop, ep netif.Endpoint, cfg Config) *Transport {
+	return &Transport{
+		loop:  loop,
+		ep:    ep,
+		cfg:   cfg,
+		dests: make(map[string]*dest),
+		srcs:  make(map[string]*recvState),
+	}
+}
+
+// OnReceive sets the upcall for tuples arriving from the network.
+func (tr *Transport) OnReceive(fn func(from string, t *tuple.Tuple)) { tr.onReceive = fn }
+
+// OnSent sets an accounting tap invoked once per wire transmission
+// (including retransmits) with the datagram size.
+func (tr *Transport) OnSent(fn func(to string, t *tuple.Tuple, wireBytes int, retransmit bool)) {
+	tr.onSent = fn
+}
+
+// OnDrop sets the upcall for tuples abandoned after the retry budget.
+func (tr *Transport) OnDrop(fn func(to string, t *tuple.Tuple)) { tr.onDrop = fn }
+
+// Stats returns a copy of the counters.
+func (tr *Transport) Stats() Stats { return tr.stats }
+
+// Close stops all retransmission timers and drops state.
+func (tr *Transport) Close() {
+	tr.closed = true
+	for _, d := range tr.dests {
+		for _, p := range d.inflight {
+			p.timer.Cancel()
+		}
+	}
+	tr.dests = make(map[string]*dest)
+}
+
+// Send queues t for reliable delivery to the given address.
+func (tr *Transport) Send(to string, t *tuple.Tuple) {
+	if tr.closed {
+		return
+	}
+	d := tr.destFor(to)
+	if tr.cfg.Unreliable {
+		tr.transmit(d, &pending{t: t, payload: t.Marshal()}, false)
+		return
+	}
+	if float64(len(d.inflight)) < d.cwnd {
+		tr.launch(d, t)
+		return
+	}
+	if len(d.backlog) >= tr.cfg.QueueCap {
+		tr.stats.QueueDrops++
+		return
+	}
+	d.backlog = append(d.backlog, t)
+}
+
+func (tr *Transport) destFor(to string) *dest {
+	d, ok := tr.dests[to]
+	if !ok {
+		d = &dest{
+			addr:     to,
+			inflight: make(map[uint64]*pending),
+			cwnd:     tr.cfg.WindowInit,
+			ssthresh: tr.cfg.WindowMax,
+			rto:      tr.cfg.InitialRTO,
+		}
+		tr.dests[to] = d
+	}
+	return d
+}
+
+// launch assigns a sequence number and transmits a fresh tuple.
+func (tr *Transport) launch(d *dest, t *tuple.Tuple) {
+	d.nextSeq++
+	p := &pending{t: t, seq: d.nextSeq, payload: t.Marshal()}
+	d.inflight[p.seq] = p
+	tr.transmit(d, p, false)
+	tr.armTimer(d, p.seq, p)
+}
+
+func (tr *Transport) transmit(d *dest, p *pending, retransmit bool) {
+	frame := make([]byte, headerLen+len(p.payload))
+	frame[0] = pktData
+	binary.BigEndian.PutUint64(frame[1:9], p.seq)
+	copy(frame[headerLen:], p.payload)
+	p.sentAt = tr.loop.Now()
+	tr.ep.Send(d.addr, frame)
+	tr.stats.TuplesSent++
+	if retransmit {
+		tr.stats.Retransmits++
+	}
+	if tr.onSent != nil {
+		tr.onSent(d.addr, p.t, len(frame), retransmit)
+	}
+}
+
+func (tr *Transport) armTimer(d *dest, seq uint64, p *pending) {
+	p.timer = tr.loop.After(d.rto*math.Pow(2, float64(p.retries)), func() {
+		tr.onTimeout(d, seq, p)
+	})
+}
+
+func (tr *Transport) onTimeout(d *dest, seq uint64, p *pending) {
+	if tr.closed {
+		return
+	}
+	if _, still := d.inflight[seq]; !still {
+		return // acked while the timer raced
+	}
+	if p.retries >= tr.cfg.MaxRetries {
+		delete(d.inflight, seq)
+		tr.stats.Drops++
+		if tr.onDrop != nil {
+			tr.onDrop(d.addr, p.t)
+		}
+		tr.refill(d)
+		return
+	}
+	// Timeout: multiplicative decrease, slow-start restart.
+	d.ssthresh = math.Max(float64(len(d.inflight))/2, 2)
+	d.cwnd = 1
+	p.retries++
+	p.rexmit = true
+	tr.transmit(d, p, true)
+	tr.armTimer(d, seq, p)
+}
+
+// Deliver is the network's inbound entry point; wire it as the
+// netif.Attach callback.
+func (tr *Transport) Deliver(from string, frame []byte) {
+	if tr.closed || len(frame) < headerLen {
+		return
+	}
+	seq := binary.BigEndian.Uint64(frame[1:9])
+	switch frame[0] {
+	case pktAck:
+		tr.onAck(from, seq)
+	case pktData:
+		tr.onData(from, seq, frame[headerLen:])
+	}
+}
+
+func (tr *Transport) onData(from string, seq uint64, payload []byte) {
+	t, _, err := tuple.Unmarshal(payload)
+	if err != nil {
+		return // corrupt datagram; a real network could produce these
+	}
+	if tr.cfg.Unreliable {
+		if tr.onReceive != nil {
+			tr.onReceive(from, t)
+		}
+		return
+	}
+	// Acknowledge even duplicates: the original ack may have been lost.
+	ack := make([]byte, headerLen)
+	ack[0] = pktAck
+	binary.BigEndian.PutUint64(ack[1:9], seq)
+	tr.ep.Send(from, ack)
+	tr.stats.AcksSent++
+
+	rs, ok := tr.srcs[from]
+	if !ok {
+		rs = &recvState{high: make(map[uint64]bool)}
+		tr.srcs[from] = rs
+	}
+	if rs.seen(seq) {
+		tr.stats.DupsSuppressed++
+		return
+	}
+	rs.mark(seq)
+	if tr.onReceive != nil {
+		tr.onReceive(from, t)
+	}
+}
+
+func (tr *Transport) onAck(from string, seq uint64) {
+	d, ok := tr.dests[from]
+	if !ok {
+		return
+	}
+	p, ok := d.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(d.inflight, seq)
+	p.timer.Cancel()
+
+	// RTT sample (Karn's rule: never from retransmitted packets).
+	if !p.rexmit {
+		rtt := tr.loop.Now() - p.sentAt
+		if d.srtt == 0 {
+			d.srtt = rtt
+			d.rttvar = rtt / 2
+		} else {
+			d.rttvar = 0.75*d.rttvar + 0.25*math.Abs(d.srtt-rtt)
+			d.srtt = 0.875*d.srtt + 0.125*rtt
+		}
+		d.rto = math.Min(math.Max(d.srtt+4*d.rttvar, tr.cfg.MinRTO), tr.cfg.MaxRTO)
+	}
+	// Additive increase: slow start below ssthresh, then 1/cwnd per ack.
+	if d.cwnd < d.ssthresh {
+		d.cwnd++
+	} else {
+		d.cwnd += 1 / d.cwnd
+	}
+	if d.cwnd > tr.cfg.WindowMax {
+		d.cwnd = tr.cfg.WindowMax
+	}
+	tr.refill(d)
+}
+
+// refill launches backlog tuples while the window has room.
+func (tr *Transport) refill(d *dest) {
+	for len(d.backlog) > 0 && float64(len(d.inflight)) < d.cwnd {
+		t := d.backlog[0]
+		copy(d.backlog, d.backlog[1:])
+		d.backlog = d.backlog[:len(d.backlog)-1]
+		tr.launch(d, t)
+	}
+}
+
+// Window reports the current congestion window toward to — exposed for
+// tests and the olgc inspector.
+func (tr *Transport) Window(to string) float64 {
+	if d, ok := tr.dests[to]; ok {
+		return d.cwnd
+	}
+	return tr.cfg.WindowInit
+}
+
+// RTO reports the current retransmission timeout toward to.
+func (tr *Transport) RTO(to string) float64 {
+	if d, ok := tr.dests[to]; ok {
+		return d.rto
+	}
+	return tr.cfg.InitialRTO
+}
+
+// InFlight reports unacknowledged tuples toward to.
+func (tr *Transport) InFlight(to string) int {
+	if d, ok := tr.dests[to]; ok {
+		return len(d.inflight)
+	}
+	return 0
+}
+
+// String summarizes transport state for diagnostics.
+func (tr *Transport) String() string {
+	return fmt.Sprintf("transport{dests=%d sent=%d rexmit=%d drops=%d}",
+		len(tr.dests), tr.stats.TuplesSent, tr.stats.Retransmits, tr.stats.Drops)
+}

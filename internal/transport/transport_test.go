@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/simnet"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+func tp(n int64) *tuple.Tuple { return tuple.New("t", val.Str("x"), val.Int(n)) }
+
+// pair builds two transports connected through a simnet with the given
+// loss rate.
+func pair(t *testing.T, loss float64) (*eventloop.Sim, *Transport, *Transport, *[]int64) {
+	t.Helper()
+	loop := eventloop.NewSim()
+	cfg := simnet.DefaultConfig()
+	cfg.LossRate = loss
+	cfg.Domains = 1
+	net := simnet.New(loop, cfg)
+
+	mkNode := func(addr string) *Transport {
+		var tr *Transport
+		ep, err := net.Attach(addr, func(from string, payload []byte) {
+			tr.Deliver(from, payload)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = New(loop, ep, DefaultConfig())
+		return tr
+	}
+	a := mkNode("a")
+	b := mkNode("b")
+	var got []int64
+	b.OnReceive(func(from string, tu *tuple.Tuple) {
+		got = append(got, tu.Field(1).AsInt())
+	})
+	return loop, a, b, &got
+}
+
+func TestBasicDelivery(t *testing.T) {
+	loop, a, _, got := pair(t, 0)
+	a.Send("b", tp(1))
+	a.Send("b", tp(2))
+	loop.Run(5)
+	if len(*got) != 2 || (*got)[0] != 1 || (*got)[1] != 2 {
+		t.Fatalf("got %v", *got)
+	}
+	if a.Stats().Retransmits != 0 {
+		t.Error("no retransmits expected on clean network")
+	}
+}
+
+func TestRetransmissionUnderLoss(t *testing.T) {
+	loop, a, _, got := pair(t, 0.3)
+	for i := int64(0); i < 50; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(120)
+	if len(*got) != 50 {
+		t.Fatalf("delivered %d of 50 under 30%% loss", len(*got))
+	}
+	if a.Stats().Retransmits == 0 {
+		t.Error("expected retransmissions under loss")
+	}
+	// Exactly-once: no duplicates.
+	seen := make(map[int64]bool)
+	for _, v := range *got {
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHeavyLossEventualDelivery(t *testing.T) {
+	// Property-style: for several loss rates, everything sent under the
+	// retry budget's coverage eventually arrives exactly once.
+	for _, loss := range []float64{0.1, 0.2, 0.4} {
+		loop, a, _, got := pair(t, loss)
+		const n = 30
+		for i := int64(0); i < n; i++ {
+			a.Send("b", tp(i))
+		}
+		loop.Run(300)
+		if len(*got) < n-2 { // 0.4^5 per-tuple loss ≈ 1%, allow slack
+			t.Errorf("loss %.1f: delivered %d of %d", loss, len(*got), n)
+		}
+		seen := map[int64]int{}
+		for _, v := range *got {
+			seen[v]++
+			if seen[v] > 1 {
+				t.Errorf("loss %.1f: duplicate %d", loss, v)
+			}
+		}
+	}
+}
+
+func TestGiveUpAfterRetries(t *testing.T) {
+	loop := eventloop.NewSim()
+	net := simnet.New(loop, simnet.DefaultConfig())
+	var tr *Transport
+	ep, _ := net.Attach("a", func(from string, p []byte) { tr.Deliver(from, p) })
+	tr = New(loop, ep, DefaultConfig())
+	var dropped []*tuple.Tuple
+	tr.OnDrop(func(to string, tu *tuple.Tuple) { dropped = append(dropped, tu) })
+	tr.Send("ghost", tp(9)) // destination never attached
+	loop.Run(300)
+	if len(dropped) != 1 {
+		t.Fatalf("dropped = %d, want 1", len(dropped))
+	}
+	if tr.Stats().Drops != 1 {
+		t.Fatal("drop counter wrong")
+	}
+	if tr.InFlight("ghost") != 0 {
+		t.Fatal("inflight must be cleared after giving up")
+	}
+}
+
+func TestCongestionWindowGrowsAndShrinks(t *testing.T) {
+	loop, a, _, _ := pair(t, 0)
+	w0 := a.Window("b")
+	for i := int64(0); i < 40; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(30)
+	if a.Window("b") <= w0 {
+		t.Fatalf("window did not grow: %v -> %v", w0, a.Window("b"))
+	}
+	// Now cut the destination: timeouts must collapse the window.
+	grown := a.Window("b")
+	a.Send("b", tp(100))
+	loopNet := loop // keep name clarity
+	_ = loopNet
+	// Kill by sending to a black hole: simulate with a fresh transport
+	// to an unattached address instead. Simpler: force timeouts by
+	// sending to ghost via the same transport.
+	a.Send("ghost", tp(1))
+	loop.Run(100)
+	if a.Window("ghost") >= grown {
+		t.Fatalf("timeout should shrink ghost window: %v", a.Window("ghost"))
+	}
+}
+
+func TestWindowLimitsInFlight(t *testing.T) {
+	loop, a, _, got := pair(t, 0)
+	for i := int64(0); i < 200; i++ {
+		a.Send("b", tp(i))
+	}
+	// Immediately (before any acks), inflight must not exceed the
+	// initial window.
+	if got0 := a.InFlight("b"); float64(got0) > DefaultConfig().WindowInit {
+		t.Fatalf("inflight %d exceeds initial window", got0)
+	}
+	loop.Run(60)
+	if len(*got) != 200 {
+		t.Fatalf("delivered %d of 200", len(*got))
+	}
+}
+
+func TestBacklogOverflowDrops(t *testing.T) {
+	loop := eventloop.NewSim()
+	net := simnet.New(loop, simnet.DefaultConfig())
+	var tr *Transport
+	ep, _ := net.Attach("a", func(from string, p []byte) { tr.Deliver(from, p) })
+	cfg := DefaultConfig()
+	cfg.QueueCap = 5
+	tr = New(loop, ep, cfg)
+	for i := int64(0); i < 50; i++ {
+		tr.Send("ghost", tp(i))
+	}
+	if tr.Stats().QueueDrops == 0 {
+		t.Fatal("expected backlog drops")
+	}
+}
+
+func TestRTOAdaptsToRTT(t *testing.T) {
+	loop, a, _, _ := pair(t, 0)
+	before := a.RTO("b")
+	for i := int64(0); i < 20; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(30)
+	after := a.RTO("b")
+	// Intra-domain RTT is ~4 ms; RTO should fall from the initial 1 s
+	// to the configured floor.
+	if after >= before {
+		t.Fatalf("rto did not adapt: %v -> %v", before, after)
+	}
+	if after != DefaultConfig().MinRTO {
+		t.Fatalf("rto = %v, want clamp at MinRTO", after)
+	}
+}
+
+func TestDuplicateSuppressionOnAckLoss(t *testing.T) {
+	// With loss, some acks vanish; the sender retransmits and the
+	// receiver must suppress the duplicate payload.
+	loop, a, b, got := pair(t, 0.4)
+	for i := int64(0); i < 20; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(200)
+	if b.Stats().DupsSuppressed == 0 && a.Stats().Retransmits > 0 {
+		// Retransmits happened but no dup reached b — possible if only
+		// data (not acks) were lost. Not a failure, but check no dups.
+		t.Log("no duplicate reached receiver")
+	}
+	seen := map[int64]bool{}
+	for _, v := range *got {
+		if seen[v] {
+			t.Fatalf("duplicate %d delivered to app", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAccountingTap(t *testing.T) {
+	loop, a, _, _ := pair(t, 0)
+	var taps int
+	var bytes int
+	a.OnSent(func(to string, tu *tuple.Tuple, wire int, rexmit bool) {
+		taps++
+		bytes += wire
+	})
+	a.Send("b", tp(1))
+	loop.Run(5)
+	if taps != 1 || bytes <= tp(1).EncodedSize() {
+		t.Fatalf("taps=%d bytes=%d", taps, bytes)
+	}
+}
+
+func TestUnreliableMode(t *testing.T) {
+	loop := eventloop.NewSim()
+	cfg := simnet.DefaultConfig()
+	cfg.Domains = 1
+	net := simnet.New(loop, cfg)
+	var a, b *Transport
+	epA, _ := net.Attach("a", func(from string, p []byte) { a.Deliver(from, p) })
+	epB, _ := net.Attach("b", func(from string, p []byte) { b.Deliver(from, p) })
+	tcfg := DefaultConfig()
+	tcfg.Unreliable = true
+	a = New(loop, epA, tcfg)
+	b = New(loop, epB, tcfg)
+	var got []int64
+	b.OnReceive(func(from string, tu *tuple.Tuple) { got = append(got, tu.Field(1).AsInt()) })
+	a.Send("b", tp(5))
+	loop.Run(5)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v", got)
+	}
+	if b.Stats().AcksSent != 0 {
+		t.Fatal("unreliable mode must not ack")
+	}
+}
+
+func TestCorruptFrameIgnored(t *testing.T) {
+	_, _, b, got := pair(t, 0)
+	b.Deliver("a", []byte{0, 1, 2}) // too short
+	b.Deliver("a", append(make([]byte, headerLen), 0xff, 0xff, 0xff))
+	if len(*got) != 0 {
+		t.Fatal("corrupt frames must be dropped")
+	}
+}
+
+func TestCloseStopsActivity(t *testing.T) {
+	loop, a, _, got := pair(t, 0)
+	a.Send("b", tp(1))
+	a.Close()
+	a.Send("b", tp(2))
+	loop.Run(10)
+	// First may or may not arrive (sent before close), second must not.
+	for _, v := range *got {
+		if v == 2 {
+			t.Fatal("send after close delivered")
+		}
+	}
+	if a.String() == "" {
+		t.Fatal("String() should describe state")
+	}
+}
+
+func TestRecvStateCumulativeCompaction(t *testing.T) {
+	rs := &recvState{high: make(map[uint64]bool)}
+	rs.mark(2)
+	rs.mark(3)
+	if rs.cum != 0 || len(rs.high) != 2 {
+		t.Fatalf("out-of-order state wrong: cum=%d high=%v", rs.cum, rs.high)
+	}
+	rs.mark(1)
+	if rs.cum != 3 || len(rs.high) != 0 {
+		t.Fatalf("compaction failed: cum=%d high=%v", rs.cum, rs.high)
+	}
+	if !rs.seen(2) || rs.seen(4) {
+		t.Fatal("seen() wrong")
+	}
+}
+
+func BenchmarkSendReceive(b *testing.B) {
+	loop := eventloop.NewSim()
+	cfg := simnet.DefaultConfig()
+	cfg.Domains = 1
+	net := simnet.New(loop, cfg)
+	var a, bb *Transport
+	epA, _ := net.Attach("a", func(from string, p []byte) { a.Deliver(from, p) })
+	epB, _ := net.Attach("b", func(from string, p []byte) { bb.Deliver(from, p) })
+	a = New(loop, epA, DefaultConfig())
+	bb = New(loop, epB, DefaultConfig())
+	bb.OnReceive(func(string, *tuple.Tuple) {})
+	msg := tp(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send("b", msg)
+		loop.Run(loop.Now() + 1)
+	}
+}

@@ -1,0 +1,157 @@
+// Package tuple implements P2's basic unit of data transfer.
+//
+// A Tuple is a named vector of Values. Tuples are treated as immutable
+// once created — dataflow elements pass them by reference, exactly as
+// the paper describes (§3.3: "tuples in P2 are completely immutable once
+// they are created ... reference-counted and passed between P2 elements
+// by reference"; Go's garbage collector plays the reference-count role).
+// Anything that needs a modified tuple builds a new one.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"p2/internal/val"
+)
+
+// Tuple is a named, ordered list of values. By OverLog convention field 0
+// is the tuple's location — the address of the node where it lives.
+type Tuple struct {
+	name   string
+	fields []val.Value
+}
+
+// New builds a tuple with the given name and fields. The fields slice is
+// owned by the tuple afterwards; callers must not mutate it.
+func New(name string, fields ...val.Value) *Tuple {
+	return &Tuple{name: name, fields: fields}
+}
+
+// Name returns the tuple's relation name.
+func (t *Tuple) Name() string { return t.name }
+
+// Arity returns the number of fields.
+func (t *Tuple) Arity() int { return len(t.fields) }
+
+// Field returns field i, or Null when out of range (a defensive default:
+// planner-generated code never indexes out of range, but hand-written
+// element graphs may).
+func (t *Tuple) Field(i int) val.Value {
+	if i < 0 || i >= len(t.fields) {
+		return val.Null
+	}
+	return t.fields[i]
+}
+
+// Fields returns the underlying field slice. Treat it as read-only.
+func (t *Tuple) Fields() []val.Value { return t.fields }
+
+// Loc returns the tuple's location specifier — field 0 as a string
+// address. Returns "" for zero-arity tuples.
+func (t *Tuple) Loc() string {
+	if len(t.fields) == 0 {
+		return ""
+	}
+	return t.fields[0].AsStr()
+}
+
+// WithName returns a copy of t under a different relation name, sharing
+// the field storage (safe because tuples are immutable).
+func (t *Tuple) WithName(name string) *Tuple {
+	return &Tuple{name: name, fields: t.fields}
+}
+
+// Equal reports deep equality of name and all fields.
+func (t *Tuple) Equal(o *Tuple) bool {
+	if t.name != o.name || len(t.fields) != len(o.fields) {
+		return false
+	}
+	for i := range t.fields {
+		if !t.fields[i].Equal(o.fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key builds a comparable string key from the given field positions,
+// used by table primary keys and secondary indices. Positions out of
+// range contribute the null encoding.
+func (t *Tuple) Key(positions []int) string {
+	var b []byte
+	for _, p := range positions {
+		b = t.Field(p).AppendBinary(b)
+	}
+	return string(b)
+}
+
+// String renders the tuple as name(field, field, ...).
+func (t *Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.name)
+	sb.WriteByte('(')
+	for i, f := range t.fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Marshal encodes the tuple: name length, name, field count, fields.
+// The encoding is the on-the-wire format and also what the simulator
+// charges against link capacity.
+func (t *Tuple) Marshal() []byte {
+	b := make([]byte, 0, t.EncodedSize())
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[:2], uint16(len(t.name)))
+	b = append(b, hdr[:2]...)
+	b = append(b, t.name...)
+	binary.BigEndian.PutUint16(hdr[:2], uint16(len(t.fields)))
+	b = append(b, hdr[:2]...)
+	for _, f := range t.fields {
+		b = f.AppendBinary(b)
+	}
+	return b
+}
+
+// EncodedSize returns the marshaled size in bytes — the figure used for
+// bandwidth accounting in the evaluation harness.
+func (t *Tuple) EncodedSize() int {
+	n := 2 + len(t.name) + 2
+	for _, f := range t.fields {
+		n += f.EncodedSize()
+	}
+	return n
+}
+
+// Unmarshal decodes one tuple from b, returning the tuple and bytes
+// consumed.
+func Unmarshal(b []byte) (*Tuple, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("tuple: truncated name length")
+	}
+	nameLen := int(binary.BigEndian.Uint16(b))
+	off := 2
+	if len(b) < off+nameLen+2 {
+		return nil, 0, fmt.Errorf("tuple: truncated name/arity")
+	}
+	name := string(b[off : off+nameLen])
+	off += nameLen
+	arity := int(binary.BigEndian.Uint16(b[off:]))
+	off += 2
+	fields := make([]val.Value, arity)
+	for i := 0; i < arity; i++ {
+		v, n, err := val.DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("tuple %s field %d: %v", name, i, err)
+		}
+		fields[i] = v
+		off += n
+	}
+	return &Tuple{name: name, fields: fields}, off, nil
+}

@@ -1,0 +1,165 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"p2/internal/id"
+	"p2/internal/val"
+)
+
+func mk(name string, vs ...val.Value) *Tuple { return New(name, vs...) }
+
+func TestBasics(t *testing.T) {
+	tp := mk("member", val.Str("n1"), val.Str("n2"), val.Int(4))
+	if tp.Name() != "member" || tp.Arity() != 3 {
+		t.Fatalf("name/arity wrong: %v", tp)
+	}
+	if tp.Loc() != "n1" {
+		t.Errorf("Loc = %q", tp.Loc())
+	}
+	if tp.Field(2).AsInt() != 4 {
+		t.Error("field access")
+	}
+	if !tp.Field(9).IsNull() || !tp.Field(-1).IsNull() {
+		t.Error("out-of-range fields are null")
+	}
+	if mk("x").Loc() != "" {
+		t.Error("empty tuple loc")
+	}
+}
+
+func TestWithNameSharesFields(t *testing.T) {
+	a := mk("succ", val.Str("n1"), val.MakeID(id.Hash("s")))
+	b := a.WithName("succEvent")
+	if b.Name() != "succEvent" || !b.Field(1).Equal(a.Field(1)) {
+		t.Error("WithName must preserve fields")
+	}
+	if a.Name() != "succ" {
+		t.Error("original must be untouched")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mk("t", val.Int(1), val.Str("x"))
+	b := mk("t", val.Int(1), val.Str("x"))
+	c := mk("t", val.Int(2), val.Str("x"))
+	d := mk("u", val.Int(1), val.Str("x"))
+	e := mk("t", val.Int(1))
+	if !a.Equal(b) {
+		t.Error("identical tuples must be equal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(e) {
+		t.Error("distinct tuples must differ")
+	}
+}
+
+func TestKey(t *testing.T) {
+	a := mk("member", val.Str("n1"), val.Str("peer"), val.Int(5))
+	b := mk("member", val.Str("n1"), val.Str("peer"), val.Int(9))
+	if a.Key([]int{0, 1}) != b.Key([]int{0, 1}) {
+		t.Error("keys over same fields must match")
+	}
+	if a.Key([]int{0, 2}) == b.Key([]int{0, 2}) {
+		t.Error("keys over differing fields must differ")
+	}
+	// Keys must be injective across adjacent string fields.
+	c := mk("t", val.Str("ab"), val.Str("c"))
+	d := mk("t", val.Str("a"), val.Str("bc"))
+	if c.Key([]int{0, 1}) == d.Key([]int{0, 1}) {
+		t.Error("key encoding must be unambiguous")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tp := mk("ping", val.Str("n1"), val.Int(3))
+	if got := tp.String(); got != "ping(n1, 3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func randTuple(r *rand.Rand) *Tuple {
+	names := []string{"lookup", "succ", "member", "ping", "x"}
+	n := r.Intn(6)
+	fields := make([]val.Value, n)
+	for i := range fields {
+		switch r.Intn(5) {
+		case 0:
+			fields[i] = val.Int(r.Int63())
+		case 1:
+			fields[i] = val.Str("addr:" + string(rune('a'+r.Intn(26))))
+		case 2:
+			fields[i] = val.MakeID(id.Random(r))
+		case 3:
+			fields[i] = val.Bool(r.Intn(2) == 0)
+		case 4:
+			fields[i] = val.Time(float64(r.Intn(10000)))
+		}
+	}
+	return New(names[r.Intn(len(names))], fields...)
+}
+
+type tupleGen struct{ t *Tuple }
+
+func (tupleGen) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(tupleGen{randTuple(r)})
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(g tupleGen) bool {
+		b := g.t.Marshal()
+		if len(b) != g.t.EncodedSize() {
+			return false
+		}
+		got, n, err := Unmarshal(b)
+		return err == nil && n == len(b) && got.Equal(g.t)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good := mk("t", val.Int(1)).Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := Unmarshal(good[:cut]); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestMarshalConcatenation(t *testing.T) {
+	// Two tuples marshaled back to back decode cleanly in sequence —
+	// the property packet payloads rely on.
+	a := mk("a", val.Int(1), val.Str("x"))
+	b := mk("b", val.MakeID(id.Hash("k")))
+	buf := append(a.Marshal(), b.Marshal()...)
+	got1, n1, err := Unmarshal(buf)
+	if err != nil || !got1.Equal(a) {
+		t.Fatalf("first decode: %v %v", got1, err)
+	}
+	got2, n2, err := Unmarshal(buf[n1:])
+	if err != nil || !got2.Equal(b) || n1+n2 != len(buf) {
+		t.Fatalf("second decode: %v %v", got2, err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	tp := mk("lookup", val.Str("10.0.0.1:4000"), val.MakeID(id.Hash("k")),
+		val.Str("10.0.0.2:4000"), val.Str("evt-12345"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf := mk("lookup", val.Str("10.0.0.1:4000"), val.MakeID(id.Hash("k")),
+		val.Str("10.0.0.2:4000"), val.Str("evt-12345")).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Unmarshal(buf)
+	}
+}

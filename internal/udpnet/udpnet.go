@@ -1,0 +1,141 @@
+// Package udpnet implements netif.Network over real UDP sockets,
+// turning the simulated-network P2 node into an actually deployable
+// one (the paper's P2 ran over UDP on Emulab).
+//
+// Each attached endpoint owns one UDP socket. A reader goroutine posts
+// inbound datagrams onto the node's wall-clock event loop, preserving
+// the single-threaded run-to-completion execution model; everything
+// above this package is identical between simulation and deployment.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+)
+
+// maxDatagram bounds inbound datagram size. P2 tuples are small; 64 kB
+// is the UDP maximum.
+const maxDatagram = 64 * 1024
+
+// Net attaches UDP endpoints that deliver onto a wall-clock loop.
+type Net struct {
+	loop *eventloop.Real
+
+	mu       sync.Mutex
+	attached map[string]bool
+}
+
+// New creates a UDP network bound to the given loop.
+func New(loop *eventloop.Real) *Net {
+	return &Net{loop: loop, attached: make(map[string]bool)}
+}
+
+// Attach binds a UDP socket on addr ("host:port") and starts its
+// reader. The delivery callback runs on the loop goroutine.
+func (n *Net) Attach(addr string, deliver netif.DeliverFunc) (netif.Endpoint, error) {
+	n.mu.Lock()
+	if n.attached[addr] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("udpnet: %q already attached", addr)
+	}
+	n.attached[addr] = true
+	n.mu.Unlock()
+
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		n.mu.Lock()
+		delete(n.attached, addr)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("udpnet: listen %s: %w", addr, err)
+	}
+	ep := &endpoint{
+		net:   n,
+		addr:  addr,
+		conn:  conn,
+		peers: make(map[string]net.Addr),
+	}
+	go ep.readLoop(deliver)
+	return ep, nil
+}
+
+type endpoint struct {
+	net  *Net
+	addr string
+	conn net.PacketConn
+
+	mu     sync.Mutex
+	peers  map[string]net.Addr // resolved destination cache
+	closed bool
+}
+
+func (e *endpoint) readLoop(deliver netif.DeliverFunc) {
+	buf := make([]byte, maxDatagram)
+	for {
+		nr, raddr, err := e.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		payload := make([]byte, nr)
+		copy(payload, buf[:nr])
+		from := raddr.String()
+		e.net.loop.Post(func() { deliver(from, payload) })
+	}
+}
+
+// Send transmits payload to the named UDP address. Resolution results
+// are cached; failures drop the datagram, as UDP would.
+func (e *endpoint) Send(to string, payload []byte) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	dst, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		udpAddr, err := net.ResolveUDPAddr("udp", to)
+		if err != nil {
+			return
+		}
+		dst = udpAddr
+		e.mu.Lock()
+		e.peers[to] = dst
+		e.mu.Unlock()
+	}
+	_, _ = e.conn.WriteTo(payload, dst)
+}
+
+// LocalAddr returns the actual bound address (resolving a ":0" bind).
+func (e *endpoint) LocalAddr() string { return e.conn.LocalAddr().String() }
+
+// Close shuts the socket down and stops the reader.
+func (e *endpoint) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.conn.Close()
+	e.net.mu.Lock()
+	delete(e.net.attached, e.addr)
+	e.net.mu.Unlock()
+}
+
+// ReserveAddr binds an ephemeral loopback UDP port, records its
+// address, and releases it — a helper for tests and examples that need
+// concrete node identities before attaching. (A small bind race is
+// possible; production deployments configure explicit ports.)
+func ReserveAddr() (string, error) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := conn.LocalAddr().String()
+	conn.Close()
+	return addr, nil
+}

@@ -1,0 +1,186 @@
+package udpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"p2/internal/engine"
+	"p2/internal/eventloop"
+	"p2/internal/overlays"
+	"p2/internal/val"
+)
+
+func TestRawDatagramExchange(t *testing.T) {
+	loop := eventloop.NewReal()
+	n := New(loop)
+
+	addrA, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []string
+	epA, err := n.Attach(addrA, func(from string, p []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := n.Attach(addrB, func(from string, p []byte) {
+		mu.Lock()
+		got = append(got, from+":"+string(p))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	go loop.Run()
+	defer loop.Stop()
+
+	epA.Send(addrB, []byte("hello"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(got) > 0
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != addrA+":hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDoubleAttachFails(t *testing.T) {
+	loop := eventloop.NewReal()
+	n := New(loop)
+	addr, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Attach(addr, func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := n.Attach(addr, func(string, []byte) {}); err == nil {
+		t.Fatal("second attach must fail")
+	}
+}
+
+func TestCloseThenReattach(t *testing.T) {
+	loop := eventloop.NewReal()
+	n := New(loop)
+	addr, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Attach(addr, func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	ep.Close()                 // idempotent
+	ep.Send(addr, []byte("x")) // silently dropped after close
+	ep2, err := n.Attach(addr, func(string, []byte) {})
+	if err != nil {
+		t.Fatalf("reattach after close: %v", err)
+	}
+	ep2.Close()
+}
+
+func TestLocalAddrResolvesEphemeral(t *testing.T) {
+	loop := eventloop.NewReal()
+	n := New(loop)
+	ep, err := n.Attach("127.0.0.1:0", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if ep.LocalAddr() == "127.0.0.1:0" || ep.LocalAddr() == "" {
+		t.Fatalf("LocalAddr = %q", ep.LocalAddr())
+	}
+}
+
+// TestPingPongOverRealUDP deploys two full P2 engine nodes — parser,
+// planner, dataflow, transport — over actual UDP sockets on loopback
+// and verifies round trips complete. This is the deployment-path
+// integration test.
+func TestPingPongOverRealUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets")
+	}
+	plan := overlays.PingPongPlan(nil)
+
+	addrA, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := ReserveAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkNode := func(addr string) (*engine.Node, *eventloop.Real) {
+		loop := eventloop.NewReal()
+		n := engine.NewNode(addr, loop, New(loop), plan, engine.Options{Seed: 1})
+		return n, loop
+	}
+	a, loopA := mkNode(addrA)
+	b, loopB := mkNode(addrB)
+
+	var mu sync.Mutex
+	rtts := 0
+	errs := make(chan error, 2)
+	loopA.Post(func() {
+		if err := a.Start(); err != nil {
+			errs <- err
+			return
+		}
+		a.Watch("rtt", func(ev engine.WatchEvent) {
+			if ev.Dir == engine.DirInserted {
+				mu.Lock()
+				rtts++
+				mu.Unlock()
+			}
+		})
+		a.AddFact("pingPeer", val.Str(addrA), val.Str(addrB))
+	})
+	loopB.Post(func() {
+		if err := b.Start(); err != nil {
+			errs <- err
+		}
+	})
+	go loopA.Run()
+	go loopB.Run()
+	defer loopA.Stop()
+	defer loopB.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+		mu.Lock()
+		n := rtts
+		mu.Unlock()
+		if n >= 2 {
+			return // at least two round trips measured over real UDP
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("only %d rtt measurements over real UDP", rtts)
+}

@@ -1,0 +1,462 @@
+// Package val implements P2's concrete type system.
+//
+// A Value is a small immutable variant record used for every item of
+// information that moves through the system: tuple fields, PEL operands,
+// table keys. The kinds mirror the paper's description ("strings,
+// integers, timestamps, and large unique identifiers") plus booleans and
+// floats, which the planner needs for predicates and utility arithmetic.
+//
+// Values are totally ordered: first by kind, then by payload. This gives
+// tables a deterministic ordering for primary keys and lets aggregates
+// like min<> and max<> operate over any column.
+package val
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+
+	"p2/internal/id"
+)
+
+// Kind enumerates the concrete types a Value can carry.
+type Kind uint8
+
+// The value kinds, in comparison-rank order.
+const (
+	KNull Kind = iota
+	KBool
+	KInt // signed 64-bit integer
+	KFloat
+	KStr
+	KID   // 160-bit ring identifier
+	KTime // seconds since epoch (virtual or wall)
+)
+
+var kindNames = [...]string{"null", "bool", "int", "float", "str", "id", "time"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is an immutable variant. The zero Value is Null.
+type Value struct {
+	kind Kind
+	num  uint64 // bool/int/float/time payload (bit pattern)
+	id   id.ID  // KID payload
+	str  string // KStr payload
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Bool wraps a boolean.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KBool, num: n}
+}
+
+// Int wraps a signed integer.
+func Int(v int64) Value { return Value{kind: KInt, num: uint64(v)} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{kind: KFloat, num: math.Float64bits(v)} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{kind: KStr, str: s} }
+
+// MakeID wraps a 160-bit identifier.
+func MakeID(x id.ID) Value { return Value{kind: KID, id: x} }
+
+// Time wraps a timestamp in seconds.
+func Time(sec float64) Value { return Value{kind: KTime, num: math.Float64bits(sec)} }
+
+// Kind returns the value's kind tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KNull }
+
+// AsBool returns the boolean payload; non-bool values follow truthiness
+// (null and zero are false, everything else true).
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KNull:
+		return false
+	case KBool, KInt:
+		return v.num != 0
+	case KFloat, KTime:
+		return math.Float64frombits(v.num) != 0
+	case KStr:
+		return v.str != ""
+	case KID:
+		return !v.id.IsZero()
+	}
+	return false
+}
+
+// AsInt coerces v to a signed integer (floors floats/times, parses
+// digit strings, truncates IDs to the low 64 bits).
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KBool:
+		return int64(v.num)
+	case KInt:
+		return int64(v.num)
+	case KFloat, KTime:
+		return int64(math.Float64frombits(v.num))
+	case KStr:
+		n, _ := strconv.ParseInt(v.str, 10, 64)
+		return n
+	case KID:
+		return int64(v.id.Uint64())
+	}
+	return 0
+}
+
+// AsFloat coerces v to float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KBool, KInt:
+		return float64(int64(v.num))
+	case KFloat, KTime:
+		return math.Float64frombits(v.num)
+	case KStr:
+		f, _ := strconv.ParseFloat(v.str, 64)
+		return f
+	case KID:
+		return float64(v.id.Uint64())
+	}
+	return 0
+}
+
+// AsStr returns the string payload, or the rendering for other kinds.
+func (v Value) AsStr() string {
+	if v.kind == KStr {
+		return v.str
+	}
+	return v.String()
+}
+
+// AsID coerces v to a ring identifier: IDs pass through, integers embed
+// (negative values wrap mod 2^160), hex strings parse, everything else
+// is zero.
+func (v Value) AsID() id.ID {
+	switch v.kind {
+	case KID:
+		return v.id
+	case KInt, KBool:
+		return id.FromInt64(int64(v.num))
+	case KFloat, KTime:
+		return id.FromInt64(int64(math.Float64frombits(v.num)))
+	case KStr:
+		x, err := id.Parse(v.str)
+		if err != nil {
+			return id.Zero
+		}
+		return x
+	}
+	return id.Zero
+}
+
+// AsTime returns the timestamp payload in seconds.
+func (v Value) AsTime() float64 { return v.AsFloat() }
+
+// Equal reports whether two values are identical in kind and payload.
+func (v Value) Equal(o Value) bool { return v.Cmp(o) == 0 }
+
+// Cmp totally orders values: by kind rank first, then payload.
+// Numeric kinds (bool, int, float, time) compare against each other by
+// numeric value so that Int(3) == Float(3.0); this is what joins on key
+// columns expect.
+func (v Value) Cmp(o Value) int {
+	vn, on := v.numericRank(), o.numericRank()
+	if vn && on {
+		a, b := v.AsFloat(), o.AsFloat()
+		// Exact integer comparison when both are integers, to avoid
+		// float rounding on large int64 values.
+		if v.kind == KInt && o.kind == KInt {
+			ai, bi := int64(v.num), int64(o.num)
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KNull:
+		return 0
+	case KStr:
+		switch {
+		case v.str < o.str:
+			return -1
+		case v.str > o.str:
+			return 1
+		}
+		return 0
+	case KID:
+		return v.id.Cmp(o.id)
+	}
+	return 0
+}
+
+func (v Value) numericRank() bool {
+	switch v.kind {
+	case KBool, KInt, KFloat, KTime:
+		return true
+	}
+	return false
+}
+
+// String renders the value for logs and the olgc inspector.
+func (v Value) String() string {
+	switch v.kind {
+	case KNull:
+		return "null"
+	case KBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KFloat:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
+	case KStr:
+		return v.str
+	case KID:
+		return "0x" + v.id.Short()
+	case KTime:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'f', 3, 64) + "s"
+	}
+	return "?"
+}
+
+// arithmetic -----------------------------------------------------------
+
+// Add returns v + o with coercion: ID dominates (ring addition), then
+// time, then float, then int. Strings concatenate.
+func Add(v, o Value) Value {
+	switch {
+	case v.kind == KStr || o.kind == KStr:
+		return Str(v.AsStr() + o.AsStr())
+	case v.kind == KID || o.kind == KID:
+		return MakeID(v.AsID().Add(o.AsID()))
+	case v.kind == KTime || o.kind == KTime:
+		return Time(v.AsFloat() + o.AsFloat())
+	case v.kind == KFloat || o.kind == KFloat:
+		return Float(v.AsFloat() + o.AsFloat())
+	default:
+		return Int(v.AsInt() + o.AsInt())
+	}
+}
+
+// Sub returns v - o. Subtracting two timestamps yields a float duration
+// in seconds, so OverLog's "f_now() - T > 20" reads naturally.
+func Sub(v, o Value) Value {
+	switch {
+	case v.kind == KID || o.kind == KID:
+		return MakeID(v.AsID().Sub(o.AsID()))
+	case v.kind == KTime && o.kind == KTime:
+		return Float(v.AsFloat() - o.AsFloat())
+	case v.kind == KTime || o.kind == KTime:
+		return Time(v.AsFloat() - o.AsFloat())
+	case v.kind == KFloat || o.kind == KFloat:
+		return Float(v.AsFloat() - o.AsFloat())
+	default:
+		return Int(v.AsInt() - o.AsInt())
+	}
+}
+
+// Mul returns v * o (float if either side is float, else int).
+func Mul(v, o Value) Value {
+	if v.kind == KFloat || o.kind == KFloat || v.kind == KTime || o.kind == KTime {
+		return Float(v.AsFloat() * o.AsFloat())
+	}
+	return Int(v.AsInt() * o.AsInt())
+}
+
+// Div returns v / o. Integer division by zero yields Null rather than
+// panicking: a rule body that divides by zero simply fails to derive.
+func Div(v, o Value) Value {
+	if v.kind == KFloat || o.kind == KFloat || v.kind == KTime || o.kind == KTime {
+		d := o.AsFloat()
+		if d == 0 {
+			return Null
+		}
+		return Float(v.AsFloat() / d)
+	}
+	d := o.AsInt()
+	if d == 0 {
+		return Null
+	}
+	return Int(v.AsInt() / d)
+}
+
+// Mod returns v % o on integers (Null on zero divisor).
+func Mod(v, o Value) Value {
+	d := o.AsInt()
+	if d == 0 {
+		return Null
+	}
+	return Int(v.AsInt() % d)
+}
+
+// Shl returns v << o; an ID on the left shifts on the ring, integers
+// shift as int64 promoted through ID when they would overflow.
+func Shl(v, o Value) Value {
+	n := uint(o.AsInt())
+	if v.kind == KID {
+		return MakeID(v.id.Shl(n))
+	}
+	iv := v.AsInt()
+	if n < 63 && iv >= 0 && iv < (1<<(62-n)) {
+		return Int(iv << n)
+	}
+	return MakeID(v.AsID().Shl(n))
+}
+
+// Shr returns v >> o.
+func Shr(v, o Value) Value {
+	n := uint(o.AsInt())
+	if v.kind == KID {
+		return MakeID(v.id.Shr(n))
+	}
+	return Int(v.AsInt() >> n)
+}
+
+// Neg returns -v.
+func Neg(v Value) Value {
+	switch v.kind {
+	case KFloat, KTime:
+		return Float(-v.AsFloat())
+	case KID:
+		return MakeID(id.Zero.Sub(v.id))
+	default:
+		return Int(-v.AsInt())
+	}
+}
+
+// In evaluates circular-interval membership "k in <lo,hi>" with the
+// given bound closedness. If any operand is an ID the test is performed
+// on the 2^160 ring (integers embed); otherwise operands embed through
+// their integer value, which for ordinary positive ints matches linear
+// interval logic whenever lo <= hi.
+func In(k, lo, hi Value, loClosed, hiClosed bool) bool {
+	kk, ll, hh := k.AsID(), lo.AsID(), hi.AsID()
+	switch {
+	case loClosed && hiClosed:
+		return id.BetweenCC(kk, ll, hh)
+	case loClosed:
+		return id.BetweenCO(kk, ll, hh)
+	case hiClosed:
+		return id.BetweenOC(kk, ll, hh)
+	default:
+		return id.BetweenOO(kk, ll, hh)
+	}
+}
+
+// codec -----------------------------------------------------------------
+
+// AppendBinary appends the canonical binary encoding of v to dst:
+// a kind byte followed by a fixed or length-prefixed payload.
+func (v Value) AppendBinary(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KNull:
+	case KBool:
+		dst = append(dst, byte(v.num&1))
+	case KInt, KFloat, KTime:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v.num)
+		dst = append(dst, b[:]...)
+	case KStr:
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(len(v.str)))
+		dst = append(dst, b[:]...)
+		dst = append(dst, v.str...)
+	case KID:
+		dst = append(dst, v.id.ToBytes()...)
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes AppendBinary will produce.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KNull:
+		return 1
+	case KBool:
+		return 2
+	case KInt, KFloat, KTime:
+		return 9
+	case KStr:
+		return 5 + len(v.str)
+	case KID:
+		return 1 + id.Bytes
+	}
+	return 1
+}
+
+// DecodeValue decodes one value from b, returning the value and the
+// number of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null, 0, fmt.Errorf("val: empty buffer")
+	}
+	k := Kind(b[0])
+	rest := b[1:]
+	switch k {
+	case KNull:
+		return Null, 1, nil
+	case KBool:
+		if len(rest) < 1 {
+			return Null, 0, fmt.Errorf("val: truncated bool")
+		}
+		return Bool(rest[0] != 0), 2, nil
+	case KInt, KFloat, KTime:
+		if len(rest) < 8 {
+			return Null, 0, fmt.Errorf("val: truncated %v", k)
+		}
+		n := binary.BigEndian.Uint64(rest)
+		return Value{kind: k, num: n}, 9, nil
+	case KStr:
+		if len(rest) < 4 {
+			return Null, 0, fmt.Errorf("val: truncated string header")
+		}
+		n := int(binary.BigEndian.Uint32(rest))
+		if len(rest) < 4+n {
+			return Null, 0, fmt.Errorf("val: truncated string body")
+		}
+		return Str(string(rest[4 : 4+n])), 5 + n, nil
+	case KID:
+		if len(rest) < id.Bytes {
+			return Null, 0, fmt.Errorf("val: truncated id")
+		}
+		return MakeID(id.FromBytes(rest[:id.Bytes])), 1 + id.Bytes, nil
+	}
+	return Null, 0, fmt.Errorf("val: unknown kind %d", b[0])
+}

@@ -1,0 +1,360 @@
+package val
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"p2/internal/id"
+)
+
+// Generate lets testing/quick produce arbitrary Values across all kinds.
+func (Value) Generate(r *rand.Rand, size int) reflect.Value {
+	var v Value
+	switch r.Intn(7) {
+	case 0:
+		v = Null
+	case 1:
+		v = Bool(r.Intn(2) == 1)
+	case 2:
+		v = Int(r.Int63() - r.Int63())
+	case 3:
+		v = Float(r.NormFloat64() * 1000)
+	case 4:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		v = Str(string(b))
+	case 5:
+		v = MakeID(id.Random(r))
+	case 6:
+		v = Time(float64(r.Intn(1 << 30)))
+	}
+	return reflect.ValueOf(v)
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() || v.Kind() != KNull {
+		t.Fatal("zero Value must be null")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KInt.String() != "int" || KID.String() != "id" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null, false},
+		{Bool(false), false},
+		{Bool(true), true},
+		{Int(0), false},
+		{Int(-3), true},
+		{Float(0), false},
+		{Float(0.5), true},
+		{Str(""), false},
+		{Str("x"), true},
+		{MakeID(id.Zero), false},
+		{MakeID(id.One), true},
+		{Time(0), false},
+		{Time(9), true},
+	}
+	for _, c := range cases {
+		if got := c.v.AsBool(); got != c.want {
+			t.Errorf("AsBool(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if Int(42).AsFloat() != 42.0 {
+		t.Error("int→float")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Error("float→int floors toward zero")
+	}
+	if Str("17").AsInt() != 17 {
+		t.Error("str→int")
+	}
+	if Str("2.5").AsFloat() != 2.5 {
+		t.Error("str→float")
+	}
+	if Int(5).AsID() != id.FromUint64(5) {
+		t.Error("int→id")
+	}
+	if Int(-1).AsID() != id.Zero.Sub(id.One) {
+		t.Error("negative int→id wraps")
+	}
+	x := id.Hash("h")
+	if MakeID(x).AsStr() != "0x"+x.Short() {
+		t.Error("id→str")
+	}
+	if Str(x.String()).AsID() != x {
+		t.Error("hex str→id")
+	}
+	if Str("not hex!").AsID() != id.Zero {
+		t.Error("bad hex str→id should be zero")
+	}
+	if Bool(true).AsInt() != 1 {
+		t.Error("bool→int")
+	}
+	if Time(12.5).AsTime() != 12.5 {
+		t.Error("time payload")
+	}
+}
+
+func TestCmpTotalOrder(t *testing.T) {
+	antisym := func(a, b Value) bool {
+		return a.Cmp(b) == -b.Cmp(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	reflexive := func(a Value) bool { return a.Cmp(a) == 0 && a.Equal(a) }
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpNumericCrossKind(t *testing.T) {
+	if Int(3).Cmp(Float(3.0)) != 0 {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(2).Cmp(Float(2.5)) != -1 {
+		t.Error("2 < 2.5")
+	}
+	if Bool(true).Cmp(Int(1)) != 0 {
+		t.Error("true == 1 numerically")
+	}
+	if Time(5).Cmp(Int(4)) != 1 {
+		t.Error("time 5 > 4")
+	}
+	// Large int64s must compare exactly, not through float rounding.
+	a, b := Int(1<<62), Int(1<<62+1)
+	if a.Cmp(b) != -1 {
+		t.Error("large ints compare exactly")
+	}
+}
+
+func TestCmpAcrossNonNumericKinds(t *testing.T) {
+	if Str("z").Cmp(MakeID(id.Zero)) != -1 {
+		t.Error("str ranks below id")
+	}
+	if Null.Cmp(Bool(false)) != -1 {
+		t.Error("null ranks lowest")
+	}
+	if Str("a").Cmp(Str("b")) != -1 || Str("b").Cmp(Str("a")) != 1 {
+		t.Error("string ordering")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if Add(Int(2), Int(3)).AsInt() != 5 {
+		t.Error("2+3")
+	}
+	if Add(Int(2), Float(0.5)).AsFloat() != 2.5 {
+		t.Error("int+float promotes")
+	}
+	if Add(Str("a"), Str("b")).AsStr() != "ab" {
+		t.Error("string concat")
+	}
+	if Add(Str("n"), Int(1)).AsStr() != "n1" {
+		t.Error("str+int concat")
+	}
+	if Sub(Int(10), Int(4)).AsInt() != 6 {
+		t.Error("10-4")
+	}
+	if Mul(Int(6), Int(7)).AsInt() != 42 {
+		t.Error("6*7")
+	}
+	if Div(Int(7), Int(2)).AsInt() != 3 {
+		t.Error("integer division")
+	}
+	if Div(Float(7), Int(2)).AsFloat() != 3.5 {
+		t.Error("float division")
+	}
+	if !Div(Int(1), Int(0)).IsNull() {
+		t.Error("divide by zero is null")
+	}
+	if !Div(Float(1), Float(0)).IsNull() {
+		t.Error("float divide by zero is null")
+	}
+	if Mod(Int(7), Int(3)).AsInt() != 1 {
+		t.Error("7%3")
+	}
+	if !Mod(Int(7), Int(0)).IsNull() {
+		t.Error("mod zero is null")
+	}
+	if Neg(Int(5)).AsInt() != -5 {
+		t.Error("neg int")
+	}
+	if Neg(Float(2.5)).AsFloat() != -2.5 {
+		t.Error("neg float")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	// f_now() - T yields a plain float duration.
+	d := Sub(Time(30), Time(10))
+	if d.Kind() != KFloat || d.AsFloat() != 20 {
+		t.Errorf("time-time = %v (%v)", d, d.Kind())
+	}
+	// time + 5 stays a time.
+	tv := Add(Time(30), Int(5))
+	if tv.Kind() != KTime || tv.AsTime() != 35 {
+		t.Errorf("time+int = %v (%v)", tv, tv.Kind())
+	}
+	tv2 := Sub(Time(30), Int(5))
+	if tv2.Kind() != KTime || tv2.AsTime() != 25 {
+		t.Errorf("time-int = %v (%v)", tv2, tv2.Kind())
+	}
+}
+
+func TestRingArithmetic(t *testing.T) {
+	n := id.Hash("node")
+	// K := N + (1 << I) — the finger target computation.
+	k := Add(MakeID(n), Shl(Int(1), Int(20)))
+	want := n.Add(id.Pow2(20))
+	if k.AsID() != want {
+		t.Errorf("finger target wrong: %v vs %v", k.AsID(), want)
+	}
+	// D := K - B - 1 on the ring.
+	d := Sub(Sub(MakeID(n.AddUint64(100)), MakeID(n)), Int(1))
+	if d.AsID() != id.FromUint64(99) {
+		t.Errorf("ring distance = %v", d)
+	}
+}
+
+func TestShlPromotion(t *testing.T) {
+	// Small shifts stay ints.
+	if v := Shl(Int(1), Int(10)); v.Kind() != KInt || v.AsInt() != 1024 {
+		t.Errorf("1<<10 = %v", v)
+	}
+	// Shifts that would overflow int64 promote to ID.
+	v := Shl(Int(1), Int(100))
+	if v.Kind() != KID || v.AsID() != id.Pow2(100) {
+		t.Errorf("1<<100 = %v kind %v", v, v.Kind())
+	}
+	if Shr(Int(8), Int(2)).AsInt() != 2 {
+		t.Error("8>>2")
+	}
+	if Shr(MakeID(id.Pow2(100)), Int(100)).AsID() != id.One {
+		t.Error("id shr")
+	}
+}
+
+func TestIn(t *testing.T) {
+	n := MakeID(id.FromUint64(100))
+	s := MakeID(id.FromUint64(200))
+	k := MakeID(id.FromUint64(150))
+	if !In(k, n, s, false, true) {
+		t.Error("150 in (100,200]")
+	}
+	if !In(s, n, s, false, true) {
+		t.Error("200 in (100,200]")
+	}
+	if In(n, n, s, false, false) {
+		t.Error("100 not in (100,200)")
+	}
+	if !In(n, n, s, true, false) {
+		t.Error("100 in [100,200)")
+	}
+	if !In(n, n, s, true, true) || !In(s, n, s, true, true) {
+		t.Error("closed interval endpoints")
+	}
+	// Plain ints embed into the ring.
+	if !In(Int(5), Int(1), Int(10), false, false) {
+		t.Error("5 in (1,10) on ints")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := func(v Value) bool {
+		b := v.AppendBinary(nil)
+		if len(b) != v.EncodedSize() {
+			return false
+		}
+		got, n, err := DecodeValue(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		// NaN floats won't compare equal; treat bit-pattern equality.
+		if v.kind == KFloat && math.IsNaN(v.AsFloat()) {
+			return got.kind == KFloat && math.IsNaN(got.AsFloat())
+		}
+		return got.Equal(v) && got.Kind() == v.Kind()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty decode should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KInt), 1, 2}); err == nil {
+		t.Error("truncated int should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KStr), 0, 0, 0, 9, 'x'}); err == nil {
+		t.Error("truncated string should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KBool)}); err == nil {
+		t.Error("truncated bool should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KID), 1, 2, 3}); err == nil {
+		t.Error("truncated id should fail")
+	}
+	if _, _, err := DecodeValue([]byte{200}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-7), "-7"},
+		{Str("hello"), "hello"},
+		{Float(2.5), "2.5"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func BenchmarkCmpInt(b *testing.B) {
+	x, y := Int(100), Int(200)
+	for i := 0; i < b.N; i++ {
+		x.Cmp(y)
+	}
+}
+
+func BenchmarkEncodeDecodeID(b *testing.B) {
+	v := MakeID(id.Hash("bench"))
+	buf := v.AppendBinary(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf = v.AppendBinary(buf)
+		DecodeValue(buf)
+	}
+}

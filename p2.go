@@ -1,0 +1,246 @@
+// Package p2 is a declarative overlay runtime: a Go reproduction of
+// "Implementing Declarative Overlays" (Loo, Condie, Hellerstein,
+// Maniatis, Roscoe, Stoica — SOSP 2005).
+//
+// Applications hand P2 an overlay specification written in OverLog, a
+// Datalog dialect with location specifiers, soft-state tables, and
+// aggregates. P2 compiles it into a graph of dataflow elements and
+// executes it to build and maintain the overlay: a Narada-style mesh in
+// 16 rules, a complete Chord DHT in ~47.
+//
+// # Quick start
+//
+//	plan, err := p2.Compile(p2.ChordSource, nil)
+//	sim := p2.NewSim(nil, 1)
+//	n, err := sim.SpawnNode("n0:p2", plan)
+//	n.AddFact("landmark", p2.Str("n0:p2"), p2.Str("-"))
+//	n.AddFact("join", p2.Str("n0:p2"), p2.Str("boot"))
+//	sim.Run(60) // advance 60 s of virtual time
+//
+// Nodes run either on a shared virtual-time loop over a simulated
+// network (NewSim) — deterministic, thousands of protocol-seconds per
+// wall second — or over real UDP sockets (NewUDPNode), with identical
+// semantics.
+//
+// The subsystems live in internal packages: the OverLog
+// lexer/parser (internal/overlog), the planner that compiles rules to
+// dataflow strands (internal/planner), the element library
+// (internal/dataflow), soft-state tables (internal/table), the PEL
+// expression VM (internal/pel), the reliable transport
+// (internal/transport), and the network simulator (internal/simnet).
+// This package re-exports what applications need.
+package p2
+
+import (
+	"fmt"
+
+	"p2/internal/engine"
+	"p2/internal/eventloop"
+	"p2/internal/id"
+	"p2/internal/overlays"
+	"p2/internal/overlog"
+	"p2/internal/planner"
+	"p2/internal/simnet"
+	"p2/internal/tuple"
+	"p2/internal/udpnet"
+	"p2/internal/val"
+)
+
+// Core data types, re-exported for application use.
+type (
+	// Value is P2's concrete data type: null, bool, int, float,
+	// string, 160-bit identifier, or timestamp.
+	Value = val.Value
+	// Tuple is a named vector of Values — the unit of data transfer.
+	Tuple = tuple.Tuple
+	// ID is a 160-bit ring identifier.
+	ID = id.ID
+	// Program is a parsed OverLog specification.
+	Program = overlog.Program
+	// Plan is a compiled specification, instantiable on any node.
+	Plan = planner.Plan
+	// Node is a running P2 participant.
+	Node = engine.Node
+	// NodeOptions configures node behaviour (seed, transport tuning).
+	NodeOptions = engine.Options
+	// WatchEvent is delivered to Watch callbacks.
+	WatchEvent = engine.WatchEvent
+	// NetConfig describes the simulated network topology.
+	NetConfig = simnet.Config
+)
+
+// Watch directions, re-exported.
+const (
+	DirDerived  = engine.DirDerived
+	DirSent     = engine.DirSent
+	DirReceived = engine.DirReceived
+	DirInserted = engine.DirInserted
+	DirDeleted  = engine.DirDeleted
+)
+
+// Value constructors.
+
+// Str wraps a string value.
+func Str(s string) Value { return val.Str(s) }
+
+// Int wraps an integer value.
+func Int(v int64) Value { return val.Int(v) }
+
+// Float wraps a float value.
+func Float(v float64) Value { return val.Float(v) }
+
+// Bool wraps a boolean value.
+func Bool(b bool) Value { return val.Bool(b) }
+
+// IDValue wraps a ring identifier.
+func IDValue(x ID) Value { return val.MakeID(x) }
+
+// Hash returns SHA-1(s) as a ring identifier, the way Chord derives
+// node and key identifiers.
+func Hash(s string) ID { return id.Hash(s) }
+
+// NewTuple builds a tuple; by convention field 0 is the location.
+func NewTuple(name string, fields ...Value) *Tuple { return tuple.New(name, fields...) }
+
+// Shipped overlay specifications (see internal/overlays).
+const (
+	// ChordSource is the full Chord DHT from the paper's Appendix B.
+	ChordSource = overlays.ChordSource
+	// NaradaSource is the Narada mesh from Appendix A plus §2.3's
+	// measurement rules.
+	NaradaSource = overlays.NaradaSource
+	// GossipSource is a push epidemic.
+	GossipSource = overlays.GossipSource
+	// LinkStateSource is distance-vector routing over declared links.
+	LinkStateSource = overlays.LinkStateSource
+	// PingPongSource is the two-node quickstart overlay.
+	PingPongSource = overlays.PingPongSource
+	// MeshMulticastSource floods messages over any spec that maintains
+	// a neighbor table; compose it with NaradaSource via CompileMulti.
+	MeshMulticastSource = overlays.MeshMulticastSource
+)
+
+// Parse parses OverLog source.
+func Parse(src string) (*Program, error) { return overlog.Parse(src) }
+
+// Compile parses and compiles OverLog source into an executable Plan.
+// defines supplies or overrides symbolic constants.
+func Compile(src string, defines map[string]Value) (*Plan, error) {
+	prog, err := overlog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return planner.Compile(prog, defines)
+}
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(src string, defines map[string]Value) *Plan {
+	plan, err := Compile(src, defines)
+	if err != nil {
+		panic(err)
+	}
+	return plan
+}
+
+// CompileMulti merges several OverLog specifications into one plan —
+// the paper's multi-overlay sharing (§1): tables declared identically
+// by more than one spec are shared, so separately written overlays can
+// reuse each other's state (e.g. multicast flooding over the Narada
+// mesh's neighbor table).
+func CompileMulti(defines map[string]Value, srcs ...string) (*Plan, error) {
+	progs := make([]*Program, 0, len(srcs))
+	for _, src := range srcs {
+		p, err := overlog.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	merged, err := overlog.Merge(progs...)
+	if err != nil {
+		return nil, err
+	}
+	return planner.Compile(merged, defines)
+}
+
+// Sim is a simulated P2 deployment: any number of nodes sharing one
+// virtual-time event loop and one simulated network.
+type Sim struct {
+	Loop *eventloop.Sim
+	Net  *simnet.Net
+
+	seed  int64
+	nodes []*Node
+}
+
+// NewSim creates a simulation. cfg nil uses the paper's Emulab-style
+// transit-stub topology (10 domains, 2 ms intra / 100 ms inter-domain,
+// 10 Mbps access links).
+func NewSim(cfg *NetConfig, seed int64) *Sim {
+	loop := eventloop.NewSim()
+	c := simnet.DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	c.Seed = seed
+	return &Sim{Loop: loop, Net: simnet.New(loop, c), seed: seed}
+}
+
+// SpawnNode creates and starts a node executing plan at addr.
+func (s *Sim) SpawnNode(addr string, plan *Plan) (*Node, error) {
+	return s.SpawnNodeOpts(addr, plan, NodeOptions{Seed: s.seed + int64(len(s.nodes)) + 1})
+}
+
+// SpawnNodeOpts is SpawnNode with explicit options.
+func (s *Sim) SpawnNodeOpts(addr string, plan *Plan, opts NodeOptions) (*Node, error) {
+	n := engine.NewNode(addr, s.Loop, s.Net, plan, opts)
+	if err := n.Start(); err != nil {
+		return nil, fmt.Errorf("p2: spawn %s: %w", addr, err)
+	}
+	s.nodes = append(s.nodes, n)
+	return n, nil
+}
+
+// Nodes returns every node spawned so far.
+func (s *Sim) Nodes() []*Node { return s.nodes }
+
+// Run advances the simulation by d seconds of virtual time.
+func (s *Sim) Run(d float64) { s.Loop.RunFor(d) }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.Loop.Now() }
+
+// UDPNode is a P2 node deployed over real UDP sockets with its own
+// wall-clock event loop.
+type UDPNode struct {
+	*Node
+	loop *eventloop.Real
+}
+
+// NewUDPNode starts a node executing plan, bound to the UDP address
+// addr ("host:port"). The node's event loop runs on its own goroutine;
+// use Do to interact with the node safely and Close to shut down.
+func NewUDPNode(addr string, plan *Plan, opts NodeOptions) (*UDPNode, error) {
+	loop := eventloop.NewReal()
+	n := engine.NewNode(addr, loop, udpnet.New(loop), plan, opts)
+	errc := make(chan error, 1)
+	loop.Post(func() { errc <- n.Start() })
+	go loop.Run()
+	if err := <-errc; err != nil {
+		loop.Stop()
+		return nil, err
+	}
+	return &UDPNode{Node: n, loop: loop}, nil
+}
+
+// Do runs fn on the node's event loop — the only safe way to touch
+// node state from other goroutines.
+func (u *UDPNode) Do(fn func(n *Node)) {
+	u.loop.Post(func() { fn(u.Node) })
+}
+
+// Close stops the node and its loop.
+func (u *UDPNode) Close() {
+	u.loop.Post(func() { u.Node.Stop() })
+	u.loop.Stop()
+}

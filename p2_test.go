@@ -1,0 +1,129 @@
+package p2
+
+import (
+	"testing"
+)
+
+func TestCompileShippedOverlays(t *testing.T) {
+	for _, src := range []string{ChordSource, NaradaSource, GossipSource, LinkStateSource, PingPongSource} {
+		if _, err := Compile(src, nil); err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	if _, err := Parse("bogus !!"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Compile("r out@X(X, Z) :- in@X(X).", nil); err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile("r out@X(X, Z) :- in@X(X).", nil)
+}
+
+func TestValueConstructors(t *testing.T) {
+	if Str("x").AsStr() != "x" || Int(3).AsInt() != 3 || Float(2.5).AsFloat() != 2.5 {
+		t.Fatal("constructors wrong")
+	}
+	if !Bool(true).AsBool() {
+		t.Fatal("bool wrong")
+	}
+	if IDValue(Hash("a")).AsID() != Hash("a") {
+		t.Fatal("id wrong")
+	}
+	tp := NewTuple("t", Str("n1"), Int(1))
+	if tp.Loc() != "n1" || tp.Arity() != 2 {
+		t.Fatal("tuple wrong")
+	}
+}
+
+// TestPublicAPIQuickstart runs the doc-comment scenario end to end: a
+// two-node Chord ring through nothing but the public API.
+func TestPublicAPIQuickstart(t *testing.T) {
+	plan := MustCompile(ChordSource, nil)
+	sim := NewSim(nil, 42)
+
+	a, err := sim.SpawnNode("a:p2", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddFact("landmark", Str("a:p2"), Str("-"))
+	a.AddFact("join", Str("a:p2"), Str("boot-a"))
+
+	b, err := sim.SpawnNode("b:p2", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddFact("landmark", Str("b:p2"), Str("a:p2"))
+	b.AddFact("join", Str("b:p2"), Str("boot-b"))
+
+	sim.Run(60)
+
+	// Each node's best successor must be the other.
+	for _, pair := range [][2]*Node{{a, b}, {b, a}} {
+		rows := pair[0].Table("bestSucc").Scan()
+		if len(rows) != 1 || rows[0].Field(2).AsStr() != pair[1].Addr() {
+			t.Fatalf("%s bestSucc = %v, want %s", pair[0].Addr(), rows, pair[1].Addr())
+		}
+	}
+	if len(sim.Nodes()) != 2 {
+		t.Fatal("node bookkeeping wrong")
+	}
+	if sim.Now() < 60 {
+		t.Fatal("clock did not advance")
+	}
+
+	// A lookup issued via the public API resolves.
+	var owner string
+	a.Watch("lookupResults", func(ev WatchEvent) {
+		if ev.Dir == DirReceived || ev.Dir == DirDerived {
+			owner = ev.Tuple.Field(3).AsStr()
+		}
+	})
+	key := Hash("some key")
+	a.InjectTuple(NewTuple("lookup", Str("a:p2"), IDValue(key), Str("a:p2"), Str("q1")))
+	sim.Run(10)
+	if owner == "" {
+		t.Fatal("lookup never resolved")
+	}
+}
+
+func TestSpawnDuplicateAddrFails(t *testing.T) {
+	plan := MustCompile(PingPongSource, nil)
+	sim := NewSim(nil, 1)
+	if _, err := sim.SpawnNode("dup:1", plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.SpawnNode("dup:1", plan); err == nil {
+		t.Fatal("duplicate spawn must fail")
+	}
+}
+
+func TestCompileMultiSharesTables(t *testing.T) {
+	plan, err := CompileMulti(nil, NaradaSource, MeshMulticastSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.IsTable("neighbor") || !plan.IsTable("seenMsg") {
+		t.Fatal("merged plan missing tables")
+	}
+	// Conflicting table declarations across specs must fail loudly.
+	if _, err := CompileMulti(nil,
+		"materialize(t, 10, 10, keys(1)).",
+		"materialize(t, 99, 10, keys(1))."); err == nil {
+		t.Fatal("conflicting merge must fail")
+	}
+	// Parse errors in any spec surface.
+	if _, err := CompileMulti(nil, NaradaSource, "!!"); err == nil {
+		t.Fatal("parse error must surface")
+	}
+}

@@ -14,6 +14,11 @@
 //
 // Facts are name=field,field,... where the first field is usually the
 // node's own address. Watched relations print every event.
+//
+// The node's runtime is itself queryable: -top renders a live view of
+// the sys* system tables (tables, rule firings, per-peer traffic), and
+// -monitor installs extra OverLog rules — e.g. aggregates over
+// sysTable — into the node after it starts.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,6 +51,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "UDP address to bind (also the node's identity)")
 	duration := flag.Duration("duration", 0, "run time (0 = until interrupted)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	monitor := flag.String("monitor", "", "OverLog file to Install into the running node (monitoring rules)")
+	top := flag.Bool("top", false, "render a live p2top view of the sys* system tables")
+	topEvery := flag.Duration("top-interval", 2*time.Second, "refresh period of the -top view")
 	var facts factList
 	var watches watchList
 	flag.Var(&facts, "fact", "startup fact name=f1,f2,... (repeatable)")
@@ -88,14 +97,80 @@ func main() {
 		}
 	})
 
-	if *duration > 0 {
-		time.Sleep(*duration)
-		return
+	if *monitor != "" {
+		src, err := os.ReadFile(*monitor)
+		if err != nil {
+			fatal("reading monitor rules: %v", err)
+		}
+		if err := node.Install(string(src)); err != nil {
+			fatal("installing monitor rules: %v", err)
+		}
+		fmt.Printf("p2: installed %s\n", *monitor)
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+
+	done := make(chan struct{})
+	if *duration > 0 {
+		go func() { time.Sleep(*duration); close(done) }()
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() { <-sig; close(done) }()
+	}
+
+	if *top {
+		ticker := time.NewTicker(*topEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Println("\np2: shutting down")
+				return
+			case <-ticker.C:
+				fmt.Print(renderTop(node))
+			}
+		}
+	}
+	<-done
 	fmt.Println("\np2: shutting down")
+}
+
+// renderTop snapshots the node's system-table counters on its event
+// loop and renders them as a p2top-style dashboard frame.
+func renderTop(node *p2.UDPNode) string {
+	type snap struct {
+		addr   string
+		ns     p2.NodeStat
+		tables []p2.TableStat
+		rules  []p2.RuleStat
+		nets   []p2.NetStat
+	}
+	ch := make(chan snap, 1)
+	node.Do(func(n *p2.Node) {
+		ch <- snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats()}
+	})
+	s := <-ch
+
+	var sb strings.Builder
+	sb.WriteString("\033[H\033[2J") // home + clear
+	fmt.Fprintf(&sb, "p2top — %s  up %.1fs  events %d  queue %d\n\n",
+		s.addr, s.ns.UptimeS, s.ns.Events, s.ns.Queue)
+	fmt.Fprintf(&sb, "%-24s %8s %10s %10s %10s\n", "TABLE", "TUPLES", "INSERTS", "DELETES", "REFRESH")
+	for _, t := range s.tables {
+		fmt.Fprintf(&sb, "%-24s %8d %10d %10d %10d\n", t.Name, t.Tuples, t.Inserts, t.Deletes, t.Refreshes)
+	}
+	sort.Slice(s.rules, func(i, j int) bool { return s.rules[i].Fires > s.rules[j].Fires })
+	if len(s.rules) > 10 {
+		s.rules = s.rules[:10]
+	}
+	fmt.Fprintf(&sb, "\n%-24s %8s\n", "RULE (top 10)", "FIRES")
+	for _, r := range s.rules {
+		fmt.Fprintf(&sb, "%-24s %8d\n", r.ID, r.Fires)
+	}
+	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s\n", "PEER", "SENT", "RECVD", "BYTES", "RETRY")
+	for _, d := range s.nets {
+		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %8d\n", d.Dest, d.Sent, d.Recvd, d.Bytes, d.Retries)
+	}
+	return sb.String()
 }
 
 func peerArrow(ev p2.WatchEvent) string {

@@ -1,0 +1,3 @@
+module p2
+
+go 1.22

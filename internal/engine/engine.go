@@ -41,6 +41,10 @@ type Options struct {
 	// NoJitter disables the random stagger of first periodic firings.
 	// Experiments that need lock-step timers set it.
 	NoJitter bool
+	// IntrospectInterval is how often the sys* system tables are
+	// refreshed from runtime counters (default 1 s; negative disables
+	// introspection, leaving the system tables empty).
+	IntrospectInterval float64
 	// TraceWriter, when set, receives one line per event on every
 	// relation the program watch()es — the paper's on-line debugging
 	// facility (§3.5's logging ports, §7 "On-line distributed
@@ -106,19 +110,23 @@ type Node struct {
 	plan *planner.Plan
 	opts Options
 
-	ep        netif.Endpoint
-	trans     *transport.Transport
-	env       *pel.Env
-	rng       *rand.Rand
-	tables    map[string]*table.Table
-	strands   map[string][]*strand
-	periodics []*dataflow.Periodic
-	watchers  map[string][]WatchFunc
-	eventSeq  int64
-	started   bool
-	stopped   bool
-	stats     Stats
-	sweeper   *eventloop.Timer
+	ep         netif.Endpoint
+	trans      *transport.Transport
+	env        *pel.Env
+	rng        *rand.Rand
+	tables     map[string]*table.Table
+	strands    map[string][]*strand
+	periodics  []*dataflow.Periodic
+	watchers   map[string][]WatchFunc
+	eventSeq   int64
+	started    bool
+	stopped    bool
+	stats      Stats
+	sweeper    *eventloop.Timer
+	startTime  float64
+	allStrands []*strand    // every strand, in build order, for sysRule
+	aggFires   []*ruleFires // table-aggregate counters for sysRule
+	introTimer *eventloop.Timer
 }
 
 // strand is one rule's compiled element chain.
@@ -126,6 +134,13 @@ type strand struct {
 	rule  *planner.Rule
 	entry dataflow.Pusher
 	agg   *dataflow.AggStream
+	fires int64
+}
+
+// ruleFires counts head emissions of a continuous table aggregate.
+type ruleFires struct {
+	id    string
+	fires int64
 }
 
 // NewNode builds a node for addr executing plan over net, scheduling on
@@ -204,8 +219,9 @@ func (n *Node) Start() error {
 	n.trans = transport.New(n.loop, ep, tcfg)
 	n.trans.OnReceive(n.onNetReceive)
 
+	n.startTime = n.loop.Now()
 	for name, spec := range n.plan.Tables {
-		n.tables[name] = spec.NewTable(n.loop)
+		n.tables[name] = n.newTable(spec)
 	}
 	for _, r := range n.plan.Rules {
 		n.buildStrand(r)
@@ -215,25 +231,51 @@ func (n *Node) Start() error {
 	}
 	if n.opts.TraceWriter != nil {
 		for _, name := range n.plan.Watches {
-			n.Watch(name, func(ev WatchEvent) {
-				peer := ""
-				switch ev.Dir {
-				case DirSent:
-					peer = " ->" + ev.Peer
-				case DirReceived:
-					peer = " <-" + ev.Peer
-				}
-				fmt.Fprintf(n.opts.TraceWriter, "%10.3f %s %s%s %s\n",
-					ev.Time, ev.Node, ev.Dir, peer, ev.Tuple)
-			})
+			n.watchTrace(name)
 		}
 	}
 	for _, f := range n.plan.Facts {
-		t := tuple.New(f.Name, f.Tuple(n.addr)...)
-		n.deliverLocal(t, DirDerived)
+		n.deliverLocal(tupleFromFact(f, n.addr), DirDerived)
 	}
 	n.scheduleSweep()
+	n.scheduleIntrospect()
 	return nil
+}
+
+// newTable instantiates one table spec. System tables get a lifetime
+// derived from the introspection refresh interval so their rows stay
+// soft state: a few missed refreshes and they fade, like any other
+// P2 relation.
+func (n *Node) newTable(spec *planner.TableSpec) *table.Table {
+	if spec.System {
+		ttl := table.Infinity
+		if iv := n.introspectInterval(); iv > 0 {
+			ttl = 4 * iv
+		}
+		return table.New(spec.Name, ttl, 0, spec.Keys, n.loop)
+	}
+	return spec.NewTable(n.loop)
+}
+
+// watchTrace streams the named relation's events to the trace writer —
+// the OverLog watch() directive's runtime form.
+func (n *Node) watchTrace(name string) {
+	n.Watch(name, func(ev WatchEvent) {
+		peer := ""
+		switch ev.Dir {
+		case DirSent:
+			peer = " ->" + ev.Peer
+		case DirReceived:
+			peer = " <-" + ev.Peer
+		}
+		fmt.Fprintf(n.opts.TraceWriter, "%10.3f %s %s%s %s\n",
+			ev.Time, ev.Node, ev.Dir, peer, ev.Tuple)
+	})
+}
+
+// tupleFromFact materializes a fact spec for the given node address.
+func tupleFromFact(f *planner.FactSpec, addr string) *tuple.Tuple {
+	return tuple.New(f.Name, f.Tuple(addr)...)
 }
 
 // Stop halts timers, closes the transport, and detaches from the
@@ -248,6 +290,9 @@ func (n *Node) Stop() {
 	}
 	if n.sweeper != nil {
 		n.sweeper.Cancel()
+	}
+	if n.introTimer != nil {
+		n.introTimer.Cancel()
 	}
 	if n.trans != nil {
 		n.trans.Close()
@@ -332,6 +377,7 @@ func (n *Node) buildStrand(r *planner.Rule) {
 	connect(elems[len(elems)-1], sink)
 
 	s := &strand{rule: r, entry: elems[0], agg: agg}
+	n.allStrands = append(n.allStrands, s)
 	if r.Trigger.Kind == planner.TrigPeriodic {
 		n.startPeriodic(r, s)
 	} else {
@@ -383,7 +429,10 @@ func (n *Node) buildTableAgg(ta *planner.TableAggRule) {
 	project := dataflow.NewProject(fmt.Sprintf("%s.%s.head", n.addr, ta.ID),
 		ta.HeadName, ta.HeadProgs, n.env)
 	rule := &planner.Rule{ID: ta.ID, HeadName: ta.HeadName, Materialized: ta.Materialized}
+	rf := &ruleFires{id: ta.ID}
+	n.aggFires = append(n.aggFires, rf)
 	sink := dataflow.NewSink(fmt.Sprintf("%s.%s.sink", n.addr, ta.ID), func(t *tuple.Tuple) {
+		rf.fires++
 		n.deliverHead(rule, t)
 	})
 	agg.ConnectOut(0, project, 0)
@@ -396,6 +445,7 @@ func (n *Node) runStrand(s *strand, event *tuple.Tuple) {
 		return
 	}
 	n.stats.RulesFired++
+	s.fires++
 	s.entry.Push(0, event, nil)
 	if s.agg != nil {
 		s.agg.Flush(event, nil)

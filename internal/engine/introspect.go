@@ -1,0 +1,167 @@
+package engine
+
+// This file is the engine half of the introspection subsystem: it feeds
+// the sys* system tables from the node's runtime counters and grafts
+// OverLog rules compiled at runtime into the live dataflow. Together
+// they make the runtime queryable from inside the language — the
+// paper's "watch queries are just more OverLog" stance (§3.5, §7).
+
+import (
+	"fmt"
+	"sort"
+
+	"p2/internal/introspect"
+	"p2/internal/overlog"
+	"p2/internal/planner"
+)
+
+// introspectInterval resolves the option's default: 1 s, negative
+// disables.
+func (n *Node) introspectInterval() float64 {
+	switch {
+	case n.opts.IntrospectInterval < 0:
+		return 0
+	case n.opts.IntrospectInterval == 0:
+		return 1.0
+	}
+	return n.opts.IntrospectInterval
+}
+
+// scheduleIntrospect arms the periodic system-table refresh.
+func (n *Node) scheduleIntrospect() {
+	iv := n.introspectInterval()
+	if iv <= 0 || n.stopped {
+		return
+	}
+	n.introTimer = n.loop.After(iv, func() {
+		if n.stopped {
+			return
+		}
+		n.RefreshSystemTables()
+		n.scheduleIntrospect()
+	})
+}
+
+// RefreshSystemTables snapshots the node's counters into the sys*
+// tables immediately, through the normal local-delivery path: rows
+// whose values changed produce deltas that trigger any rules listening
+// on the system tables, exactly as application-table deltas would. The
+// engine calls it on a timer; tests and tools may call it directly.
+func (n *Node) RefreshSystemTables() {
+	for _, t := range introspect.Snapshot(n) {
+		n.deliverLocal(t, DirDerived)
+	}
+}
+
+// The Source implementation below exposes the counters the snapshot is
+// built from; they double as the Go-level introspection API.
+
+// NodeStat reports whole-node liveness: uptime, strand executions, and
+// the scheduler queue length (shared with other nodes when several sim
+// nodes run one loop).
+func (n *Node) NodeStat() introspect.NodeStat {
+	st := introspect.NodeStat{
+		UptimeS: n.loop.Now() - n.startTime,
+		Events:  n.stats.RulesFired,
+	}
+	if p, ok := n.loop.(interface{ Pending() int }); ok {
+		st.Queue = p.Pending()
+	}
+	return st
+}
+
+// TableStats reports per-relation counters for every table the node
+// maintains, system tables included, sorted by name.
+func (n *Node) TableStats() []introspect.TableStat {
+	out := make([]introspect.TableStat, 0, len(n.tables))
+	for name, tb := range n.tables {
+		st := tb.Stats()
+		out = append(out, introspect.TableStat{
+			Name: name, Tuples: tb.Len(),
+			Inserts: st.Inserts, Deletes: st.Deletes, Refreshes: st.Refreshes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RuleStats reports per-rule fire counters in build order: strand
+// executions for event rules, head emissions for continuous table
+// aggregates.
+func (n *Node) RuleStats() []introspect.RuleStat {
+	out := make([]introspect.RuleStat, 0, len(n.allStrands)+len(n.aggFires))
+	for _, s := range n.allStrands {
+		out = append(out, introspect.RuleStat{ID: s.rule.ID, Fires: s.fires})
+	}
+	for _, rf := range n.aggFires {
+		out = append(out, introspect.RuleStat{ID: rf.id, Fires: rf.fires})
+	}
+	return out
+}
+
+// NetStats reports per-peer transport accounting, sorted by address.
+func (n *Node) NetStats() []introspect.NetStat {
+	if n.trans == nil {
+		return nil
+	}
+	per := n.trans.PerDest()
+	out := make([]introspect.NetStat, len(per))
+	for i, d := range per {
+		out[i] = introspect.NetStat{
+			Dest: d.Addr, Sent: d.Sent, Recvd: d.Recvd, Bytes: d.Bytes, Retries: d.Retries,
+		}
+	}
+	return out
+}
+
+// Install compiles OverLog source and grafts it into the running
+// dataflow: new tables are created, new rules start executing
+// immediately (periodic rules begin ticking, delta rules see future
+// deltas, stream rules hear future events), facts are injected, and
+// watch() directives attach to the node's trace writer. Installed
+// rules may reference any relation the node already maintains —
+// including the sys* system tables — so monitoring and debugging
+// queries are ordinary OverLog added to a live node.
+//
+// On error nothing is installed. Call only from the node's event loop
+// (in a simulation, between Run calls; on a UDP node, via Do or
+// UDPNode.Install).
+func (n *Node) Install(src string) error {
+	if !n.started || n.stopped {
+		return fmt.Errorf("engine: node %s: install on a node that is not running", n.addr)
+	}
+	prog, err := overlog.Parse(src)
+	if err != nil {
+		return fmt.Errorf("engine: install on %s: %w", n.addr, err)
+	}
+	newPlan, delta, err := planner.Extend(n.plan, prog, nil)
+	if err != nil {
+		return fmt.Errorf("engine: install on %s: %w", n.addr, err)
+	}
+	// Commit point: instantiate tables first so strand construction can
+	// index them, then wire rules and aggregates, then inject facts.
+	n.plan = newPlan
+	for _, ts := range delta.Tables {
+		n.tables[ts.Name] = n.newTable(ts)
+	}
+	for _, r := range delta.Rules {
+		n.buildStrand(r)
+	}
+	for _, ta := range delta.TableAggs {
+		n.buildTableAgg(ta)
+	}
+	if n.opts.TraceWriter != nil {
+		for _, name := range delta.Watches {
+			n.watchTrace(name)
+		}
+	}
+	for _, f := range delta.Facts {
+		t := tupleFromFact(f, n.addr)
+		n.loop.Defer(func() {
+			if !n.stopped {
+				n.deliverLocal(t, DirDerived)
+			}
+		})
+	}
+	return nil
+}

@@ -89,6 +89,17 @@ func (h *timerHeap) Pop() any {
 	return t
 }
 
+// live counts heap entries that have not been canceled.
+func (h timerHeap) live() int {
+	n := 0
+	for _, t := range h {
+		if !t.canceled {
+			n++
+		}
+	}
+	return n
+}
+
 // Sim is a virtual-time discrete-event loop. Not safe for concurrent
 // use: a simulation is a single goroutine by construction.
 type Sim struct {
@@ -171,8 +182,10 @@ func (s *Sim) Run(until float64) int {
 // RunFor advances the loop by d seconds of virtual time.
 func (s *Sim) RunFor(d float64) int { return s.Run(s.now + d) }
 
-// Pending returns the number of scheduled (possibly canceled) events.
-func (s *Sim) Pending() int { return s.heap.Len() }
+// Pending returns the number of scheduled events still due to fire.
+// Canceled timers linger in the heap until popped but are not work, so
+// they are excluded — the count is a true queue-length gauge (sysNode).
+func (s *Sim) Pending() int { return s.heap.live() }
 
 // Real is a wall-clock loop. Callbacks still run one at a time on the
 // loop goroutine; Post is the only entry point safe to call from other
@@ -225,6 +238,17 @@ func (r *Real) Post(fn func()) {
 	r.posted = append(r.posted, fn)
 	r.mu.Unlock()
 	r.cond.Signal()
+}
+
+// Pending returns the number of live scheduled timers plus posted
+// functions not yet run — the Real counterpart of Sim.Pending, used by
+// the sysNode introspection relation as a queue-length gauge. Canceled
+// timers (e.g. transport retransmit timers voided by an ack) are
+// excluded: they occupy the heap but are not work.
+func (r *Real) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heap.live() + len(r.posted)
 }
 
 // Stop makes Run return after the current handler.

@@ -1,0 +1,37 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRealPending covers the queue-length gauge the sysNode relation
+// reports on wall-clock nodes.
+func TestRealPending(t *testing.T) {
+	r := NewReal()
+	if r.Pending() != 0 {
+		t.Fatalf("fresh loop pending = %d", r.Pending())
+	}
+	r.After(3600, func() {})
+	r.Post(func() {})
+	if r.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", r.Pending())
+	}
+	// Canceled timers linger in the heap but are not pending work —
+	// an acked retransmit timer must not inflate the queue gauge.
+	canceled := r.After(3600, func() {})
+	canceled.Cancel()
+	if r.Pending() != 2 {
+		t.Fatalf("pending counts canceled timer: %d", r.Pending())
+	}
+
+	go r.Run()
+	defer r.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Pending() != 1 { // posted fn drains; the far timer stays
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, want 1", r.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

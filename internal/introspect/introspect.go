@@ -1,0 +1,150 @@
+// Package introspect materializes the P2 runtime's own state as
+// soft-state system tables, the paper's "everything is a relation"
+// stance applied to the runtime itself (§3.5, §7 "On-line distributed
+// debugging"): dataflow counters become ordinary tuples, so monitoring
+// and debugging queries are just more OverLog, installable while the
+// node runs.
+//
+// Four system relations exist on every node, refreshed periodically on
+// the node's event loop:
+//
+//	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
+//	sysRule(@N, Rule, Fires)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries)
+//	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
+//
+// The "sys" relation-name prefix is reserved: user programs may join,
+// aggregate, and watch these tables but cannot materialize their own
+// sys* relations. sysTable reports the node's application relations
+// only — the system tables do not report on themselves, which keeps
+// counter feedback loops out of idle nodes.
+//
+// The planner registers these schemas in every Plan (so rules joining
+// them classify as stream×table equijoins); the engine instantiates
+// them per node and feeds them from a Source — the split keeps this
+// package free of engine dependencies and cycle-free.
+package introspect
+
+import (
+	"sort"
+	"strings"
+
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// System relation names.
+const (
+	TableRelation = "sysTable"
+	RuleRelation  = "sysRule"
+	NetRelation   = "sysNet"
+	NodeRelation  = "sysNode"
+)
+
+// ReservedPrefix is the relation-name prefix claimed by the runtime.
+const ReservedPrefix = "sys"
+
+// IsReserved reports whether a relation name lives in the system
+// namespace and therefore cannot be declared by user programs.
+func IsReserved(name string) bool { return strings.HasPrefix(name, ReservedPrefix) }
+
+// Def describes one system table's schema: its name, arity, and
+// 0-based primary key positions. Lifetimes are chosen by the engine
+// from its refresh interval, keeping rows soft state that fades when
+// refreshes stop.
+type Def struct {
+	Name  string
+	Arity int
+	Keys  []int
+	Doc   string
+}
+
+// Defs returns the system-table catalog in deterministic order.
+func Defs() []Def {
+	return []Def{
+		{Name: TableRelation, Arity: 6, Keys: []int{0, 1},
+			Doc: "sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes): per-relation row counts and cumulative delta counters"},
+		{Name: RuleRelation, Arity: 3, Keys: []int{0, 1},
+			Doc: "sysRule(@N, Rule, Fires): cumulative strand executions per compiled rule"},
+		{Name: NetRelation, Arity: 6, Keys: []int{0, 1},
+			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries): per-peer transport accounting"},
+		{Name: NodeRelation, Arity: 4, Keys: []int{0},
+			Doc: "sysNode(@N, UptimeS, EventsProcessed, QueueLen): whole-node liveness"},
+	}
+}
+
+// TableStat is one relation's counters, as reported by a Source.
+type TableStat struct {
+	Name      string
+	Tuples    int   // live rows right now
+	Inserts   int64 // delta-producing stores since creation
+	Deletes   int64 // removals: explicit delete, FIFO eviction, TTL expiry
+	Refreshes int64 // identical re-insertions that only renewed a TTL
+}
+
+// RuleStat is one rule's execution counter.
+type RuleStat struct {
+	ID    string
+	Fires int64
+}
+
+// NetStat is per-peer transport accounting, merged across send and
+// receive state.
+type NetStat struct {
+	Dest    string
+	Sent    int64 // tuples transmitted (including retransmissions)
+	Recvd   int64 // tuples delivered upward (post-dedup)
+	Bytes   int64 // data bytes put on the wire toward Dest
+	Retries int64 // retransmissions toward Dest
+}
+
+// NodeStat is whole-node liveness.
+type NodeStat struct {
+	UptimeS float64
+	Events  int64 // strand executions processed since start
+	Queue   int   // pending events on the node's scheduler
+}
+
+// Source supplies the runtime counters a snapshot is built from. The
+// engine's Node implements it.
+type Source interface {
+	Addr() string
+	NodeStat() NodeStat
+	TableStats() []TableStat
+	RuleStats() []RuleStat
+	NetStats() []NetStat
+}
+
+// Snapshot renders src's current state as system-table tuples, in
+// deterministic order (sysNode, then sysTable, sysRule, sysNet rows
+// sorted by their reporting Source). Inserting them into the node's
+// tables is the caller's job — the engine routes them through its
+// normal local-delivery path so deltas trigger listening rules.
+func Snapshot(src Source) []*tuple.Tuple {
+	addr := val.Str(src.Addr())
+	ns := src.NodeStat()
+	out := []*tuple.Tuple{tuple.New(NodeRelation,
+		addr, val.Float(ns.UptimeS), val.Int(ns.Events), val.Int(int64(ns.Queue)))}
+
+	tstats := src.TableStats()
+	sort.Slice(tstats, func(i, j int) bool { return tstats[i].Name < tstats[j].Name })
+	for _, ts := range tstats {
+		if IsReserved(ts.Name) {
+			continue
+		}
+		out = append(out, tuple.New(TableRelation,
+			addr, val.Str(ts.Name), val.Int(int64(ts.Tuples)),
+			val.Int(ts.Inserts), val.Int(ts.Deletes), val.Int(ts.Refreshes)))
+	}
+	for _, rs := range src.RuleStats() {
+		out = append(out, tuple.New(RuleRelation, addr, val.Str(rs.ID), val.Int(rs.Fires)))
+	}
+	nstats := src.NetStats()
+	sort.Slice(nstats, func(i, j int) bool { return nstats[i].Dest < nstats[j].Dest })
+	for _, st := range nstats {
+		out = append(out, tuple.New(NetRelation,
+			addr, val.Str(st.Dest), val.Int(st.Sent), val.Int(st.Recvd),
+			val.Int(st.Bytes), val.Int(st.Retries)))
+	}
+	return out
+}

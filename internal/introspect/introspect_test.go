@@ -1,0 +1,66 @@
+package introspect
+
+import (
+	"testing"
+)
+
+// fakeSource is a canned counter provider.
+type fakeSource struct{}
+
+func (fakeSource) Addr() string { return "n1" }
+func (fakeSource) NodeStat() NodeStat {
+	return NodeStat{UptimeS: 2.5, Events: 7, Queue: 3}
+}
+func (fakeSource) TableStats() []TableStat {
+	return []TableStat{
+		{Name: "zeta", Tuples: 2, Inserts: 5, Deletes: 1, Refreshes: 4},
+		{Name: "alpha", Tuples: 1, Inserts: 1},
+		{Name: "sysTable", Tuples: 9}, // must be filtered out
+	}
+}
+func (fakeSource) RuleStats() []RuleStat { return []RuleStat{{ID: "R1", Fires: 6}} }
+func (fakeSource) NetStats() []NetStat {
+	return []NetStat{{Dest: "n2", Sent: 3, Recvd: 2, Bytes: 99, Retries: 1}}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	tuples := Snapshot(fakeSource{})
+	// 1 sysNode + 2 sysTable (sys-prefixed filtered) + 1 sysRule + 1 sysNet.
+	if len(tuples) != 5 {
+		t.Fatalf("snapshot = %d tuples: %v", len(tuples), tuples)
+	}
+	arities := map[string]int{}
+	for _, d := range Defs() {
+		arities[d.Name] = d.Arity
+	}
+	for _, tp := range tuples {
+		if !IsReserved(tp.Name()) {
+			t.Fatalf("snapshot emitted non-system tuple %v", tp)
+		}
+		if tp.Arity() != arities[tp.Name()] {
+			t.Fatalf("%s arity %d, catalog says %d", tp.Name(), tp.Arity(), arities[tp.Name()])
+		}
+		if tp.Loc() != "n1" {
+			t.Fatalf("tuple not located at the node: %v", tp)
+		}
+	}
+	// Table rows are sorted by name for deterministic event order.
+	if tuples[1].Field(1).AsStr() != "alpha" || tuples[2].Field(1).AsStr() != "zeta" {
+		t.Fatalf("table rows unsorted: %v %v", tuples[1], tuples[2])
+	}
+	net := tuples[4]
+	if net.Name() != NetRelation || net.Field(1).AsStr() != "n2" || net.Field(4).AsInt() != 99 {
+		t.Fatalf("sysNet row = %v", net)
+	}
+}
+
+func TestIsReserved(t *testing.T) {
+	for name, want := range map[string]bool{
+		"sysTable": true, "sysAnything": true, "system": true,
+		"succ": false, "Sys": false, "": false,
+	} {
+		if IsReserved(name) != want {
+			t.Errorf("IsReserved(%q) != %v", name, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package netif_test
+
+// Contract tests for the netif.Network interface, run against both
+// implementations: the discrete-event simulator (simnet) and real UDP
+// sockets (udpnet). Everything above netif — transport, engine — is
+// identical between simulation and deployment, so the two networks
+// must agree on attach/send/close semantics.
+
+import (
+	"testing"
+	"time"
+
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+	"p2/internal/simnet"
+	"p2/internal/udpnet"
+)
+
+// delivery is one received datagram.
+type delivery struct {
+	from    string
+	payload string
+}
+
+func TestSimnetContract(t *testing.T) {
+	loop := eventloop.NewSim()
+	cfg := simnet.DefaultConfig()
+	cfg.Domains = 1
+	var net netif.Network = simnet.New(loop, cfg)
+
+	var got []delivery
+	epA, err := net.Attach("a", func(from string, payload []byte) {
+		got = append(got, delivery{from, string(payload)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Attach("b", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach("a", func(string, []byte) {}); err == nil {
+		t.Fatal("duplicate attach must fail")
+	}
+	if epA.LocalAddr() != "a" || epB.LocalAddr() != "b" {
+		t.Fatalf("local addrs = %s, %s", epA.LocalAddr(), epB.LocalAddr())
+	}
+
+	epB.Send("a", []byte("hello"))
+	loop.Run(5)
+	if len(got) != 1 || got[0].from != "b" || got[0].payload != "hello" {
+		t.Fatalf("got %v", got)
+	}
+
+	// After Close, inbound datagrams stop.
+	epA.Close()
+	epB.Send("a", []byte("late"))
+	loop.Run(10)
+	if len(got) != 1 {
+		t.Fatalf("delivery after close: %v", got)
+	}
+}
+
+func TestUDPNetContract(t *testing.T) {
+	addrA, err := udpnet.ReserveAddr()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	addrB, err := udpnet.ReserveAddr()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+
+	loop := eventloop.NewReal()
+	go loop.Run()
+	defer loop.Stop()
+	var net netif.Network = udpnet.New(loop)
+
+	inbox := make(chan delivery, 16)
+	epA, err := net.Attach(addrA, func(from string, payload []byte) {
+		inbox <- delivery{from, string(payload)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := net.Attach(addrB, func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+	if _, err := net.Attach(addrA, func(string, []byte) {}); err == nil {
+		t.Fatal("duplicate attach must fail")
+	}
+	if epA.LocalAddr() != addrA {
+		t.Fatalf("local addr = %s, want %s", epA.LocalAddr(), addrA)
+	}
+
+	// UDP is lossy even on loopback; retry until the reader delivers.
+	deadline := time.After(5 * time.Second)
+	for {
+		epB.Send(addrA, []byte("hello"))
+		select {
+		case d := <-inbox:
+			if d.from != addrB || d.payload != "hello" {
+				t.Fatalf("got %+v", d)
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("datagram never delivered")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"p2/internal/dataflow"
+	"p2/internal/introspect"
 	"p2/internal/overlog"
 	"p2/internal/pel"
 	"p2/internal/table"
@@ -32,16 +33,12 @@ func Compile(prog *overlog.Program, extra map[string]val.Value) (*Plan, error) {
 		if _, dup := p.Tables[m.Name]; dup {
 			return nil, fmt.Errorf("planner: table %s materialized twice", m.Name)
 		}
-		ttl := m.Lifetime
-		if m.Infinite || ttl <= 0 {
-			ttl = table.Infinity
+		if introspect.IsReserved(m.Name) {
+			return nil, fmt.Errorf("planner: table name %s is reserved for system tables (the %q prefix belongs to the runtime)", m.Name, introspect.ReservedPrefix)
 		}
-		keys := make([]int, len(m.Keys))
-		for i, k := range m.Keys {
-			keys[i] = k - 1 // OverLog keys() is 1-based
-		}
-		p.Tables[m.Name] = &TableSpec{Name: m.Name, TTL: ttl, MaxSize: m.Size, Keys: keys}
+		p.Tables[m.Name] = specFromMaterialize(m)
 	}
+	p.addSystemTables()
 
 	if err := p.inferArities(prog); err != nil {
 		return nil, err
@@ -60,7 +57,67 @@ func Compile(prog *overlog.Program, extra map[string]val.Value) (*Plan, error) {
 			return nil, err
 		}
 	}
+	p.ensureRuleIDs(0, 0, nil)
 	return p, nil
+}
+
+// specFromMaterialize lowers a materialize() declaration to a spec.
+func specFromMaterialize(m *overlog.Materialize) *TableSpec {
+	ttl := m.Lifetime
+	if m.Infinite || ttl <= 0 {
+		ttl = table.Infinity
+	}
+	keys := make([]int, len(m.Keys))
+	for i, k := range m.Keys {
+		keys[i] = k - 1 // OverLog keys() is 1-based
+	}
+	return &TableSpec{Name: m.Name, TTL: ttl, MaxSize: m.Size, Keys: keys}
+}
+
+// addSystemTables registers the introspection relations in the plan so
+// rules that join sysTable, sysRule, sysNet, or sysNode classify as
+// stream×table equijoins and arity misuse is caught at compile time.
+// The engine instantiates and refreshes them per node.
+func (p *Plan) addSystemTables() {
+	for _, d := range introspect.Defs() {
+		p.Tables[d.Name] = &TableSpec{
+			Name: d.Name, TTL: table.Infinity, Keys: append([]int(nil), d.Keys...), System: true,
+		}
+		p.Arities[d.Name] = d.Arity
+	}
+}
+
+// ensureRuleIDs gives every compiled rule and table aggregate from the
+// given start offsets onward a unique, non-empty identifier — the
+// primary key of the sysRule relation. Anonymous rules get positional
+// names (r1, r2, ...); colliding names get a ~n suffix. taken seeds the
+// in-use set; Extend passes the base plan's IDs (and nonzero offsets,
+// since earlier entries are shared with the base plan and must not be
+// renamed) so installed rules never shadow existing counters.
+func (p *Plan) ensureRuleIDs(startRules, startAggs int, taken map[string]bool) {
+	seen := make(map[string]bool, len(p.Rules)+len(p.TableAggs)+len(taken))
+	for id := range taken {
+		seen[id] = true
+	}
+	ord := startRules + startAggs
+	claim := func(id string) string {
+		ord++
+		if id == "" {
+			id = fmt.Sprintf("r%d", ord)
+		}
+		base := id
+		for n := 2; seen[id]; n++ {
+			id = fmt.Sprintf("%s~%d", base, n)
+		}
+		seen[id] = true
+		return id
+	}
+	for _, r := range p.Rules[startRules:] {
+		r.ID = claim(r.ID)
+	}
+	for _, ta := range p.TableAggs[startAggs:] {
+		ta.ID = claim(ta.ID)
+	}
 }
 
 // MustCompile compiles or panics — for embedding known-good specs.
@@ -107,6 +164,9 @@ func (p *Plan) inferArities(prog *overlog.Program) error {
 }
 
 func (p *Plan) compileFact(f *overlog.Fact) (*FactSpec, error) {
+	if introspect.IsReserved(f.Atom.Name) {
+		return nil, fmt.Errorf("planner: fact %s writes into the reserved system-table namespace (%q prefix); system tables are read-only from OverLog", f.Atom.Name, introspect.ReservedPrefix)
+	}
 	spec := &FactSpec{Name: f.Atom.Name}
 	for i, arg := range f.Atom.Args {
 		switch a := p.resolve(arg).(type) {
@@ -167,6 +227,13 @@ func (c *ruleCtx) errf(format string, args ...any) error {
 
 func (p *Plan) compileRule(r *overlog.Rule) error {
 	c := &ruleCtx{plan: p, rule: r, env: make(map[string]int)}
+
+	// Rules may join and aggregate the sys* system tables but never
+	// write them: the runtime owns their contents, and a spoofed or
+	// deleted row would silently corrupt every monitor built on them.
+	if introspect.IsReserved(r.Head.Name) {
+		return c.errf("head %s writes into the reserved system-table namespace (%q prefix); system tables are read-only from OverLog", r.Head.Name, introspect.ReservedPrefix)
+	}
 
 	if err := c.checkCollocation(); err != nil {
 		return err

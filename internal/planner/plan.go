@@ -48,6 +48,10 @@ type TableSpec struct {
 	TTL     float64 // seconds; table.Infinity when unbounded
 	MaxSize int     // 0 = unbounded
 	Keys    []int   // 0-based primary key positions
+	// System marks a runtime-owned introspection relation (sysTable,
+	// sysRule, ...). The engine instantiates these with a lifetime
+	// derived from its refresh interval rather than this spec's TTL.
+	System bool
 }
 
 // NewTable instantiates the spec as a concrete table on the given clock.

@@ -1,0 +1,47 @@
+package table
+
+import (
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// TestStatsCounters verifies the activity counters behind the sysTable
+// introspection relation across every mutation path: fresh inserts,
+// refreshes, key replacement, explicit deletes, FIFO eviction, and TTL
+// expiry.
+func TestStatsCounters(t *testing.T) {
+	loop := eventloop.NewSim()
+	tb := New("t", 10, 2, []int{0}, loop)
+
+	row := func(k string, v int64) *tuple.Tuple { return tuple.New("t", val.Str(k), val.Int(v)) }
+
+	tb.Insert(row("a", 1))
+	tb.Insert(row("a", 1)) // identical: refresh
+	tb.Insert(row("a", 2)) // same key, new value: replacement insert
+	if st := tb.Stats(); st.Inserts != 2 || st.Refreshes != 1 || st.Deletes != 0 {
+		t.Fatalf("after refresh+replace: %+v", st)
+	}
+
+	tb.Insert(row("b", 1))
+	tb.Insert(row("c", 1)) // maxSize 2: evicts "a"
+	if st := tb.Stats(); st.Inserts != 4 || st.Deletes != 1 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+
+	tb.Delete(row("b", 0))
+	if st := tb.Stats(); st.Deletes != 2 {
+		t.Fatalf("after delete: %+v", st)
+	}
+
+	loop.Run(11) // "c" expires
+	tb.Expire()
+	if st := tb.Stats(); st.Deletes != 3 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("rows = %d", tb.Len())
+	}
+}

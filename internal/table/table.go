@@ -43,6 +43,18 @@ type Table struct {
 	onInsert  []func(*tuple.Tuple)
 	onDelete  []func(*tuple.Tuple)
 	onRefresh []func(*tuple.Tuple)
+
+	stats Stats
+}
+
+// Stats counts table activity since creation — the raw material of the
+// sysTable introspection relation. Silent primary-key replacement
+// counts as one insert (not a delete): the old row was displaced, not
+// retracted.
+type Stats struct {
+	Inserts   int64 // delta-producing stores
+	Deletes   int64 // removals: explicit delete, FIFO eviction, TTL expiry
+	Refreshes int64 // identical re-insertions that only renewed a TTL
 }
 
 type row struct {
@@ -88,6 +100,9 @@ func (tb *Table) MaxSize() int { return tb.maxSize }
 // PrimaryKey returns the primary key positions.
 func (tb *Table) PrimaryKey() []int { return tb.pk }
 
+// Stats returns a copy of the table's activity counters.
+func (tb *Table) Stats() Stats { return tb.stats }
+
 // Len returns the number of live rows, expiring stale ones first.
 func (tb *Table) Len() int {
 	tb.Expire()
@@ -128,6 +143,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 			// Pure refresh: renew lifetime, no delta.
 			existing.expires = tb.expiry(now)
 			tb.order.MoveToBack(existing.elem)
+			tb.stats.Refreshes++
 			for _, fn := range tb.onRefresh {
 				fn(t)
 			}
@@ -136,6 +152,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		old := existing.t
 		tb.removeRow(existing, false)
 		tb.addRow(t, now)
+		tb.stats.Inserts++
 		for _, fn := range tb.onInsert {
 			fn(t)
 		}
@@ -148,6 +165,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		oldest := tb.order.Front().Value.(*row)
 		tb.removeRow(oldest, true)
 	}
+	tb.stats.Inserts++
 	for _, fn := range tb.onInsert {
 		fn(t)
 	}
@@ -192,6 +210,7 @@ func (tb *Table) removeRow(r *row, notify bool) {
 		}
 	}
 	if notify {
+		tb.stats.Deletes++
 		for _, fn := range tb.onDelete {
 			fn(r.t)
 		}

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"testing"
+)
+
+// TestPerDestAccounting verifies the per-peer counters behind the
+// sysNet introspection relation: sends, bytes, and retries on the
+// sender side; post-dedup deliveries on the receiver side.
+func TestPerDestAccounting(t *testing.T) {
+	loop, a, b, got := pair(t, 0)
+	for i := int64(0); i < 5; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(10)
+	if len(*got) != 5 {
+		t.Fatalf("delivered %d", len(*got))
+	}
+
+	aStats := a.PerDest()
+	if len(aStats) != 1 || aStats[0].Addr != "b" {
+		t.Fatalf("a.PerDest() = %v", aStats)
+	}
+	if aStats[0].Sent != 5 || aStats[0].Retries != 0 {
+		t.Fatalf("a->b send accounting: %+v", aStats[0])
+	}
+	if aStats[0].Bytes <= 5*int64(headerLen) {
+		t.Fatalf("a->b bytes = %d, want > header-only", aStats[0].Bytes)
+	}
+	bStats := b.PerDest()
+	if len(bStats) != 1 || bStats[0].Addr != "a" || bStats[0].Recvd != 5 {
+		t.Fatalf("b.PerDest() = %v", bStats)
+	}
+}
+
+func TestPerDestCountsRetries(t *testing.T) {
+	loop, a, _, got := pair(t, 0.4)
+	for i := int64(0); i < 20; i++ {
+		a.Send("b", tp(i))
+	}
+	loop.Run(120)
+	if len(*got) == 0 {
+		t.Fatal("nothing delivered under loss")
+	}
+	st := a.PerDest()
+	if len(st) != 1 || st[0].Retries == 0 {
+		t.Fatalf("expected retries under 40%% loss: %v", st)
+	}
+	if st[0].Sent < 20 {
+		t.Fatalf("sent %d < 20 submissions", st[0].Sent)
+	}
+}

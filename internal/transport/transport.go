@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"p2/internal/eventloop"
 	"p2/internal/netif"
@@ -93,6 +94,11 @@ type dest struct {
 	srtt     float64
 	rttvar   float64
 	rto      float64
+
+	// Per-destination accounting for the sysNet introspection relation.
+	sent      int64
+	sentBytes int64
+	retries   int64
 }
 
 type pending struct {
@@ -107,8 +113,9 @@ type pending struct {
 
 // recvState tracks sequence numbers already delivered from one source.
 type recvState struct {
-	cum  uint64          // all seqs <= cum delivered
-	high map[uint64]bool // out-of-order seqs above cum
+	cum   uint64          // all seqs <= cum delivered
+	high  map[uint64]bool // out-of-order seqs above cum
+	recvd int64           // tuples delivered upward (post-dedup)
 }
 
 func (r *recvState) seen(seq uint64) bool {
@@ -217,8 +224,11 @@ func (tr *Transport) transmit(d *dest, p *pending, retransmit bool) {
 	p.sentAt = tr.loop.Now()
 	tr.ep.Send(d.addr, frame)
 	tr.stats.TuplesSent++
+	d.sent++
+	d.sentBytes += int64(len(frame))
 	if retransmit {
 		tr.stats.Retransmits++
+		d.retries++
 	}
 	if tr.onSent != nil {
 		tr.onSent(d.addr, p.t, len(frame), retransmit)
@@ -276,7 +286,13 @@ func (tr *Transport) onData(from string, seq uint64, payload []byte) {
 	if err != nil {
 		return // corrupt datagram; a real network could produce these
 	}
+	rs, ok := tr.srcs[from]
+	if !ok {
+		rs = &recvState{high: make(map[uint64]bool)}
+		tr.srcs[from] = rs
+	}
 	if tr.cfg.Unreliable {
+		rs.recvd++
 		if tr.onReceive != nil {
 			tr.onReceive(from, t)
 		}
@@ -289,16 +305,12 @@ func (tr *Transport) onData(from string, seq uint64, payload []byte) {
 	tr.ep.Send(from, ack)
 	tr.stats.AcksSent++
 
-	rs, ok := tr.srcs[from]
-	if !ok {
-		rs = &recvState{high: make(map[uint64]bool)}
-		tr.srcs[from] = rs
-	}
 	if rs.seen(seq) {
 		tr.stats.DupsSuppressed++
 		return
 	}
 	rs.mark(seq)
+	rs.recvd++
 	if tr.onReceive != nil {
 		tr.onReceive(from, t)
 	}
@@ -348,6 +360,44 @@ func (tr *Transport) refill(d *dest) {
 		d.backlog = d.backlog[:len(d.backlog)-1]
 		tr.launch(d, t)
 	}
+}
+
+// DestStats is per-peer wire accounting, merged across this node's
+// sender state toward the peer and receiver state from it — one row of
+// the sysNet introspection relation.
+type DestStats struct {
+	Addr    string
+	Sent    int64 // data transmissions toward Addr (including retransmits)
+	Recvd   int64 // tuples delivered upward from Addr (post-dedup)
+	Bytes   int64 // data bytes put on the wire toward Addr
+	Retries int64 // retransmissions toward Addr
+}
+
+// PerDest returns per-peer accounting for every address this transport
+// has sent to or received from, sorted by address.
+func (tr *Transport) PerDest() []DestStats {
+	merged := make(map[string]*DestStats)
+	at := func(addr string) *DestStats {
+		st, ok := merged[addr]
+		if !ok {
+			st = &DestStats{Addr: addr}
+			merged[addr] = st
+		}
+		return st
+	}
+	for addr, d := range tr.dests {
+		st := at(addr)
+		st.Sent, st.Bytes, st.Retries = d.sent, d.sentBytes, d.retries
+	}
+	for addr, rs := range tr.srcs {
+		at(addr).Recvd = rs.recvd
+	}
+	out := make([]DestStats, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // Window reports the current congestion window toward to — exposed for

@@ -1,0 +1,137 @@
+package p2
+
+// Introspection through the public API, including the UDP deployment
+// path: system tables populate over real sockets, and a rule installed
+// at runtime with UDPNode.Install aggregates them into a watchable
+// relation — the acceptance scenario for the introspection subsystem.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2/internal/udpnet"
+)
+
+const udpPingPong = `
+	materialize(seen, infinity, infinity, keys(1,2,3)).
+	P1 ping@Y(Y, X, E) :- pingEvent@X(X, Y, E).
+	P2 pong@X(X, Y, E) :- ping@Y(Y, X, E).
+	P3 seen@X(X, Y, E) :- pong@X(X, Y, E).
+`
+
+const monitorRules = `
+	materialize(totalTuples, infinity, 1, keys(1)).
+	T1 totalTuples@N(N, sum<C>) :- sysTable@N(N, T, C, I, D, R).
+`
+
+func TestSystemTableCatalog(t *testing.T) {
+	defs := SystemTables()
+	if len(defs) != 4 {
+		t.Fatalf("system tables = %d, want 4", len(defs))
+	}
+	names := map[string]bool{}
+	for _, d := range defs {
+		names[d.Name] = true
+	}
+	for _, want := range []string{SysTable, SysRule, SysNet, SysNode} {
+		if !names[want] {
+			t.Fatalf("catalog missing %s", want)
+		}
+	}
+	// Reserved names are rejected at compile time.
+	if _, err := Compile("materialize(sysX, 10, 10, keys(1)).", nil); err == nil {
+		t.Fatal("compiling a sys* materialize must fail")
+	}
+}
+
+// TestUDPInstallAggregatesSystemTable is the UDP-path acceptance test,
+// the twin of the engine package's simulated-path test.
+func TestUDPInstallAggregatesSystemTable(t *testing.T) {
+	plan := MustCompile(udpPingPong, nil)
+
+	addrA, err := udpnet.ReserveAddr()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	addrB, err := udpnet.ReserveAddr()
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	opts := NodeOptions{Seed: 1}
+	opts.IntrospectInterval = 0.1 // wall-clock seconds; keep the test fast
+	a, err := NewUDPNode(addrA, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPNode(addrB, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 3; i++ {
+		a.InjectTuple(NewTuple("pingEvent", Str(addrA), Str(addrB), Str(fmt.Sprintf("e%d", i))))
+	}
+
+	if err := a.Install(monitorRules); err != nil {
+		t.Fatal(err)
+	}
+	// Installing rules that are already present must fail loudly, and
+	// identically re-declared tables must be shared without error.
+	if err := a.Install("materialize(totalTuples, 1, 1, keys(1))."); err == nil {
+		t.Fatal("conflicting re-declaration must fail")
+	}
+	if err := a.Install("materialize(totalTuples, infinity, 1, keys(1))."); err != nil {
+		t.Fatalf("identical re-declaration must be shared: %v", err)
+	}
+
+	var watched atomic.Int64
+	a.Do(func(n *Node) {
+		n.Watch("totalTuples", func(ev WatchEvent) {
+			if ev.Dir == DirInserted {
+				watched.Add(1)
+			}
+		})
+	})
+
+	// Poll until the installed aggregate reflects the ping-pong state:
+	// 3 seen tuples on a, plus totalTuples' own row after one more
+	// refresh. Wall-clock deadline keeps CI failures bounded.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var total int64
+		var sent, recvd int64
+		done := make(chan struct{})
+		a.Do(func(n *Node) {
+			if rows := n.Table("totalTuples").Scan(); len(rows) == 1 {
+				total = rows[0].Field(1).AsInt()
+			}
+			for _, st := range n.NetStats() {
+				if st.Dest == addrB {
+					sent, recvd = st.Sent, st.Recvd
+				}
+			}
+			close(done)
+		})
+		<-done
+		if total >= 4 && sent > 0 && recvd > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: totalTuples=%d sent=%d recvd=%d", total, sent, recvd)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if watched.Load() == 0 {
+		t.Fatal("installed relation produced no watch events over UDP")
+	}
+
+	// Install after Close must error, not hang on a dead loop.
+	b.Close()
+	if err := b.Install(monitorRules); err == nil {
+		t.Fatal("install on closed node must fail")
+	}
+}

@@ -22,6 +22,30 @@
 // wall second — or over real UDP sockets (NewUDPNode), with identical
 // semantics.
 //
+// # Introspection
+//
+// Every node materializes its own runtime state as soft-state system
+// tables, refreshed periodically on the event loop:
+//
+//	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
+//	sysRule(@N, Rule, Fires)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries)
+//	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
+//
+// Monitoring queries are just more OverLog: Node.Install compiles
+// rules at runtime and grafts them into the live dataflow, where they
+// can join system tables, compute aggregates, and gossip health
+// summaries across the overlay like any other rules:
+//
+//	n.Install(`
+//		materialize(tupleTotal, infinity, 1, keys(1)).
+//		M1 tupleTotal@N(N, sum<C>) :- sysTable@N(N, T, C, I, D, R).
+//	`)
+//
+// The "sys" relation-name prefix is reserved. The same counters are
+// available from Go via Node.TableStats, RuleStats, NetStats, and
+// NodeStat; cmd/p2's -top flag renders them as a live view.
+//
 // The subsystems live in internal packages: the OverLog
 // lexer/parser (internal/overlog), the planner that compiles rules to
 // dataflow strands (internal/planner), the element library
@@ -33,10 +57,12 @@ package p2
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"p2/internal/engine"
 	"p2/internal/eventloop"
 	"p2/internal/id"
+	"p2/internal/introspect"
 	"p2/internal/overlays"
 	"p2/internal/overlog"
 	"p2/internal/planner"
@@ -67,7 +93,26 @@ type (
 	WatchEvent = engine.WatchEvent
 	// NetConfig describes the simulated network topology.
 	NetConfig = simnet.Config
+	// SysTableDef describes one system table's schema.
+	SysTableDef = introspect.Def
+	// TableStat, RuleStat, NetStat, and NodeStat are the Go-level forms
+	// of the sys* system-table rows (see Node.TableStats etc.).
+	TableStat = introspect.TableStat
+	RuleStat  = introspect.RuleStat
+	NetStat   = introspect.NetStat
+	NodeStat  = introspect.NodeStat
 )
+
+// System table names, re-exported for Watch and Table lookups.
+const (
+	SysTable = introspect.TableRelation
+	SysRule  = introspect.RuleRelation
+	SysNet   = introspect.NetRelation
+	SysNode  = introspect.NodeRelation
+)
+
+// SystemTables returns the schema catalog of the sys* system tables.
+func SystemTables() []SysTableDef { return introspect.Defs() }
 
 // Watch directions, re-exported.
 const (
@@ -214,7 +259,8 @@ func (s *Sim) Now() float64 { return s.Loop.Now() }
 // wall-clock event loop.
 type UDPNode struct {
 	*Node
-	loop *eventloop.Real
+	loop   *eventloop.Real
+	closed atomic.Bool
 }
 
 // NewUDPNode starts a node executing plan, bound to the UDP address
@@ -239,8 +285,24 @@ func (u *UDPNode) Do(fn func(n *Node)) {
 	u.loop.Post(func() { fn(u.Node) })
 }
 
-// Close stops the node and its loop.
+// Install compiles OverLog source and grafts it into the running
+// node's dataflow (see Node.Install), serialized onto the node's event
+// loop; it returns once installation has completed. Installing on a
+// closed node returns an error.
+func (u *UDPNode) Install(src string) error {
+	if u.closed.Load() {
+		return fmt.Errorf("p2: install on closed node %s", u.Addr())
+	}
+	errc := make(chan error, 1)
+	u.loop.Post(func() { errc <- u.Node.Install(src) })
+	return <-errc
+}
+
+// Close stops the node and its loop. Idempotent.
 func (u *UDPNode) Close() {
+	if u.closed.Swap(true) {
+		return
+	}
 	u.loop.Post(func() { u.Node.Stop() })
 	u.loop.Stop()
 }

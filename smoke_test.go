@@ -1,0 +1,59 @@
+package p2
+
+// Build-and-run smoke coverage for everything `go build ./...`
+// produces: the cmd/ binaries must compile, and each example main must
+// execute its full scenario — tens to hundreds of virtual-time
+// protocol seconds — and exit cleanly. Examples are the de facto
+// integration suite for the shipped overlays, so a broken one should
+// fail CI, not a user.
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	return path
+}
+
+func TestBuildEverything(t *testing.T) {
+	out, err := exec.Command(goTool(t), "build", "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./...: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	go_ := goTool(t)
+	bin := t.TempDir()
+	for _, ex := range []string{
+		"quickstart", "gossip", "linkstate", "multicast", "narada", "chord", "monitor",
+	} {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			// Build then exec the binary directly: killing a timed-out
+			// `go run` wrapper would orphan the example process.
+			exe := filepath.Join(bin, ex)
+			if out, err := exec.Command(go_, "build", "-o", exe, "./examples/"+ex).CombinedOutput(); err != nil {
+				t.Fatalf("build %s: %v\n%s", ex, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			if out, err := exec.CommandContext(ctx, exe).CombinedOutput(); err != nil {
+				t.Fatalf("example %s failed (ctx: %v): %v\n%s", ex, ctx.Err(), err, out)
+			}
+		})
+	}
+}

@@ -23,6 +23,9 @@ import (
 	"p2/internal/overlog"
 	"p2/internal/planner"
 	"p2/internal/simnet"
+	"p2/internal/transport"
+	"p2/internal/tuple"
+	"p2/internal/val"
 )
 
 // staticRing builds a converged P2 Chord ring for lookup benchmarks.
@@ -160,6 +163,58 @@ func BenchmarkFig4iiiChurnLatency(b *testing.B) {
 	if len(lats) > 0 {
 		cdf := experiments.NewCDF(lats)
 		b.ReportMetric(cdf.Percentile(0.5)*1000, "p50-ms")
+	}
+}
+
+// BenchmarkTransportThroughput measures the wire cost of bulk tuple
+// traffic toward one destination for the batched and unbatched element
+// chains. The figure to read is datagrams/ktuple: MTU-budget batching
+// plus cumulative acks piggybacked on data frames must cut the
+// datagram count at least 2x at equal delivered-tuple counts (the
+// enforcing test is internal/transport's TestBatchingReducesDatagrams).
+func BenchmarkTransportThroughput(b *testing.B) {
+	const tuples = 1000
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{{"batched", false}, {"unbatched", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var datagrams, wireBytes, delivered int64
+			for i := 0; i < b.N; i++ {
+				loop := eventloop.NewSim()
+				scfg := simnet.DefaultConfig()
+				scfg.Domains = 1
+				net := simnet.New(loop, scfg)
+				cfg := transport.DefaultConfig()
+				cfg.NoBatch = mode.noBatch
+				var src, dst *transport.Transport
+				epA, _ := net.Attach("a", func(from string, p []byte) { src.Deliver(from, p) })
+				epB, _ := net.Attach("b", func(from string, p []byte) { dst.Deliver(from, p) })
+				src = transport.New(loop, epA, cfg)
+				dst = transport.New(loop, epB, cfg)
+				got := 0
+				dst.OnReceive(func(string, *tuple.Tuple) { got++ })
+				// Bulk load in strand-sized bursts, as gossip rounds produce.
+				for burst := 0; burst < tuples/50; burst++ {
+					at := float64(burst) * 0.05
+					loop.At(at, func() {
+						for j := 0; j < 50; j++ {
+							src.Send("b", tuple.New("g", val.Str("b"), val.Int(int64(j))))
+						}
+					})
+				}
+				loop.Run(60)
+				if got != tuples {
+					b.Fatalf("delivered %d of %d", got, tuples)
+				}
+				st := net.TotalStats()
+				datagrams += st.PacketsSent
+				wireBytes += st.BytesSent
+				delivered += int64(got)
+			}
+			b.ReportMetric(float64(datagrams)/float64(delivered)*1000, "datagrams/ktuple")
+			b.ReportMetric(float64(wireBytes)/float64(delivered), "wire-B/tuple")
+		})
 	}
 }
 

@@ -51,6 +51,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "UDP address to bind (also the node's identity)")
 	duration := flag.Duration("duration", 0, "run time (0 = until interrupted)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	unreliable := flag.Bool("unreliable", false, "compose the short transport chain: no acks, retries, or congestion control")
+	noBatch := flag.Bool("nobatch", false, "disable tuple batching: one tuple per datagram")
+	ackDelay := flag.Duration("ack-delay", 20*time.Millisecond, "how long to wait for reverse-path data to piggyback acks on")
 	monitor := flag.String("monitor", "", "OverLog file to Install into the running node (monitoring rules)")
 	top := flag.Bool("top", false, "render a live p2top view of the sys* system tables")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "refresh period of the -top view")
@@ -73,7 +76,11 @@ func main() {
 		fatal("compiling spec: %v", err)
 	}
 
-	node, err := p2.NewUDPNode(*addr, plan, p2.NodeOptions{Seed: *seed})
+	tcfg := p2.DefaultTransportConfig()
+	tcfg.Unreliable = *unreliable
+	tcfg.NoBatch = *noBatch
+	tcfg.AckDelay = ackDelay.Seconds()
+	node, err := p2.NewUDPNode(*addr, plan, p2.NodeOptions{Seed: *seed, Transport: &tcfg})
 	if err != nil {
 		fatal("starting node: %v", err)
 	}
@@ -166,9 +173,11 @@ func renderTop(node *p2.UDPNode) string {
 	for _, r := range s.rules {
 		fmt.Fprintf(&sb, "%-24s %8d\n", r.ID, r.Fires)
 	}
-	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s\n", "PEER", "SENT", "RECVD", "BYTES", "RETRY")
+	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s %6s %7s %7s %6s\n",
+		"PEER", "SENT", "RECVD", "BYTES", "RETRY", "CWND", "RTO", "BACKLOG", "FILL")
 	for _, d := range s.nets {
-		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %8d\n", d.Dest, d.Sent, d.Recvd, d.Bytes, d.Retries)
+		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %8d %6.1f %7.3f %7d %6.1f\n",
+			d.Dest, d.Sent, d.Recvd, d.Bytes, d.Retries, d.Cwnd, d.RTO, d.Backlog, d.BatchFill)
 	}
 	return sb.String()
 }

@@ -299,6 +299,15 @@ func (s *aggState) add(fn AggFunc, v val.Value) {
 	}
 }
 
+// remove retracts one accumulated value (COUNT/SUM/AVG only; exemplar
+// aggregates are recomputed from the table, never retracted).
+func (s *aggState) remove(fn AggFunc, v val.Value) {
+	s.count--
+	if fn == AggSum || fn == AggAvg {
+		s.sum -= v.AsFloat()
+	}
+}
+
 func (s *aggState) result(fn AggFunc) val.Value {
 	switch fn {
 	case AggCount:
@@ -317,9 +326,21 @@ func (s *aggState) result(fn AggFunc) val.Value {
 
 // AggTable maintains a continuous aggregate over a stored table (§3.4:
 // "aggregation elements that maintain an up-to-date aggregate ... on a
-// table and emit it whenever it changes"). It recomputes on every
-// insert/delete/expiry and pushes group results whose value changed.
-// This is how rules like N3 (bestSuccDist min<D> over succDist) run.
+// table and emit it whenever it changes"), pushing group results whose
+// value changed. This is how rules like N3 (bestSuccDist min<D> over
+// succDist) run.
+//
+// Maintenance is incremental, not a full table scan per delta:
+// COUNT/SUM/AVG fold every insert, delete, and primary-key displacement
+// into per-group accumulators in O(1); MIN/MAX are exemplar aggregates
+// whose result is recomputed from only the affected group's rows,
+// reached through a secondary index on the grouping fields (an
+// accumulator cannot retract an extremum, and a group is typically a
+// handful of rows — Chord's succDist holds a successor list). Every
+// listener reaction is deferred to the table mutation's final
+// notification, so one Insert — even one that displaces a row or
+// evicts another — emits at most one change per affected group. The
+// win over scan-per-delta shows in BenchmarkAggTable*.
 type AggTable struct {
 	Base
 	tbl      *table.Table
@@ -327,10 +348,21 @@ type AggTable struct {
 	groupPos []int
 	aggPos   int
 	outName  string
+	sums     map[string]*aggState // COUNT/SUM/AVG accumulators, by group key
 	last     map[string]val.Value
+	// displaced stashes the row a primary-key replacement evicted, and
+	// evicted the group keys whose delete notifications fired inside an
+	// in-progress Insert (FIFO eviction); the insert's own OnInsert
+	// consumes both, folding the whole mutation into one refresh pass.
+	displaced *tuple.Tuple
+	evicted   []string
 }
 
-// NewAggTable builds the element and hooks the table's listeners.
+// NewAggTable builds the element and hooks the table's listeners. The
+// accumulators start empty: when wiring onto a table that already holds
+// rows, connect the output and then call Recompute, which both seeds
+// the state and emits the current groups (the engine's install path
+// does exactly this).
 func NewAggTable(name string, tbl *table.Table, fn AggFunc, groupPos []int, aggPos int,
 	outName string) *AggTable {
 	a := &AggTable{
@@ -340,51 +372,161 @@ func NewAggTable(name string, tbl *table.Table, fn AggFunc, groupPos []int, aggP
 		groupPos: append([]int(nil), groupPos...),
 		aggPos:   aggPos,
 		outName:  outName,
+		sums:     make(map[string]*aggState),
 		last:     make(map[string]val.Value),
 	}
-	recompute := func(*tuple.Tuple) { a.Recompute() }
-	tbl.OnInsert(recompute)
-	tbl.OnDelete(recompute)
+	if a.exemplar() {
+		tbl.EnsureIndex(a.groupPos) // exemplar refreshes read one group, not the table
+	}
+	tbl.OnReplace(func(old *tuple.Tuple) { a.displaced = old })
+	tbl.OnInsert(func(t *tuple.Tuple) {
+		keys := a.evicted
+		a.evicted = nil
+		if a.displaced != nil {
+			keys = append(keys, a.retract(a.displaced))
+			a.displaced = nil
+		}
+		keys = append(keys, a.fold(t))
+		a.refreshEach(keys)
+	})
+	tbl.OnDelete(func(t *tuple.Tuple) {
+		key := a.retract(t)
+		if a.tbl.Inserting() != nil {
+			// Eviction inside an Insert: the table already holds the new
+			// row but its notification has not fired; refreshing now
+			// would read (exemplar) or emit (accumulator) a half-applied
+			// mutation. The paired OnInsert refreshes this group.
+			a.evicted = append(a.evicted, key)
+			return
+		}
+		a.refresh(key)
+	})
 	return a
 }
 
-// Recompute scans the table, updates group aggregates, and emits
-// changed groups downstream. Vanished groups are forgotten silently —
-// soft state decays rather than retracts, per the paper's model.
+// exemplar reports whether the aggregate picks a row (MIN/MAX) rather
+// than accumulating arithmetic.
+func (a *AggTable) exemplar() bool { return a.fn == AggMin || a.fn == AggMax }
+
+// fold adds one row's contribution and returns its group key. Exemplar
+// aggregates keep no accumulator — their refresh reads the group.
+func (a *AggTable) fold(t *tuple.Tuple) string {
+	key := t.Key(a.groupPos)
+	if a.exemplar() {
+		return key
+	}
+	st, ok := a.sums[key]
+	if !ok {
+		group := make([]val.Value, len(a.groupPos))
+		for i, p := range a.groupPos {
+			group[i] = t.Field(p)
+		}
+		st = &aggState{group: group}
+		a.sums[key] = st
+	}
+	st.add(a.fn, t.Field(a.aggPos))
+	return key
+}
+
+// retract removes one row's contribution and returns its group key.
+func (a *AggTable) retract(t *tuple.Tuple) string {
+	key := t.Key(a.groupPos)
+	if a.exemplar() {
+		return key
+	}
+	st, ok := a.sums[key]
+	if !ok {
+		return key // never folded in (listener attached late); nothing to undo
+	}
+	if st.count <= 1 {
+		delete(a.sums, key)
+		return key
+	}
+	st.remove(a.fn, t.Field(a.aggPos))
+	return key
+}
+
+// refreshEach refreshes every distinct key once, preserving order.
+func (a *AggTable) refreshEach(keys []string) {
+	done := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		if !done[key] {
+			done[key] = true
+			a.refresh(key)
+		}
+	}
+}
+
+// refresh computes a group's current result, compares it with the last
+// one emitted, and pushes downstream on change. Vanished groups are
+// forgotten silently — soft state decays rather than retracts, per the
+// paper's model.
+func (a *AggTable) refresh(key string) {
+	var group []val.Value
+	var v val.Value
+	if a.exemplar() {
+		// Read the group's rows through PeekLookup: refresh runs inside
+		// table notifications, where re-entering the expiry pass would
+		// recurse into this listener.
+		rows := a.tbl.PeekLookup(a.groupPos, key)
+		if len(rows) == 0 {
+			delete(a.last, key)
+			return
+		}
+		best := rows[0]
+		for _, t := range rows[1:] {
+			c := t.Field(a.aggPos).Cmp(best.Field(a.aggPos))
+			if (a.fn == AggMin && c < 0) || (a.fn == AggMax && c > 0) {
+				best = t
+			}
+		}
+		v = best.Field(a.aggPos)
+		group = make([]val.Value, len(a.groupPos))
+		for i, p := range a.groupPos {
+			group[i] = best.Field(p)
+		}
+	} else {
+		st, ok := a.sums[key]
+		if !ok {
+			delete(a.last, key)
+			return
+		}
+		v = st.result(a.fn)
+		group = st.group
+	}
+	if prev, ok := a.last[key]; ok && prev.Equal(v) {
+		return
+	}
+	a.last[key] = v
+	fields := make([]val.Value, 0, len(group)+1)
+	fields = append(fields, group...)
+	fields = append(fields, v)
+	a.PushOut(0, tuple.New(a.outName, fields...), nil)
+}
+
+// Recompute rebuilds the accumulators from a full scan and emits every
+// group whose result differs from the last emission. The engine calls
+// it once after wiring an aggregate onto a table that already holds
+// rows (rules installed at runtime); steady-state maintenance is
+// incremental and never comes through here.
 func (a *AggTable) Recompute() {
-	groups := make(map[string]*aggState)
+	a.sums = make(map[string]*aggState)
+	a.displaced, a.evicted = nil, nil
+	seen := make(map[string]bool)
 	var order []string
 	for _, t := range a.tbl.Scan() {
-		key := t.Key(a.groupPos)
-		st, ok := groups[key]
-		if !ok {
-			group := make([]val.Value, len(a.groupPos))
-			for i, p := range a.groupPos {
-				group[i] = t.Field(p)
-			}
-			st = &aggState{group: group}
-			groups[key] = st
+		key := a.fold(t)
+		if !seen[key] {
+			seen[key] = true
 			order = append(order, key)
 		}
-		st.add(a.fn, t.Field(a.aggPos))
 	}
 	for key := range a.last {
-		if _, ok := groups[key]; !ok {
+		if !seen[key] {
 			delete(a.last, key)
 		}
 	}
-	for _, key := range order {
-		st := groups[key]
-		v := st.result(a.fn)
-		if prev, ok := a.last[key]; ok && prev.Equal(v) {
-			continue
-		}
-		a.last[key] = v
-		fields := make([]val.Value, 0, len(st.group)+1)
-		fields = append(fields, st.group...)
-		fields = append(fields, v)
-		a.PushOut(0, tuple.New(a.outName, fields...), nil)
-	}
+	a.refreshEach(order)
 }
 
 // Insert stores pushed tuples into a table and forwards the tuple

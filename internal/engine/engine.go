@@ -437,6 +437,10 @@ func (n *Node) buildTableAgg(ta *planner.TableAggRule) {
 	})
 	agg.ConnectOut(0, project, 0)
 	project.ConnectOut(0, sink, 0)
+	// Rules installed at runtime aggregate over tables that may already
+	// hold rows; surface the current groups now that the chain is wired.
+	// At node start tables are empty and this is a no-op.
+	agg.Recompute()
 }
 
 // runStrand executes one rule strand for one event, run-to-completion.

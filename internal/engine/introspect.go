@@ -99,7 +99,9 @@ func (n *Node) RuleStats() []introspect.RuleStat {
 	return out
 }
 
-// NetStats reports per-peer transport accounting, sorted by address.
+// NetStats reports per-peer transport accounting and the live state of
+// the transport element chain (congestion window, RTO, backlog, batch
+// fill), sorted by address.
 func (n *Node) NetStats() []introspect.NetStat {
 	if n.trans == nil {
 		return nil
@@ -109,6 +111,7 @@ func (n *Node) NetStats() []introspect.NetStat {
 	for i, d := range per {
 		out[i] = introspect.NetStat{
 			Dest: d.Addr, Sent: d.Sent, Recvd: d.Recvd, Bytes: d.Bytes, Retries: d.Retries,
+			Cwnd: d.Cwnd, RTO: d.RTO, Backlog: d.Backlog, BatchFill: d.BatchFill,
 		}
 	}
 	return out

@@ -178,6 +178,40 @@ func TestInstallPeriodicRuleShipsSummaries(t *testing.T) {
 	}
 }
 
+// TestInstallJoinsSysNetControlState is the sim-path acceptance test
+// for the transport-introspection columns: an installed rule joins
+// sysNet's congestion window, RTO, and backlog columns and materializes
+// them as an application relation.
+func TestInstallJoinsSysNetControlState(t *testing.T) {
+	r := newRig(t, pingPongSrc, "a", "b")
+	pingN(r, "a", "b", 3)
+	r.loop.Run(2)
+	err := r.nodes["a"].Install(`
+		materialize(peerWindow, infinity, infinity, keys(1,2)).
+		W1 peerWindow@N(N, D, W, T, B) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sysNet rows only produce deltas (and thus trigger the installed
+	// rule) when the counters move, so generate traffic post-install.
+	pingN(r, "a", "b", 2)
+	r.loop.Run(3)
+	rows := r.nodes["a"].Table("peerWindow").Scan()
+	if len(rows) != 1 || rows[0].Field(1).AsStr() != "b" {
+		t.Fatalf("peerWindow rows = %v", rows)
+	}
+	if w := rows[0].Field(2).AsFloat(); w < 1 {
+		t.Fatalf("joined cwnd = %v, want >= 1", w)
+	}
+	if rto := rows[0].Field(3).AsFloat(); rto <= 0 {
+		t.Fatalf("joined rto = %v, want > 0", rto)
+	}
+	if b := rows[0].Field(4).AsInt(); b != 0 {
+		t.Fatalf("joined backlog = %d on an idle link", b)
+	}
+}
+
 func TestInstallErrors(t *testing.T) {
 	r := newRig(t, pingPongSrc, "a")
 	n := r.nodes["a"]

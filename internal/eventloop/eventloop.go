@@ -17,6 +17,7 @@ package eventloop
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,14 +45,15 @@ type Timer struct {
 	at       float64
 	seq      uint64
 	fn       func()
-	canceled bool
+	canceled atomic.Bool
 	index    int // heap position, -1 when popped
 }
 
-// Cancel prevents the callback from firing. Safe to call after firing.
+// Cancel prevents the callback from firing. Safe to call after firing,
+// and (because the flag is atomic) from any goroutine.
 func (t *Timer) Cancel() {
 	if t != nil {
-		t.canceled = true
+		t.canceled.Store(true)
 	}
 }
 
@@ -93,7 +95,7 @@ func (h *timerHeap) Pop() any {
 func (h timerHeap) live() int {
 	n := 0
 	for _, t := range h {
-		if !t.canceled {
+		if !t.canceled.Load() {
 			n++
 		}
 	}
@@ -143,7 +145,7 @@ func (s *Sim) Defer(fn func()) { s.At(s.now, fn) }
 func (s *Sim) Step() bool {
 	for s.heap.Len() > 0 {
 		tm := heap.Pop(&s.heap).(*Timer)
-		if tm.canceled {
+		if tm.canceled.Load() {
 			continue
 		}
 		s.now = tm.at
@@ -161,7 +163,7 @@ func (s *Sim) Run(until float64) int {
 	n := 0
 	for s.heap.Len() > 0 {
 		next := s.heap[0]
-		if next.canceled {
+		if next.canceled.Load() {
 			heap.Pop(&s.heap)
 			continue
 		}
@@ -274,7 +276,7 @@ func (r *Real) Run() {
 			}
 			if r.heap.Len() > 0 {
 				next := r.heap[0]
-				if next.canceled {
+				if next.canceled.Load() {
 					heap.Pop(&r.heap)
 					continue
 				}
@@ -295,9 +297,10 @@ func (r *Real) Run() {
 		fns = append(fns, r.posted...)
 		r.posted = r.posted[:0]
 		now := r.Now()
+		var due []*Timer
 		for r.heap.Len() > 0 {
 			next := r.heap[0]
-			if next.canceled {
+			if next.canceled.Load() {
 				heap.Pop(&r.heap)
 				continue
 			}
@@ -305,11 +308,18 @@ func (r *Real) Run() {
 				break
 			}
 			heap.Pop(&r.heap)
-			fns = append(fns, next.fn)
+			due = append(due, next)
 		}
 		r.mu.Unlock()
 		for _, fn := range fns {
 			fn()
+		}
+		for _, tm := range due {
+			// Re-check at invocation time: an earlier callback in this
+			// very batch may have canceled a timer collected with it.
+			if !tm.canceled.Load() {
+				tm.fn()
+			}
 		}
 	}
 }

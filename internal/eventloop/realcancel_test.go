@@ -1,0 +1,64 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRealCanceledTimerInSameBatchDoesNotFire is the regression test
+// for a Run bug: due callbacks were collected under the lock and run
+// outside it, so a Cancel issued by an earlier callback in the same
+// batch still let the canceled one execute. Cancellation must be
+// honored at invocation time.
+func TestRealCanceledTimerInSameBatchDoesNotFire(t *testing.T) {
+	r := NewReal()
+	fired := make(chan bool, 2)
+	done := make(chan struct{})
+
+	var victim *Timer
+	// Both timers are due at time zero, so Run collects them in one
+	// batch; the canceller was scheduled first and runs first.
+	r.At(0, func() { victim.Cancel() })
+	victim = r.At(0, func() { fired <- true })
+	r.At(0.05, func() { close(done) })
+
+	go r.Run()
+	defer r.Stop()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop never drained")
+	}
+	select {
+	case <-fired:
+		t.Fatal("canceled timer fired despite being in the same batch as its canceller")
+	default:
+	}
+}
+
+// TestRealPostCancelsDueTimer covers the posted-function variant: posted
+// work runs before due timers in a batch and must be able to void them.
+func TestRealPostCancelsDueTimer(t *testing.T) {
+	r := NewReal()
+	fired := make(chan bool, 2)
+	done := make(chan struct{})
+
+	victim := r.At(0, func() { fired <- true })
+	r.Post(func() { victim.Cancel() })
+	r.At(0.05, func() { close(done) })
+
+	go r.Run()
+	defer r.Stop()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop never drained")
+	}
+	select {
+	case <-fired:
+		t.Fatal("canceled timer fired despite the posted Cancel running first")
+	default:
+	}
+}

@@ -163,14 +163,15 @@ func (h *Chord) spawn() *engine.Node {
 		lr.Owner = ev.Tuple.Field(3).AsStr()
 	})
 	n.Transport().OnSent(func(to string, t *tuple.Tuple, wire int, rexmit bool) {
-		// Charge the ack a reliable transmission will trigger to the
-		// same class as its data tuple (ack frame + headers = 37 B).
-		const ackCost = 37
+		// Classify data bytes by tuple; TrafficBytes scales the classes
+		// to the simulator's wire total so acks and datagram headers
+		// (now shared across a batch, often piggybacked) are
+		// apportioned instead of guessed at.
 		switch t.Name() {
 		case "lookup", "lookupResults":
-			h.lookupBytes += int64(wire + ackCost)
+			h.lookupBytes += int64(wire)
 		default:
-			h.maintBytes += int64(wire + ackCost)
+			h.maintBytes += int64(wire)
 		}
 	})
 	return n
@@ -276,9 +277,18 @@ func (h *Chord) RingCorrectness() float64 {
 }
 
 // TrafficBytes returns cumulative (lookupClass, maintenanceClass) bytes
-// across all nodes since the last ResetTraffic.
+// across all nodes since the last ResetTraffic. The per-class data
+// bytes the transport tap classified are scaled up to the simulator's
+// true wire total, so ack datagrams, UDP/IP headers, and per-frame
+// batching overhead are distributed proportionally between the classes.
 func (h *Chord) TrafficBytes() (lookup, maintenance int64) {
-	return h.lookupBytes, h.maintBytes
+	classified := h.lookupBytes + h.maintBytes
+	total := h.Net.TotalStats().BytesSent
+	if classified == 0 || total <= classified {
+		return h.lookupBytes, h.maintBytes
+	}
+	scale := float64(total) / float64(classified)
+	return int64(float64(h.lookupBytes) * scale), int64(float64(h.maintBytes) * scale)
 }
 
 // ResetTraffic zeroes the traffic classification counters and the

@@ -10,7 +10,7 @@
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
-//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
 //
 // The "sys" relation-name prefix is reserved: user programs may join,
@@ -66,8 +66,8 @@ func Defs() []Def {
 			Doc: "sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes): per-relation row counts and cumulative delta counters"},
 		{Name: RuleRelation, Arity: 3, Keys: []int{0, 1},
 			Doc: "sysRule(@N, Rule, Fires): cumulative strand executions per compiled rule"},
-		{Name: NetRelation, Arity: 6, Keys: []int{0, 1},
-			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries): per-peer transport accounting"},
+		{Name: NetRelation, Arity: 10, Keys: []int{0, 1},
+			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill): per-peer transport accounting and live congestion state"},
 		{Name: NodeRelation, Arity: 4, Keys: []int{0},
 			Doc: "sysNode(@N, UptimeS, EventsProcessed, QueueLen): whole-node liveness"},
 	}
@@ -89,13 +89,20 @@ type RuleStat struct {
 }
 
 // NetStat is per-peer transport accounting, merged across send and
-// receive state.
+// receive state, plus the live control state of the transport's element
+// chain toward the peer — so OverLog rules can observe congestion
+// windows, retransmission timeouts, backlog pressure, and batching
+// efficiency and react to them.
 type NetStat struct {
-	Dest    string
-	Sent    int64 // tuples transmitted (including retransmissions)
-	Recvd   int64 // tuples delivered upward (post-dedup)
-	Bytes   int64 // data bytes put on the wire toward Dest
-	Retries int64 // retransmissions toward Dest
+	Dest      string
+	Sent      int64   // tuples transmitted (including retransmissions)
+	Recvd     int64   // tuples delivered upward (post-dedup)
+	Bytes     int64   // data bytes put on the wire toward Dest
+	Retries   int64   // retransmissions toward Dest
+	Cwnd      float64 // current congestion window, datagrams
+	RTO       float64 // current retransmission timeout, seconds
+	Backlog   int     // tuples queued behind the congestion window
+	BatchFill float64 // mean tuples per data datagram toward Dest
 }
 
 // NodeStat is whole-node liveness.
@@ -144,7 +151,8 @@ func Snapshot(src Source) []*tuple.Tuple {
 	for _, st := range nstats {
 		out = append(out, tuple.New(NetRelation,
 			addr, val.Str(st.Dest), val.Int(st.Sent), val.Int(st.Recvd),
-			val.Int(st.Bytes), val.Int(st.Retries)))
+			val.Int(st.Bytes), val.Int(st.Retries), val.Float(st.Cwnd),
+			val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill)))
 	}
 	return out
 }

@@ -20,7 +20,10 @@ func (fakeSource) TableStats() []TableStat {
 }
 func (fakeSource) RuleStats() []RuleStat { return []RuleStat{{ID: "R1", Fires: 6}} }
 func (fakeSource) NetStats() []NetStat {
-	return []NetStat{{Dest: "n2", Sent: 3, Recvd: 2, Bytes: 99, Retries: 1}}
+	return []NetStat{{
+		Dest: "n2", Sent: 3, Recvd: 2, Bytes: 99, Retries: 1,
+		Cwnd: 4.5, RTO: 0.2, Backlog: 7, BatchFill: 1.5,
+	}}
 }
 
 func TestSnapshotShapes(t *testing.T) {
@@ -51,6 +54,9 @@ func TestSnapshotShapes(t *testing.T) {
 	net := tuples[4]
 	if net.Name() != NetRelation || net.Field(1).AsStr() != "n2" || net.Field(4).AsInt() != 99 {
 		t.Fatalf("sysNet row = %v", net)
+	}
+	if net.Field(6).AsFloat() != 4.5 || net.Field(8).AsInt() != 7 || net.Field(9).AsFloat() != 1.5 {
+		t.Fatalf("sysNet control-state columns wrong: %v", net)
 	}
 }
 

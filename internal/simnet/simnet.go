@@ -31,6 +31,7 @@ type Config struct {
 	LossRate     float64 // uniform datagram loss probability
 	Seed         int64   // rng seed for loss and placement
 	HeaderBytes  int     // per-datagram overhead charged (UDP+IP headers)
+	MTU          int     // datagram payload budget endpoints advertise (0: netif.DefaultMTU)
 }
 
 // DefaultConfig reproduces the paper's Emulab topology.
@@ -43,6 +44,7 @@ func DefaultConfig() Config {
 		LossRate:     0,
 		Seed:         1,
 		HeaderBytes:  28, // IPv4 + UDP
+		MTU:          netif.DefaultMTU,
 	}
 }
 
@@ -236,5 +238,12 @@ func (e *endpoint) Send(to string, payload []byte) {
 }
 
 func (e *endpoint) LocalAddr() string { return e.node.addr }
+
+func (e *endpoint) MTU() int {
+	if e.net.cfg.MTU > 0 {
+		return e.net.cfg.MTU
+	}
+	return netif.DefaultMTU
+}
 
 func (e *endpoint) Close() { e.node.dead = true }

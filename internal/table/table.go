@@ -43,6 +43,8 @@ type Table struct {
 	onInsert  []func(*tuple.Tuple)
 	onDelete  []func(*tuple.Tuple)
 	onRefresh []func(*tuple.Tuple)
+	onReplace []func(*tuple.Tuple)
+	inserting *tuple.Tuple
 
 	stats Stats
 }
@@ -123,6 +125,20 @@ func (tb *Table) OnDelete(fn func(*tuple.Tuple)) { tb.onDelete = append(tb.onDel
 // (its TTL renewed but no delta produced).
 func (tb *Table) OnRefresh(fn func(*tuple.Tuple)) { tb.onRefresh = append(tb.onRefresh, fn) }
 
+// OnReplace registers fn to run with the row displaced by a primary-key
+// replacement. It fires immediately before the replacement's OnInsert
+// callbacks — always as a pair — so incremental listeners (continuous
+// aggregates) can retract the old row's contribution. Displacement is
+// not a delete: the delete listeners and counter are untouched.
+func (tb *Table) OnReplace(fn func(*tuple.Tuple)) { tb.onReplace = append(tb.onReplace, fn) }
+
+// Inserting returns the tuple an in-progress Insert has stored but not
+// yet announced through OnInsert — non-nil only inside delete listeners
+// fired by that insert's FIFO eviction. Incremental listeners use it to
+// defer their reaction to the insert's own callback, so one table
+// mutation produces one notification.
+func (tb *Table) Inserting() *tuple.Tuple { return tb.inserting }
+
 // InsertResult describes what an Insert did.
 type InsertResult struct {
 	Stored   bool         // tuple is now in the table
@@ -153,6 +169,9 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		tb.removeRow(existing, false)
 		tb.addRow(t, now)
 		tb.stats.Inserts++
+		for _, fn := range tb.onReplace {
+			fn(old)
+		}
 		for _, fn := range tb.onInsert {
 			fn(t)
 		}
@@ -160,11 +179,17 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 	}
 
 	tb.addRow(t, now)
-	// FIFO eviction when over capacity.
+	// FIFO eviction when over capacity. The eviction's delete listeners
+	// fire while t is stored but not yet announced; Inserting marks the
+	// window so incremental listeners can fold the whole mutation into
+	// one notification.
+	prev := tb.inserting
+	tb.inserting = t
 	for tb.maxSize > 0 && len(tb.rows) > tb.maxSize {
 		oldest := tb.order.Front().Value.(*row)
 		tb.removeRow(oldest, true)
 	}
+	tb.inserting = prev
 	tb.stats.Inserts++
 	for _, fn := range tb.onInsert {
 		fn(t)
@@ -315,6 +340,23 @@ func indexSig(positions []int) string {
 // missing index panics, which flags a planner bug immediately.
 func (tb *Table) Lookup(positions []int, key string) []*tuple.Tuple {
 	tb.Expire()
+	ix, ok := tb.indices[indexSig(positions)]
+	if !ok {
+		panic(fmt.Sprintf("table %s: lookup on missing index %v", tb.name, positions))
+	}
+	rows := ix.m[key]
+	out := make([]*tuple.Tuple, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.t)
+	}
+	return out
+}
+
+// PeekLookup is Lookup without the expiry pass — for listeners that
+// read the table while a mutation is in progress, where re-entering
+// Expire would recurse into the listener chain. Rows past their TTL but
+// not yet swept may be included; their own delete notifications follow.
+func (tb *Table) PeekLookup(positions []int, key string) []*tuple.Tuple {
 	ix, ok := tb.indices[indexSig(positions)]
 	if !ok {
 		panic(fmt.Sprintf("table %s: lookup on missing index %v", tb.name, positions))

@@ -1,0 +1,151 @@
+package transport
+
+import "math"
+
+// CCTx is the congestion-control element: a per-destination AIMD window
+// over in-flight datagrams with TCP-style slow start, plus the
+// Jacobson/Karels RTT estimator whose RTO the Retry element's timers
+// consult. It admits batches from the Batch element when the window has
+// room, assigns their sequence numbers, and refuses them (arming the
+// poke) when it does not; acknowledgments and drops reopen the window
+// and fire the poke.
+type CCTx struct {
+	tr    *Transport
+	next  *Retry
+	dests map[string]*ccState
+}
+
+// ccState is one destination's sender-side control state.
+type ccState struct {
+	nextSeq  uint64 // last sequence number assigned
+	inflight int    // datagrams in flight
+	cwnd     float64
+	ssthresh float64
+	srtt     float64
+	rttvar   float64
+	rto      float64
+	stalled  poke // armed by a refused push; fired when the window opens
+}
+
+func newCCTx(tr *Transport) *CCTx {
+	return &CCTx{tr: tr, dests: make(map[string]*ccState)}
+}
+
+func (c *CCTx) state(dst string) *ccState {
+	st, ok := c.dests[dst]
+	if !ok {
+		st = &ccState{
+			cwnd:     c.tr.cfg.WindowInit,
+			ssthresh: c.tr.cfg.WindowMax,
+			rto:      c.tr.cfg.InitialRTO,
+		}
+		c.dests[dst] = st
+	}
+	return st
+}
+
+// pushBatch admits wb into the window or refuses it. On admission the
+// batch's records receive consecutive sequence numbers and the batch
+// moves down to Retry.
+func (c *CCTx) pushBatch(wb *wireBatch, pk poke) bool {
+	st := c.state(wb.dst)
+	if float64(st.inflight) >= st.cwnd {
+		st.stalled = pk
+		return false
+	}
+	wb.first = st.nextSeq + 1
+	st.nextSeq += uint64(len(wb.recs))
+	st.inflight++
+	c.next.pushBatch(wb, nil)
+	return true
+}
+
+// onAck processes a cumulative acknowledgment from dst — piggybacked in
+// a data-frame header or carried by a bare ack frame. Every batch fully
+// covered by cum leaves flight and contributes additive window growth.
+// Only the most recently transmitted of them supplies an RTT sample
+// (plus Karn's rule: never a retransmitted batch): a cumulative ack can
+// clear batches whose acknowledgment was stalled behind a hole, and
+// their inflated wait times are queueing artifacts, not path RTT.
+func (c *CCTx) onAck(dst string, cum uint64) {
+	st, ok := c.dests[dst]
+	if !ok {
+		return
+	}
+	cleared := c.tr.rty.clear(dst, cum)
+	if len(cleared) == 0 {
+		return
+	}
+	var freshest *wireBatch
+	recovery := false
+	for _, wb := range cleared {
+		st.inflight--
+		if wb.rexmit {
+			// This ack ends a retransmission episode: everything it
+			// clears sat buffered behind the hole, so no batch in it
+			// times the path (Karn's rule, extended to the episode).
+			recovery = true
+		} else if freshest == nil || wb.sentAt > freshest.sentAt {
+			freshest = wb
+		}
+		// Additive increase: slow start below ssthresh, then 1/cwnd.
+		if st.cwnd < st.ssthresh {
+			st.cwnd++
+		} else {
+			st.cwnd += 1 / st.cwnd
+		}
+	}
+	if freshest != nil && !recovery {
+		c.sample(st, c.tr.loop.Now()-freshest.sentAt)
+	}
+	if st.cwnd > c.tr.cfg.WindowMax {
+		st.cwnd = c.tr.cfg.WindowMax
+	}
+	c.open(st)
+}
+
+// sample folds one RTT measurement into the estimator.
+func (c *CCTx) sample(st *ccState, rtt float64) {
+	if st.srtt == 0 {
+		st.srtt = rtt
+		st.rttvar = rtt / 2
+	} else {
+		st.rttvar = 0.75*st.rttvar + 0.25*math.Abs(st.srtt-rtt)
+		st.srtt = 0.875*st.srtt + 0.125*rtt
+	}
+	st.rto = c.tr.clampRTO(st.srtt + 4*st.rttvar)
+}
+
+// onTimeout applies multiplicative decrease and restarts slow start —
+// called by Retry before each retransmission.
+func (c *CCTx) onTimeout(dst string) {
+	st := c.state(dst)
+	st.ssthresh = math.Max(float64(st.inflight)/2, 2)
+	st.cwnd = 1
+}
+
+// onGiveUp frees the window slot of a batch dropped after the retry
+// budget and pokes the backlog.
+func (c *CCTx) onGiveUp(dst string) {
+	if st, ok := c.dests[dst]; ok {
+		st.inflight--
+		c.open(st)
+	}
+}
+
+// open fires the stalled poke, if any — capacity freed, try again.
+func (c *CCTx) open(st *ccState) {
+	if st.stalled != nil {
+		pk := st.stalled
+		st.stalled = nil
+		pk()
+	}
+}
+
+// rtoFor returns the current retransmission timeout toward dst.
+func (c *CCTx) rtoFor(dst string) float64 {
+	if st, ok := c.dests[dst]; ok {
+		return st.rto
+	}
+	return c.tr.cfg.InitialRTO
+}

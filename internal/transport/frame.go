@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"encoding/binary"
+
+	"p2/internal/tuple"
+)
+
+// Wire format (all integers big-endian):
+//
+//	data frame: | 0x00 | cumAck u64 | skip u64 | firstSeq u64 | count u16 | records... |
+//	ack frame:  | 0x01 | cumAck u64 |
+//
+// Every data frame toward a peer carries cumAck — the highest contiguous
+// sequence number this node has delivered *from* that peer — so steady
+// bidirectional traffic acknowledges itself and needs no ack datagrams.
+//
+// skip keeps cumulative acknowledgment sound when the sender abandons a
+// frame after the retry budget: it is the sequence number below which
+// nothing remains in flight, so every hole at or below it will never be
+// filled and the receiver may advance its cumulative counter across it.
+// Without this, one abandoned frame would pin the receiver's cum
+// forever and deadlock the session after, e.g., a healed partition.
+//
+// firstSeq numbers the first record; the count records that follow are
+// consecutively numbered and each is a self-delimiting tuple.Marshal
+// encoding. Unreliable chains send zeros for all three sequence fields
+// and the receiver ignores them.
+const (
+	frameData = 0x00
+	frameAck  = 0x01
+
+	dataHeaderLen = 1 + 8 + 8 + 8 + 2
+	ackFrameLen   = 1 + 8
+)
+
+// Frame is the bottom send-path element — §3.4's socket handling: it
+// encodes batches into datagrams (stamping the piggybacked cumulative
+// ack), hands them to the endpoint, and keeps the wire accounting the
+// sysNet relation reports.
+type Frame struct {
+	tr *Transport
+}
+
+func (f *Frame) pushBatch(wb *wireBatch, _ poke) bool {
+	tr := f.tr
+	buf := make([]byte, dataHeaderLen, dataHeaderLen+wb.bytes)
+	buf[0] = frameData
+	if tr.ack != nil {
+		binary.BigEndian.PutUint64(buf[1:9], tr.ack.piggyback(wb.dst))
+	}
+	if tr.rty != nil {
+		binary.BigEndian.PutUint64(buf[9:17], tr.rty.skipFor(wb.dst))
+	}
+	binary.BigEndian.PutUint64(buf[17:25], wb.first)
+	binary.BigEndian.PutUint16(buf[25:27], uint16(len(wb.recs)))
+	for _, rec := range wb.recs {
+		buf = append(buf, rec.wire...)
+	}
+	wb.sentAt = tr.loop.Now()
+	tr.ep.Send(wb.dst, buf)
+
+	n := int64(len(wb.recs))
+	tr.stats.TuplesSent += n
+	tr.stats.Frames++
+	a := tr.acct(wb.dst)
+	a.sent += n
+	a.frames++
+	a.sentBytes += int64(len(buf))
+	if wb.rexmit {
+		tr.stats.Retransmits += n
+		a.retries += n
+	}
+	if tr.onSent != nil {
+		hdr := dataHeaderLen // charged to the datagram's first tuple
+		for _, rec := range wb.recs {
+			tr.onSent(wb.dst, rec.t, len(rec.wire)+hdr, wb.rexmit)
+			hdr = 0
+		}
+	}
+	return true
+}
+
+// sendAck emits a bare cumulative-ack frame — the Ack element's fallback
+// when no reverse-path data frame showed up to piggyback on.
+func (f *Frame) sendAck(dst string, cum uint64) {
+	buf := make([]byte, ackFrameLen)
+	buf[0] = frameAck
+	binary.BigEndian.PutUint64(buf[1:9], cum)
+	f.tr.ep.Send(dst, buf)
+	f.tr.stats.AcksSent++
+}
+
+// Deframe is the top receive-path element — §3.4's dispatch: it parses
+// inbound datagrams, feeds piggybacked and bare cumulative acks to the
+// send side's CCTx, and pushes decoded data frames into the receive
+// chain (Ack → Dedup → Deliver in reliable chains; straight to Deliver
+// otherwise).
+type Deframe struct {
+	tr *Transport
+}
+
+func (d *Deframe) deliver(from string, frame []byte) {
+	tr := d.tr
+	if tr.closed || len(frame) < 1 {
+		return
+	}
+	switch frame[0] {
+	case frameAck:
+		if len(frame) < ackFrameLen || tr.cc == nil {
+			return
+		}
+		tr.cc.onAck(from, binary.BigEndian.Uint64(frame[1:9]))
+	case frameData:
+		if len(frame) < dataHeaderLen {
+			return
+		}
+		cum := binary.BigEndian.Uint64(frame[1:9])
+		skip := binary.BigEndian.Uint64(frame[9:17])
+		first := binary.BigEndian.Uint64(frame[17:25])
+		count := int(binary.BigEndian.Uint16(frame[25:27]))
+		tuples := make([]*tuple.Tuple, 0, count)
+		rest := frame[dataHeaderLen:]
+		for i := 0; i < count; i++ {
+			t, n, err := tuple.Unmarshal(rest)
+			if err != nil {
+				return // corrupt datagram; a real network could produce these
+			}
+			tuples = append(tuples, t)
+			rest = rest[n:]
+		}
+		if len(tuples) == 0 {
+			return
+		}
+		if tr.cc != nil {
+			tr.cc.onAck(from, cum) // the piggybacked ack
+		}
+		if tr.ack != nil {
+			tr.ack.push(from, skip, first, tuples)
+		} else {
+			tr.deliverUp(from, tuples) // unreliable chain: no ack, no dedup
+		}
+	}
+}

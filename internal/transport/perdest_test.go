@@ -5,44 +5,55 @@ import (
 )
 
 // TestPerDestAccounting verifies the per-peer counters behind the
-// sysNet introspection relation: sends, bytes, and retries on the
-// sender side; post-dedup deliveries on the receiver side.
+// sysNet introspection relation: records, datagrams, bytes, and control
+// state on the sender side; post-dedup deliveries on the receiver side.
 func TestPerDestAccounting(t *testing.T) {
-	loop, a, b, got := pair(t, 0)
+	r := newRig(t, 0, DefaultConfig())
 	for i := int64(0); i < 5; i++ {
-		a.Send("b", tp(i))
+		r.a.Send("b", tp(i))
 	}
-	loop.Run(10)
-	if len(*got) != 5 {
-		t.Fatalf("delivered %d", len(*got))
+	r.loop.Run(10)
+	if len(r.got) != 5 {
+		t.Fatalf("delivered %d", len(r.got))
 	}
 
-	aStats := a.PerDest()
+	aStats := r.a.PerDest()
 	if len(aStats) != 1 || aStats[0].Addr != "b" {
 		t.Fatalf("a.PerDest() = %v", aStats)
 	}
-	if aStats[0].Sent != 5 || aStats[0].Retries != 0 {
-		t.Fatalf("a->b send accounting: %+v", aStats[0])
+	st := aStats[0]
+	if st.Sent != 5 || st.Retries != 0 {
+		t.Fatalf("a->b send accounting: %+v", st)
 	}
-	if aStats[0].Bytes <= 5*int64(headerLen) {
-		t.Fatalf("a->b bytes = %d, want > header-only", aStats[0].Bytes)
+	if st.Frames != 1 || st.BatchFill != 5 {
+		t.Fatalf("a->b: one burst should be one datagram of 5 records: %+v", st)
 	}
-	bStats := b.PerDest()
+	if st.Bytes <= 5*int64(tp(0).EncodedSize()) {
+		t.Fatalf("a->b bytes = %d, want > payload-only", st.Bytes)
+	}
+	if st.Cwnd <= DefaultConfig().WindowInit {
+		t.Fatalf("window did not grow after an acked frame: %+v", st)
+	}
+	if st.RTO != DefaultConfig().MinRTO {
+		t.Fatalf("rto not adapted: %+v", st)
+	}
+	if st.Backlog != 0 {
+		t.Fatalf("backlog should be empty when idle: %+v", st)
+	}
+	bStats := r.b.PerDest()
 	if len(bStats) != 1 || bStats[0].Addr != "a" || bStats[0].Recvd != 5 {
 		t.Fatalf("b.PerDest() = %v", bStats)
 	}
 }
 
 func TestPerDestCountsRetries(t *testing.T) {
-	loop, a, _, got := pair(t, 0.4)
-	for i := int64(0); i < 20; i++ {
-		a.Send("b", tp(i))
-	}
-	loop.Run(120)
-	if len(*got) == 0 {
+	r := newRig(t, 0.4, DefaultConfig())
+	r.sendSpread("b", 20, 0.1)
+	r.loop.Run(120)
+	if len(r.got) == 0 {
 		t.Fatal("nothing delivered under loss")
 	}
-	st := a.PerDest()
+	st := r.a.PerDest()
 	if len(st) != 1 || st[0].Retries == 0 {
 		t.Fatalf("expected retries under 40%% loss: %v", st)
 	}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"p2/internal/eventloop"
+	"p2/internal/tuple"
+)
+
+// The reliable receive chain: the Ack element schedules cumulative
+// acknowledgments (piggybacked on reverse-path data frames when
+// possible), the Dedup stage discards retransmitted frames already
+// delivered, and the Deliver stage (Transport.deliverUp) hands fresh
+// tuples to the application. Ack and Dedup share recvState: the
+// cumulative ack *is* the dedup memory — two views of one relation,
+// which is why the paper lists them as adjacent elements.
+
+// recvState tracks one peer's inbound sequence space.
+type recvState struct {
+	cum   uint64          // all seqs <= cum delivered
+	high  map[uint64]bool // out-of-order seqs above cum
+	recvd int64           // tuples delivered upward (post-dedup)
+
+	ackPending bool // cum must reach the peer (piggyback or bare ack)
+	ackArmed   bool // a delayed-ack callback is scheduled
+	ackTimer   *eventloop.Timer
+}
+
+// seen reports whether seq was already delivered.
+func (r *recvState) seen(seq uint64) bool {
+	return seq <= r.cum || r.high[seq]
+}
+
+// mark records n consecutive seqs starting at first as delivered and
+// compacts the out-of-order set into the cumulative counter.
+func (r *recvState) mark(first uint64, n int) {
+	for s := first; s < first+uint64(n); s++ {
+		if s > r.cum {
+			r.high[s] = true
+		}
+	}
+	r.compact()
+}
+
+// advance moves the cumulative counter across holes the sender declared
+// abandoned (the data-frame skip field): every seq <= skip is either
+// already delivered here or will never arrive. The sweep iterates the
+// out-of-order set, not the (untrusted, possibly huge) seq range.
+func (r *recvState) advance(skip uint64) {
+	if skip <= r.cum {
+		return
+	}
+	for s := range r.high {
+		if s <= skip {
+			delete(r.high, s)
+		}
+	}
+	r.cum = skip
+	r.compact()
+}
+
+func (r *recvState) compact() {
+	for r.high[r.cum+1] {
+		delete(r.high, r.cum+1)
+		r.cum++
+	}
+}
+
+// Ack is the acknowledgment element of the receive chain.
+type Ack struct {
+	tr *Transport
+}
+
+// push accepts one decoded data frame from Deframe: it schedules the
+// cumulative acknowledgment, runs the Dedup check (frames retransmit
+// whole, so the first sequence number decides), and forwards fresh
+// frames to Deliver.
+func (a *Ack) push(from string, skip, first uint64, tuples []*tuple.Tuple) {
+	tr := a.tr
+	rs := tr.src(from)
+	// A well-formed skip is always below the frame's own first sequence
+	// number (that frame is still in flight at the sender); anything
+	// else is corruption and must not drag cum forward.
+	if skip < first {
+		rs.advance(skip)
+	}
+	// Acknowledge even duplicates: the frame that carried the previous
+	// ack may have been lost.
+	a.schedule(from, rs)
+	if rs.seen(first) {
+		tr.stats.DupsSuppressed += int64(len(tuples))
+		return
+	}
+	rs.mark(first, len(tuples))
+	tr.deliverUp(from, tuples)
+}
+
+// schedule marks the peer's cum as owed and arms the delayed-ack
+// callback. If a data frame toward the peer goes out first, piggyback
+// claims the ack and the callback becomes a no-op.
+func (a *Ack) schedule(from string, rs *recvState) {
+	rs.ackPending = true
+	if rs.ackArmed {
+		return
+	}
+	rs.ackArmed = true
+	fire := func() {
+		rs.ackArmed = false
+		rs.ackTimer = nil
+		if rs.ackPending && !a.tr.closed {
+			rs.ackPending = false
+			a.tr.frm.sendAck(from, rs.cum)
+		}
+	}
+	if d := a.tr.cfg.AckDelay; d > 0 {
+		rs.ackTimer = a.tr.loop.After(d, fire)
+	} else {
+		a.tr.loop.Defer(fire)
+	}
+}
+
+// piggyback returns the cumulative ack to stamp into a data frame
+// toward dst and cancels any pending bare ack — the data frame carries
+// it instead.
+func (a *Ack) piggyback(dst string) uint64 {
+	rs, ok := a.tr.srcs[dst]
+	if !ok {
+		return 0
+	}
+	if rs.ackPending {
+		a.tr.stats.AcksPiggybacked++
+	}
+	rs.ackPending = false
+	if rs.ackTimer != nil {
+		rs.ackTimer.Cancel()
+		rs.ackTimer = nil
+		rs.ackArmed = false
+	}
+	return rs.cum
+}

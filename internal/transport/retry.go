@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"math"
+	"sort"
+
+	"p2/internal/eventloop"
+)
+
+// wireBatch is one datagram's worth of records toward one destination —
+// the unit the lower send-path elements (CCTx, Retry, Frame) pass along
+// and the unit of retransmission. Its records carry the consecutive
+// sequence numbers first..first+len(recs)-1.
+type wireBatch struct {
+	dst   string
+	recs  []record
+	bytes int // sum of record bytes (frame payload minus header)
+
+	first   uint64 // sequence number of recs[0]; 0 in unreliable chains
+	sentAt  float64
+	retries int
+	rexmit  bool // ever retransmitted (Karn: contributes no RTT sample)
+}
+
+// last returns the sequence number of the final record.
+func (wb *wireBatch) last() uint64 { return wb.first + uint64(len(wb.recs)) - 1 }
+
+// destRetry is one destination's retransmission state: the outstanding
+// batches and the single timer guarding the oldest of them.
+type destRetry struct {
+	pend  map[uint64]*wireBatch
+	timer *eventloop.Timer
+}
+
+// Retry is the reliable-transmission element: it remembers every batch
+// in flight and keeps one retransmission timer per destination, armed
+// for the oldest outstanding batch at CCTx's current RTO with
+// exponential backoff — the discipline cumulative acknowledgment
+// demands. Acks clear nothing past a hole, so timing (and on expiry,
+// resending) only the oldest batch turns one lost datagram into one
+// retransmission; the cumulative ack that answers it clears everything
+// the receiver buffered above the hole. A batch that exhausts the
+// retry budget is dropped, each of its tuples reported through OnDrop.
+type Retry struct {
+	tr    *Transport
+	next  *Frame
+	dests map[string]*destRetry
+}
+
+func newRetry(tr *Transport) *Retry {
+	return &Retry{tr: tr, dests: make(map[string]*destRetry)}
+}
+
+func (r *Retry) dest(dst string) *destRetry {
+	d, ok := r.dests[dst]
+	if !ok {
+		d = &destRetry{pend: make(map[uint64]*wireBatch)}
+		r.dests[dst] = d
+	}
+	return d
+}
+
+// oldest returns the outstanding batch with the lowest first sequence
+// number, or nil.
+func (d *destRetry) oldest() *wireBatch {
+	var o *wireBatch
+	for _, wb := range d.pend {
+		if o == nil || wb.first < o.first {
+			o = wb
+		}
+	}
+	return o
+}
+
+// pushBatch records wb as in flight, transmits it, and ensures the
+// destination's timer is armed.
+func (r *Retry) pushBatch(wb *wireBatch, _ poke) bool {
+	d := r.dest(wb.dst)
+	d.pend[wb.first] = wb
+	r.next.pushBatch(wb, nil)
+	if d.timer == nil {
+		r.arm(wb.dst, d)
+	}
+	return true
+}
+
+// arm points the destination's timer at its oldest outstanding batch.
+func (r *Retry) arm(dst string, d *destRetry) {
+	if d.timer != nil {
+		d.timer.Cancel()
+		d.timer = nil
+	}
+	o := d.oldest()
+	if o == nil {
+		return
+	}
+	delay := r.tr.cc.rtoFor(dst) * math.Pow(2, float64(o.retries))
+	d.timer = r.tr.loop.After(delay, func() { r.onTimeout(dst) })
+}
+
+// onTimeout handles the destination timer: the oldest batch is presumed
+// lost — retransmit it (or give it up) and re-arm.
+func (r *Retry) onTimeout(dst string) {
+	if r.tr.closed {
+		return
+	}
+	d := r.dests[dst]
+	if d == nil {
+		return
+	}
+	d.timer = nil
+	o := d.oldest()
+	if o == nil {
+		return
+	}
+	if o.retries >= r.tr.cfg.MaxRetries {
+		delete(d.pend, o.first)
+		r.tr.stats.Drops += int64(len(o.recs))
+		for _, rec := range o.recs {
+			r.tr.dropUp(dst, rec.t)
+		}
+		r.tr.cc.onGiveUp(dst)
+		r.arm(dst, d)
+		return
+	}
+	r.tr.cc.onTimeout(dst)
+	o.retries++
+	o.rexmit = true
+	r.next.pushBatch(o, nil)
+	r.arm(dst, d)
+}
+
+// skipFor returns the sequence number below which nothing toward dst
+// remains in flight — stamped into data-frame headers so the receiver
+// can advance its cumulative counter across abandoned holes. Called
+// mid-transmission, the pending set always contains the batch being
+// framed, so the result never reaches into it.
+func (r *Retry) skipFor(dst string) uint64 {
+	d := r.dests[dst]
+	if d == nil {
+		return 0
+	}
+	o := d.oldest()
+	if o == nil {
+		return 0
+	}
+	return o.first - 1
+}
+
+// clear cancels and removes every batch toward dst fully covered by the
+// cumulative acknowledgment, returned in sequence order, and re-arms
+// the timer for whatever is left.
+func (r *Retry) clear(dst string, cum uint64) []*wireBatch {
+	d := r.dests[dst]
+	if d == nil {
+		return nil
+	}
+	var out []*wireBatch
+	for first, wb := range d.pend {
+		if wb.last() <= cum {
+			delete(d.pend, first)
+			out = append(out, wb)
+		}
+	}
+	if len(out) > 0 {
+		sort.Slice(out, func(i, j int) bool { return out[i].first < out[j].first })
+		r.arm(dst, d)
+	}
+	return out
+}
+
+// close cancels every timer and reports all in-flight tuples dropped.
+func (r *Retry) close() {
+	for _, dst := range sortedKeys(r.dests) {
+		d := r.dests[dst]
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+		firsts := make([]uint64, 0, len(d.pend))
+		for first := range d.pend {
+			firsts = append(firsts, first)
+		}
+		sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+		for _, first := range firsts {
+			for _, rec := range d.pend[first].recs {
+				r.tr.dropUp(dst, rec.t)
+			}
+		}
+	}
+	r.dests = make(map[string]*destRetry)
+}
+
+// pending returns the outstanding batches toward dst (nil if none).
+func (r *Retry) pending(dst string) map[uint64]*wireBatch {
+	if d := r.dests[dst]; d != nil {
+		return d.pend
+	}
+	return nil
+}
+
+// sortedKeys returns a map's string keys in sorted order — Close paths
+// report drops deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,20 +1,36 @@
-// Package transport implements P2's networking subsystem above a raw
-// datagram network: data serialization, sequenced reliable transmission
-// with RTT-estimated retransmission, and per-destination AIMD congestion
-// control — the element chain §3.4 describes ("socket handling, packet
-// scheduling, congestion control, reliable transmission, data
-// serialization, and dispatch").
+// Package transport implements P2's networking subsystem as the element
+// chain §3.4 describes: "socket handling, packet scheduling, congestion
+// control, reliable transmission, data serialization, and dispatch" are
+// not a black box below the dataflow — they are dataflow, small elements
+// composed per node.
 //
-// One Transport lives per P2 node. Tuples submitted with Send are
-// framed one per datagram, tracked until acknowledged, and retransmitted
-// with exponential backoff up to a retry budget; receivers acknowledge
-// and de-duplicate, so the engine above sees at-most-once delivery per
-// transmission attempt. All state transitions happen on the node's
-// event loop.
+// The send path is Serialize → Batch → CCTx → Retry → Frame: tuples are
+// marshaled, coalesced into MTU-budget datagrams per destination,
+// admitted through a per-destination AIMD congestion window, remembered
+// for RTO-driven retransmission, and framed onto a netif.Endpoint. The
+// receive path mirrors it: Deframe → Ack → Dedup → Deliver. Elements
+// hand batches to each other with the dataflow push/poke discipline: a
+// push that returns false means "no capacity — the poke fires when some
+// frees", which is how a closed congestion window backpressures the
+// batching queue (and how backpressure naturally produces fuller
+// datagrams).
+//
+// Acknowledgments are cumulative and ride in data-frame headers: every
+// data frame toward a peer carries the highest contiguous sequence
+// number received *from* that peer, so steady bidirectional traffic
+// needs no ack datagrams at all; a delayed-ack timer emits a bare ack
+// only when no reverse-path data shows up in time.
+//
+// Which elements a node composes is chosen by a StackSpec, so the
+// Unreliable mode is merely a shorter chain (Serialize → Batch → Frame,
+// Deframe → Deliver) rather than branches inside a monolith, and future
+// policies (priority scheduling, per-rule QoS) are new elements.
+//
+// One Transport lives per P2 node. All state transitions happen on the
+// node's event loop.
 package transport
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -24,16 +40,21 @@ import (
 	"p2/internal/tuple"
 )
 
-// Config tunes reliability and congestion control.
+// Config tunes reliability, congestion control, and the stack shape.
 type Config struct {
 	MaxRetries int     // transmissions before giving up (total = 1 + retries)
 	InitialRTO float64 // seconds, used before an RTT sample exists
 	MinRTO     float64
 	MaxRTO     float64
-	WindowInit float64 // initial congestion window, packets
+	WindowInit float64 // initial congestion window, datagrams in flight
 	WindowMax  float64 // cap on the window
-	QueueCap   int     // per-destination backlog beyond the window
-	Unreliable bool    // fire-and-forget mode: no acks, no retries
+	QueueCap   int     // per-destination backlog (tuples) behind the window
+	// AckDelay is how long the receiver waits for a reverse-path data
+	// frame to piggyback the cumulative ack before emitting a bare ack
+	// datagram. <= 0 acknowledges at the end of the current handler.
+	AckDelay   float64
+	Unreliable bool // fire-and-forget chain: no acks, no retries, no window
+	NoBatch    bool // one tuple per datagram (the pre-batching framing)
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -46,331 +67,249 @@ func DefaultConfig() Config {
 		WindowInit: 4,
 		WindowMax:  64,
 		QueueCap:   512,
+		AckDelay:   0.02,
 	}
+}
+
+// StackSpec names the element chain a transport composes. It is derived
+// from Config today; keeping it a first-class value means new scenarios
+// (priority schedulers, per-rule QoS elements) extend the spec instead
+// of growing conditionals inside a monolithic transport.
+type StackSpec struct {
+	Reliable bool // CCTx + Retry on the send path, Ack + Dedup on receive
+	Batching bool // MTU-budget coalescing in the Batch element
+}
+
+// Spec derives the element chain from the configuration.
+func (c Config) Spec() StackSpec {
+	return StackSpec{Reliable: !c.Unreliable, Batching: !c.NoBatch}
+}
+
+// String renders the composed chains, send then receive.
+func (s StackSpec) String() string {
+	send, recv := "Serialize→Batch", "Deframe"
+	if s.Reliable {
+		send += "→CCTx→Retry"
+		recv += "→Ack→Dedup"
+	}
+	return send + "→Frame / " + recv + "→Deliver"
 }
 
 // Stats counts transport-level activity for the bandwidth figures.
 type Stats struct {
-	TuplesSent     int64
-	Retransmits    int64
-	Drops          int64 // gave up after MaxRetries
-	QueueDrops     int64 // backlog overflow
-	AcksSent       int64
-	DupsSuppressed int64
+	TuplesSent      int64 // data records put on the wire (retransmissions included)
+	Frames          int64 // data datagrams sent
+	Retransmits     int64 // records re-sent by the Retry element
+	Drops           int64 // records abandoned after MaxRetries
+	QueueDrops      int64 // backlog overflow
+	AcksSent        int64 // bare ack datagrams
+	AcksPiggybacked int64 // acks that rode in a data-frame header instead
+	DupsSuppressed  int64 // records discarded by the Dedup stage
 }
 
-const (
-	pktData = 0
-	pktAck  = 1
-)
+// poke is the idempotent "capacity freed — try again" continuation the
+// elements hand each other, mirroring dataflow.Poke.
+type poke func()
 
-const headerLen = 1 + 8 // type + seq
+// batchSink is the downstream port type on the send path: the Batch
+// element pushes packed batches into CCTx (reliable chains) or straight
+// into Frame. A false return means the batch was NOT consumed (the
+// congestion window is full) and pk fires when capacity frees.
+type batchSink interface {
+	pushBatch(wb *wireBatch, pk poke) bool
+}
 
-// Transport provides reliable tuple delivery over a netif.Endpoint.
+// destAcct is per-peer wire accounting, maintained by the Frame element.
+type destAcct struct {
+	sent      int64 // records transmitted (including retransmissions)
+	frames    int64 // data datagrams
+	sentBytes int64 // data bytes on the wire
+	retries   int64 // records retransmitted
+}
+
+// Transport provides tuple delivery over a netif.Endpoint through a
+// composed element chain.
 type Transport struct {
 	loop eventloop.Loop
 	ep   netif.Endpoint
 	cfg  Config
+	spec StackSpec
 
 	onReceive func(from string, t *tuple.Tuple)
 	onSent    func(to string, t *tuple.Tuple, wireBytes int, retransmit bool)
 	onDrop    func(to string, t *tuple.Tuple)
 
-	dests  map[string]*dest
+	// Send chain (top to bottom). cc and rty are nil in unreliable chains.
+	ser *Serialize
+	bat *Batch
+	cc  *CCTx
+	rty *Retry
+	frm *Frame
+
+	// Receive chain. ack is nil in unreliable chains.
+	dfr *Deframe
+	ack *Ack
+
 	srcs   map[string]*recvState
+	accts  map[string]*destAcct
 	stats  Stats
 	closed bool
 }
 
-// dest holds per-destination sender state.
-type dest struct {
-	addr     string
-	nextSeq  uint64
-	inflight map[uint64]*pending
-	backlog  []*tuple.Tuple
-
-	cwnd     float64
-	ssthresh float64
-	srtt     float64
-	rttvar   float64
-	rto      float64
-
-	// Per-destination accounting for the sysNet introspection relation.
-	sent      int64
-	sentBytes int64
-	retries   int64
-}
-
-type pending struct {
-	t       *tuple.Tuple
-	seq     uint64
-	payload []byte
-	sentAt  float64
-	retries int
-	timer   *eventloop.Timer
-	rexmit  bool // ever retransmitted (Karn: skip RTT sample)
-}
-
-// recvState tracks sequence numbers already delivered from one source.
-type recvState struct {
-	cum   uint64          // all seqs <= cum delivered
-	high  map[uint64]bool // out-of-order seqs above cum
-	recvd int64           // tuples delivered upward (post-dedup)
-}
-
-func (r *recvState) seen(seq uint64) bool {
-	return seq <= r.cum || r.high[seq]
-}
-
-func (r *recvState) mark(seq uint64) {
-	if seq <= r.cum {
-		return
-	}
-	r.high[seq] = true
-	for r.high[r.cum+1] {
-		delete(r.high, r.cum+1)
-		r.cum++
-	}
-}
-
-// New creates a transport bound to ep. Wire ep's delivery callback to
-// Deliver.
+// New assembles the element chain cfg.Spec() names, bound to ep. Wire
+// ep's delivery callback to Deliver.
 func New(loop eventloop.Loop, ep netif.Endpoint, cfg Config) *Transport {
-	return &Transport{
+	tr := &Transport{
 		loop:  loop,
 		ep:    ep,
 		cfg:   cfg,
-		dests: make(map[string]*dest),
+		spec:  cfg.Spec(),
 		srcs:  make(map[string]*recvState),
+		accts: make(map[string]*destAcct),
 	}
+	tr.frm = &Frame{tr: tr}
+	tr.dfr = &Deframe{tr: tr}
+
+	mtu := ep.MTU()
+	if mtu <= 0 {
+		mtu = netif.DefaultMTU
+	}
+	maxRecs := 1
+	if tr.spec.Batching {
+		maxRecs = maxBatchRecords
+	}
+	var sink batchSink = tr.frm
+	capacity := 0 // the unreliable chain drains every turn; no bound needed
+	if tr.spec.Reliable {
+		tr.cc = newCCTx(tr)
+		tr.rty = newRetry(tr)
+		tr.ack = &Ack{tr: tr}
+		tr.cc.next = tr.rty
+		tr.rty.next = tr.frm
+		sink = tr.cc
+		capacity = cfg.QueueCap
+	}
+	tr.bat = newBatch(tr, sink, mtu-dataHeaderLen, maxRecs, capacity)
+	tr.ser = &Serialize{tr: tr, next: tr.bat}
+	return tr
 }
+
+// Spec returns the element chain this transport composes.
+func (tr *Transport) Spec() StackSpec { return tr.spec }
 
 // OnReceive sets the upcall for tuples arriving from the network.
 func (tr *Transport) OnReceive(fn func(from string, t *tuple.Tuple)) { tr.onReceive = fn }
 
-// OnSent sets an accounting tap invoked once per wire transmission
-// (including retransmits) with the datagram size.
+// OnSent sets an accounting tap invoked once per tuple per wire
+// transmission (retransmissions included). The first tuple of each
+// datagram is charged the frame header, so the per-call sizes sum to
+// the exact data bytes on the wire.
 func (tr *Transport) OnSent(fn func(to string, t *tuple.Tuple, wireBytes int, retransmit bool)) {
 	tr.onSent = fn
 }
 
-// OnDrop sets the upcall for tuples abandoned after the retry budget.
+// OnDrop sets the upcall for tuples abandoned after the retry budget —
+// and, on Close, for tuples still queued or in flight.
 func (tr *Transport) OnDrop(fn func(to string, t *tuple.Tuple)) { tr.onDrop = fn }
 
 // Stats returns a copy of the counters.
 func (tr *Transport) Stats() Stats { return tr.stats }
 
-// Close stops all retransmission timers and drops state.
-func (tr *Transport) Close() {
-	tr.closed = true
-	for _, d := range tr.dests {
-		for _, p := range d.inflight {
-			p.timer.Cancel()
-		}
-	}
-	tr.dests = make(map[string]*dest)
-}
-
-// Send queues t for reliable delivery to the given address.
+// Send queues t for delivery to the given address through the send chain.
 func (tr *Transport) Send(to string, t *tuple.Tuple) {
 	if tr.closed {
 		return
 	}
-	d := tr.destFor(to)
-	if tr.cfg.Unreliable {
-		tr.transmit(d, &pending{t: t, payload: t.Marshal()}, false)
-		return
-	}
-	if float64(len(d.inflight)) < d.cwnd {
-		tr.launch(d, t)
-		return
-	}
-	if len(d.backlog) >= tr.cfg.QueueCap {
-		tr.stats.QueueDrops++
-		return
-	}
-	d.backlog = append(d.backlog, t)
-}
-
-func (tr *Transport) destFor(to string) *dest {
-	d, ok := tr.dests[to]
-	if !ok {
-		d = &dest{
-			addr:     to,
-			inflight: make(map[uint64]*pending),
-			cwnd:     tr.cfg.WindowInit,
-			ssthresh: tr.cfg.WindowMax,
-			rto:      tr.cfg.InitialRTO,
-		}
-		tr.dests[to] = d
-	}
-	return d
-}
-
-// launch assigns a sequence number and transmits a fresh tuple.
-func (tr *Transport) launch(d *dest, t *tuple.Tuple) {
-	d.nextSeq++
-	p := &pending{t: t, seq: d.nextSeq, payload: t.Marshal()}
-	d.inflight[p.seq] = p
-	tr.transmit(d, p, false)
-	tr.armTimer(d, p.seq, p)
-}
-
-func (tr *Transport) transmit(d *dest, p *pending, retransmit bool) {
-	frame := make([]byte, headerLen+len(p.payload))
-	frame[0] = pktData
-	binary.BigEndian.PutUint64(frame[1:9], p.seq)
-	copy(frame[headerLen:], p.payload)
-	p.sentAt = tr.loop.Now()
-	tr.ep.Send(d.addr, frame)
-	tr.stats.TuplesSent++
-	d.sent++
-	d.sentBytes += int64(len(frame))
-	if retransmit {
-		tr.stats.Retransmits++
-		d.retries++
-	}
-	if tr.onSent != nil {
-		tr.onSent(d.addr, p.t, len(frame), retransmit)
-	}
-}
-
-func (tr *Transport) armTimer(d *dest, seq uint64, p *pending) {
-	p.timer = tr.loop.After(d.rto*math.Pow(2, float64(p.retries)), func() {
-		tr.onTimeout(d, seq, p)
-	})
-}
-
-func (tr *Transport) onTimeout(d *dest, seq uint64, p *pending) {
-	if tr.closed {
-		return
-	}
-	if _, still := d.inflight[seq]; !still {
-		return // acked while the timer raced
-	}
-	if p.retries >= tr.cfg.MaxRetries {
-		delete(d.inflight, seq)
-		tr.stats.Drops++
-		if tr.onDrop != nil {
-			tr.onDrop(d.addr, p.t)
-		}
-		tr.refill(d)
-		return
-	}
-	// Timeout: multiplicative decrease, slow-start restart.
-	d.ssthresh = math.Max(float64(len(d.inflight))/2, 2)
-	d.cwnd = 1
-	p.retries++
-	p.rexmit = true
-	tr.transmit(d, p, true)
-	tr.armTimer(d, seq, p)
+	tr.ser.push(to, t)
 }
 
 // Deliver is the network's inbound entry point; wire it as the
 // netif.Attach callback.
 func (tr *Transport) Deliver(from string, frame []byte) {
-	if tr.closed || len(frame) < headerLen {
+	tr.dfr.deliver(from, frame)
+}
+
+// Close tears the stack down: every tuple still in the backlog or in
+// flight is reported through OnDrop (it will never be delivered), all
+// timers stop, and receiver state is discarded — a closed transport
+// holds no state for any peer.
+func (tr *Transport) Close() {
+	if tr.closed {
 		return
 	}
-	seq := binary.BigEndian.Uint64(frame[1:9])
-	switch frame[0] {
-	case pktAck:
-		tr.onAck(from, seq)
-	case pktData:
-		tr.onData(from, seq, frame[headerLen:])
+	tr.closed = true
+	if tr.rty != nil {
+		tr.rty.close()
+	}
+	tr.bat.close()
+	for _, rs := range tr.srcs {
+		if rs.ackTimer != nil {
+			rs.ackTimer.Cancel()
+		}
+	}
+	tr.srcs = make(map[string]*recvState)
+	if tr.cc != nil {
+		tr.cc.dests = make(map[string]*ccState)
 	}
 }
 
-func (tr *Transport) onData(from string, seq uint64, payload []byte) {
-	t, _, err := tuple.Unmarshal(payload)
-	if err != nil {
-		return // corrupt datagram; a real network could produce these
+// dropUp reports one abandoned tuple to the application.
+func (tr *Transport) dropUp(dst string, t *tuple.Tuple) {
+	if tr.onDrop != nil {
+		tr.onDrop(dst, t)
 	}
+}
+
+// deliverUp is the Deliver stage: it hands received tuples to the
+// application and keeps the per-source delivery counter.
+func (tr *Transport) deliverUp(from string, tuples []*tuple.Tuple) {
+	rs := tr.src(from)
+	rs.recvd += int64(len(tuples))
+	if tr.onReceive == nil {
+		return
+	}
+	for _, t := range tuples {
+		if tr.closed {
+			return
+		}
+		tr.onReceive(from, t)
+	}
+}
+
+// src returns (creating if needed) the receive state for one peer.
+func (tr *Transport) src(from string) *recvState {
 	rs, ok := tr.srcs[from]
 	if !ok {
 		rs = &recvState{high: make(map[uint64]bool)}
 		tr.srcs[from] = rs
 	}
-	if tr.cfg.Unreliable {
-		rs.recvd++
-		if tr.onReceive != nil {
-			tr.onReceive(from, t)
-		}
-		return
-	}
-	// Acknowledge even duplicates: the original ack may have been lost.
-	ack := make([]byte, headerLen)
-	ack[0] = pktAck
-	binary.BigEndian.PutUint64(ack[1:9], seq)
-	tr.ep.Send(from, ack)
-	tr.stats.AcksSent++
-
-	if rs.seen(seq) {
-		tr.stats.DupsSuppressed++
-		return
-	}
-	rs.mark(seq)
-	rs.recvd++
-	if tr.onReceive != nil {
-		tr.onReceive(from, t)
-	}
+	return rs
 }
 
-func (tr *Transport) onAck(from string, seq uint64) {
-	d, ok := tr.dests[from]
+// acct returns (creating if needed) the wire accounting for one peer.
+func (tr *Transport) acct(dst string) *destAcct {
+	a, ok := tr.accts[dst]
 	if !ok {
-		return
+		a = &destAcct{}
+		tr.accts[dst] = a
 	}
-	p, ok := d.inflight[seq]
-	if !ok {
-		return
-	}
-	delete(d.inflight, seq)
-	p.timer.Cancel()
-
-	// RTT sample (Karn's rule: never from retransmitted packets).
-	if !p.rexmit {
-		rtt := tr.loop.Now() - p.sentAt
-		if d.srtt == 0 {
-			d.srtt = rtt
-			d.rttvar = rtt / 2
-		} else {
-			d.rttvar = 0.75*d.rttvar + 0.25*math.Abs(d.srtt-rtt)
-			d.srtt = 0.875*d.srtt + 0.125*rtt
-		}
-		d.rto = math.Min(math.Max(d.srtt+4*d.rttvar, tr.cfg.MinRTO), tr.cfg.MaxRTO)
-	}
-	// Additive increase: slow start below ssthresh, then 1/cwnd per ack.
-	if d.cwnd < d.ssthresh {
-		d.cwnd++
-	} else {
-		d.cwnd += 1 / d.cwnd
-	}
-	if d.cwnd > tr.cfg.WindowMax {
-		d.cwnd = tr.cfg.WindowMax
-	}
-	tr.refill(d)
+	return a
 }
 
-// refill launches backlog tuples while the window has room.
-func (tr *Transport) refill(d *dest) {
-	for len(d.backlog) > 0 && float64(len(d.inflight)) < d.cwnd {
-		t := d.backlog[0]
-		copy(d.backlog, d.backlog[1:])
-		d.backlog = d.backlog[:len(d.backlog)-1]
-		tr.launch(d, t)
-	}
-}
-
-// DestStats is per-peer wire accounting, merged across this node's
-// sender state toward the peer and receiver state from it — one row of
-// the sysNet introspection relation.
+// DestStats is per-peer wire accounting plus live control state, merged
+// across this node's sender state toward the peer and receiver state
+// from it — one row of the sysNet introspection relation.
 type DestStats struct {
-	Addr    string
-	Sent    int64 // data transmissions toward Addr (including retransmits)
-	Recvd   int64 // tuples delivered upward from Addr (post-dedup)
-	Bytes   int64 // data bytes put on the wire toward Addr
-	Retries int64 // retransmissions toward Addr
+	Addr      string
+	Sent      int64   // data records transmitted toward Addr (retransmissions included)
+	Recvd     int64   // tuples delivered upward from Addr (post-dedup)
+	Bytes     int64   // data bytes put on the wire toward Addr
+	Retries   int64   // records retransmitted toward Addr
+	Frames    int64   // data datagrams sent toward Addr
+	Cwnd      float64 // current congestion window, datagrams
+	RTO       float64 // current retransmission timeout, seconds
+	Backlog   int     // tuples queued behind the window
+	BatchFill float64 // mean records per data datagram (Sent / Frames)
 }
 
 // PerDest returns per-peer accounting for every address this transport
@@ -380,14 +319,28 @@ func (tr *Transport) PerDest() []DestStats {
 	at := func(addr string) *DestStats {
 		st, ok := merged[addr]
 		if !ok {
-			st = &DestStats{Addr: addr}
+			st = &DestStats{Addr: addr, Cwnd: tr.cfg.WindowInit, RTO: tr.cfg.InitialRTO}
 			merged[addr] = st
 		}
 		return st
 	}
-	for addr, d := range tr.dests {
+	for addr, a := range tr.accts {
 		st := at(addr)
-		st.Sent, st.Bytes, st.Retries = d.sent, d.sentBytes, d.retries
+		st.Sent, st.Bytes, st.Retries, st.Frames = a.sent, a.sentBytes, a.retries, a.frames
+		if a.frames > 0 {
+			st.BatchFill = float64(a.sent) / float64(a.frames)
+		}
+	}
+	if tr.cc != nil {
+		for addr, cs := range tr.cc.dests {
+			st := at(addr)
+			st.Cwnd, st.RTO = cs.cwnd, cs.rto
+		}
+	}
+	for addr, q := range tr.bat.qs {
+		if n := len(q.recs); n > 0 {
+			at(addr).Backlog = n
+		}
 	}
 	for addr, rs := range tr.srcs {
 		at(addr).Recvd = rs.recvd
@@ -403,30 +356,52 @@ func (tr *Transport) PerDest() []DestStats {
 // Window reports the current congestion window toward to — exposed for
 // tests and the olgc inspector.
 func (tr *Transport) Window(to string) float64 {
-	if d, ok := tr.dests[to]; ok {
-		return d.cwnd
+	if tr.cc != nil {
+		if st, ok := tr.cc.dests[to]; ok {
+			return st.cwnd
+		}
 	}
 	return tr.cfg.WindowInit
 }
 
 // RTO reports the current retransmission timeout toward to.
 func (tr *Transport) RTO(to string) float64 {
-	if d, ok := tr.dests[to]; ok {
-		return d.rto
+	if tr.cc != nil {
+		if st, ok := tr.cc.dests[to]; ok {
+			return st.rto
+		}
 	}
 	return tr.cfg.InitialRTO
 }
 
 // InFlight reports unacknowledged tuples toward to.
 func (tr *Transport) InFlight(to string) int {
-	if d, ok := tr.dests[to]; ok {
-		return len(d.inflight)
+	if tr.rty == nil {
+		return 0
+	}
+	n := 0
+	for _, wb := range tr.rty.pending(to) {
+		n += len(wb.recs)
+	}
+	return n
+}
+
+// Backlog reports tuples queued toward to behind the congestion window.
+func (tr *Transport) Backlog(to string) int {
+	if q, ok := tr.bat.qs[to]; ok {
+		return len(q.recs)
 	}
 	return 0
 }
 
 // String summarizes transport state for diagnostics.
 func (tr *Transport) String() string {
-	return fmt.Sprintf("transport{dests=%d sent=%d rexmit=%d drops=%d}",
-		len(tr.dests), tr.stats.TuplesSent, tr.stats.Retransmits, tr.stats.Drops)
+	return fmt.Sprintf("transport{%s dests=%d sent=%d frames=%d rexmit=%d drops=%d}",
+		tr.spec, len(tr.accts), tr.stats.TuplesSent, tr.stats.Frames,
+		tr.stats.Retransmits, tr.stats.Drops)
+}
+
+// clampRTO bounds an RTO estimate to the configured window.
+func (tr *Transport) clampRTO(rto float64) float64 {
+	return math.Min(math.Max(rto, tr.cfg.MinRTO), tr.cfg.MaxRTO)
 }

@@ -26,6 +26,14 @@ const monitorRules = `
 	T1 totalTuples@N(N, sum<C>) :- sysTable@N(N, T, C, I, D, R).
 `
 
+// peerNetRules joins sysNet's transport control-state columns — the
+// UDP-path acceptance check that cwnd/rto/backlog/batch-fill are
+// queryable from OverLog.
+const peerNetRules = `
+	materialize(peerNet, infinity, infinity, keys(1,2)).
+	N1 peerNet@N(N, D, W, B, F) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F).
+`
+
 func TestSystemTableCatalog(t *testing.T) {
 	defs := SystemTables()
 	if len(defs) != 4 {
@@ -79,6 +87,9 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 	if err := a.Install(monitorRules); err != nil {
 		t.Fatal(err)
 	}
+	if err := a.Install(peerNetRules); err != nil {
+		t.Fatal(err)
+	}
 	// Installing rules that are already present must fail loudly, and
 	// identically re-declared tables must be shared without error.
 	if err := a.Install("materialize(totalTuples, 1, 1, keys(1))."); err == nil {
@@ -104,6 +115,7 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 	for {
 		var total int64
 		var sent, recvd int64
+		var cwnd, fill float64
 		done := make(chan struct{})
 		a.Do(func(n *Node) {
 			if rows := n.Table("totalTuples").Scan(); len(rows) == 1 {
@@ -114,14 +126,23 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 					sent, recvd = st.Sent, st.Recvd
 				}
 			}
+			// The installed rule must materialize sysNet's control-state
+			// columns for the peer.
+			for _, row := range n.Table("peerNet").Scan() {
+				if row.Field(1).AsStr() == addrB {
+					cwnd = row.Field(2).AsFloat()
+					fill = row.Field(4).AsFloat()
+				}
+			}
 			close(done)
 		})
 		<-done
-		if total >= 4 && sent > 0 && recvd > 0 {
+		if total >= 4 && sent > 0 && recvd > 0 && cwnd >= 1 && fill >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("timed out: totalTuples=%d sent=%d recvd=%d", total, sent, recvd)
+			t.Fatalf("timed out: totalTuples=%d sent=%d recvd=%d cwnd=%v fill=%v",
+				total, sent, recvd, cwnd, fill)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -29,7 +29,7 @@
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
-//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
 //
 // Monitoring queries are just more OverLog: Node.Install compiles
@@ -46,11 +46,24 @@
 // available from Go via Node.TableStats, RuleStats, NetStats, and
 // NodeStat; cmd/p2's -top flag renders them as a live view.
 //
+// # The network stack is dataflow too
+//
+// Following §3.4 of the paper, the transport is not a monolith but a
+// chain of elements assembled per node: Serialize → Batch → CCTx →
+// Retry → Frame on the send side, Deframe → Ack → Dedup → Deliver on
+// receive. Tuples bound for one destination are coalesced into
+// MTU-budget datagrams, acknowledgments are cumulative and piggybacked
+// on reverse-path data frames, and TransportConfig selects shorter
+// chains (Unreliable drops the reliability elements, NoBatch the
+// coalescing). The chain's live state — congestion window, RTO,
+// backlog, batch fill — surfaces per peer in sysNet, so OverLog rules
+// can observe and react to the stack itself.
+//
 // The subsystems live in internal packages: the OverLog
 // lexer/parser (internal/overlog), the planner that compiles rules to
 // dataflow strands (internal/planner), the element library
 // (internal/dataflow), soft-state tables (internal/table), the PEL
-// expression VM (internal/pel), the reliable transport
+// expression VM (internal/pel), the transport element chain
 // (internal/transport), and the network simulator (internal/simnet).
 // This package re-exports what applications need.
 package p2
@@ -67,6 +80,7 @@ import (
 	"p2/internal/overlog"
 	"p2/internal/planner"
 	"p2/internal/simnet"
+	"p2/internal/transport"
 	"p2/internal/tuple"
 	"p2/internal/udpnet"
 	"p2/internal/val"
@@ -89,6 +103,13 @@ type (
 	Node = engine.Node
 	// NodeOptions configures node behaviour (seed, transport tuning).
 	NodeOptions = engine.Options
+	// TransportConfig tunes the transport element chain: reliability,
+	// congestion control, tuple batching, and ack policy. Set it via
+	// NodeOptions.Transport; its Spec determines which elements the
+	// node composes.
+	TransportConfig = transport.Config
+	// StackSpec names which transport elements a node's chain composes.
+	StackSpec = transport.StackSpec
 	// WatchEvent is delivered to Watch callbacks.
 	WatchEvent = engine.WatchEvent
 	// NetConfig describes the simulated network topology.
@@ -113,6 +134,10 @@ const (
 
 // SystemTables returns the schema catalog of the sys* system tables.
 func SystemTables() []SysTableDef { return introspect.Defs() }
+
+// DefaultTransportConfig returns the production-shaped transport
+// tuning: the full reliable chain with batching and 20 ms delayed acks.
+func DefaultTransportConfig() TransportConfig { return transport.DefaultConfig() }
 
 // Watch directions, re-exported.
 const (

@@ -1,0 +1,189 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// Join.Push is the hottest element in OverLog execution. The pinned
+// budget is two allocations per *emitted* match — the concatenated
+// field slice and the tuple header — with the probe itself (key render,
+// index consult, filter evaluation) allocation-free.
+
+type dfClock struct{ now float64 }
+
+func (c *dfClock) Now() float64 { return c.now }
+
+func joinFixture(rows, fanout int) (*Join, *table.Table) {
+	tb := table.New("t", table.Infinity, 0, []int{0, 1}, &dfClock{})
+	for i := 0; i < rows; i++ {
+		tb.Insert(tuple.New("t",
+			val.Str(fmt.Sprintf("addr%d", i%(rows/fanout))), val.Int(int64(i)), val.Int(int64(i*3))))
+	}
+	j := NewJoin("j", tb, []int{0}, []int{0}, "w")
+	j.ConnectOut(0, NewDiscard("sink"), 0)
+	return j, tb
+}
+
+// TestJoinPushAllocBudget pins the equijoin at two allocations per
+// emitted match and zero for the probe itself.
+func TestJoinPushAllocBudget(t *testing.T) {
+	const fanout = 8
+	j, _ := joinFixture(64, fanout)
+	event := tuple.New("e", val.Str("addr3"), val.Str("payload"))
+	allocs := testing.AllocsPerRun(200, func() {
+		j.Push(0, event, nil)
+	})
+	if allocs > 2*fanout {
+		t.Fatalf("Join.Push allocated %.1f per event (%d matches), want <= %d",
+			allocs, fanout, 2*fanout)
+	}
+}
+
+// TestJoinPushMissZeroAlloc pins the no-match probe — the common case
+// on sparse indices — at zero allocations.
+func TestJoinPushMissZeroAlloc(t *testing.T) {
+	j, _ := joinFixture(64, 8)
+	event := tuple.New("e", val.Str("nobody"), val.Str("payload"))
+	allocs := testing.AllocsPerRun(200, func() {
+		j.Push(0, event, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("no-match Join.Push allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestJoinFilteredMatchesDoNotAllocate verifies the fused-selection
+// path: matches killed by the predicate must never materialize a
+// concatenated tuple.
+func TestJoinFilteredMatchesDoNotAllocate(t *testing.T) {
+	j, _ := joinFixture(64, 8)
+	// Predicate over the concatenation e(loc, pay) ++ t(loc, i, i*3):
+	// field 3 (t's i) < 0 is always false, so every match is filtered.
+	prog := pel.NewBuilder().Field(3).Const(val.Int(0)).Op(pel.OpLt).Build()
+	j.AddFilter(prog, &pel.Env{})
+	event := tuple.New("e", val.Str("addr3"), val.Str("payload"))
+	allocs := testing.AllocsPerRun(200, func() {
+		j.Push(0, event, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("fully-filtered Join.Push allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestJoinFusionMatchesUnfusedChain checks that a join with fused
+// filter+assigns emits exactly what the unfused Join→Select→Assign
+// chain emits.
+func TestJoinFusionMatchesUnfusedChain(t *testing.T) {
+	env := &pel.Env{}
+	sel := pel.NewBuilder().Field(3).Const(val.Int(30)).Op(pel.OpLt).Build()
+	asn := pel.NewBuilder().Field(3).Const(val.Int(100)).Op(pel.OpAdd).Build()
+
+	run := func(fused bool) []*tuple.Tuple {
+		tb := table.New("t", table.Infinity, 0, []int{0, 1}, &dfClock{})
+		for i := 0; i < 64; i++ {
+			tb.Insert(tuple.New("t",
+				val.Str(fmt.Sprintf("addr%d", i%8)), val.Int(int64(i)), val.Int(int64(i*3))))
+		}
+		var got []*tuple.Tuple
+		sink := NewSink("sink", func(tp *tuple.Tuple) { got = append(got, tp) })
+		j := NewJoin("j", tb, []int{0}, []int{0}, "w")
+		if fused {
+			j.AddFilter(sel, env)
+			j.AddAssigns([]*pel.Program{asn}, env)
+			j.ConnectOut(0, sink, 0)
+		} else {
+			s := NewSelect("s", sel, env)
+			a := NewAssign("a", asn, env)
+			j.ConnectOut(0, s, 0)
+			s.ConnectOut(0, a, 0)
+			a.ConnectOut(0, sink, 0)
+		}
+		j.Push(0, tuple.New("e", val.Str("addr3"), val.Str("payload")), nil)
+		return got
+	}
+
+	fused, unfused := run(true), run(false)
+	if len(fused) != len(unfused) || len(fused) == 0 {
+		t.Fatalf("fused emitted %d, unfused %d", len(fused), len(unfused))
+	}
+	for i := range fused {
+		if !fused[i].Equal(unfused[i]) {
+			t.Fatalf("emit %d: fused %v != unfused %v", i, fused[i], unfused[i])
+		}
+	}
+}
+
+// TestMultiAssignMatchesAssignChain checks the fused assignment run
+// against the per-step chain, including later programs reading earlier
+// results.
+func TestMultiAssignMatchesAssignChain(t *testing.T) {
+	env := &pel.Env{}
+	p1 := pel.NewBuilder().Field(1).Const(val.Int(10)).Op(pel.OpAdd).Build()
+	p2 := pel.NewBuilder().Field(2).Const(val.Int(2)).Op(pel.OpMul).Build() // reads p1's result
+	in := tuple.New("e", val.Str("n"), val.Int(5))
+
+	var fused, chained *tuple.Tuple
+	ma := NewMultiAssign("ma", []*pel.Program{p1, p2}, env)
+	ma.ConnectOut(0, NewSink("s", func(tp *tuple.Tuple) { fused = tp }), 0)
+	ma.Push(0, in, nil)
+
+	a1 := NewAssign("a1", p1, env)
+	a2 := NewAssign("a2", p2, env)
+	a1.ConnectOut(0, a2, 0)
+	a2.ConnectOut(0, NewSink("s2", func(tp *tuple.Tuple) { chained = tp }), 0)
+	a1.Push(0, in, nil)
+
+	if fused == nil || chained == nil || !fused.Equal(chained) {
+		t.Fatalf("fused %v != chained %v", fused, chained)
+	}
+}
+
+func BenchmarkJoinPush(b *testing.B) {
+	for _, fanout := range []int{1, 8} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			j, _ := joinFixture(64, fanout)
+			event := tuple.New("e", val.Str("addr3"), val.Str("payload"))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Push(0, event, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkJoinPushFiltered(b *testing.B) {
+	j, _ := joinFixture(64, 8)
+	// Keep ~1 of 8 matches, Chord-style.
+	prog := pel.NewBuilder().Field(3).Const(val.Int(8)).Op(pel.OpLt).Build()
+	j.AddFilter(prog, &pel.Env{})
+	event := tuple.New("e", val.Str("addr0"), val.Str("payload"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Push(0, event, nil)
+	}
+}
+
+func BenchmarkMultiAssign(b *testing.B) {
+	env := &pel.Env{}
+	progs := []*pel.Program{
+		pel.NewBuilder().Field(1).Const(val.Int(10)).Op(pel.OpAdd).Build(),
+		pel.NewBuilder().Field(2).Const(val.Int(2)).Op(pel.OpMul).Build(),
+		pel.NewBuilder().Field(3).Const(val.Int(1)).Op(pel.OpSub).Build(),
+	}
+	ma := NewMultiAssign("ma", progs, env)
+	ma.ConnectOut(0, NewDiscard("sink"), 0)
+	in := tuple.New("e", val.Str("n"), val.Int(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ma.Push(0, in, nil)
+	}
+}

@@ -71,11 +71,16 @@ type TimedPullPush struct {
 	running  bool
 	waiting  bool // parked on a poke from either side
 	stopped  bool
+	runFn    func() // bound once; rescheduling allocates no closure
+	pokeFn   Poke
 }
 
 // NewTimedPullPush creates the element; call Start to begin transfers.
 func NewTimedPullPush(name string, loop eventloop.Loop, interval float64) *TimedPullPush {
-	return &TimedPullPush{Base: NewBase(name, 1, 1), loop: loop, interval: interval}
+	tp := &TimedPullPush{Base: NewBase(name, 1, 1), loop: loop, interval: interval}
+	tp.runFn = tp.run
+	tp.pokeFn = tp.poke
+	return tp
 }
 
 // Start begins the transfer loop.
@@ -84,7 +89,7 @@ func (tp *TimedPullPush) Start() {
 		return
 	}
 	tp.running = true
-	tp.loop.Defer(tp.run)
+	tp.loop.Defer(tp.runFn)
 }
 
 // Stop halts transfers permanently.
@@ -94,7 +99,7 @@ func (tp *TimedPullPush) Stop() { tp.stopped = true }
 func (tp *TimedPullPush) poke() {
 	if tp.waiting && !tp.stopped {
 		tp.waiting = false
-		tp.loop.Defer(tp.run)
+		tp.loop.Defer(tp.runFn)
 	}
 }
 
@@ -102,12 +107,12 @@ func (tp *TimedPullPush) run() {
 	if tp.stopped {
 		return
 	}
-	t := tp.PullIn(0, tp.poke)
+	t := tp.PullIn(0, tp.pokeFn)
 	if t == nil {
 		tp.waiting = true
 		return
 	}
-	ok := tp.PushOut(0, t, tp.poke)
+	ok := tp.PushOut(0, t, tp.pokeFn)
 	if !ok {
 		// Downstream refused further pushes but accepted this tuple;
 		// wait for its poke before transferring more.
@@ -115,9 +120,9 @@ func (tp *TimedPullPush) run() {
 		return
 	}
 	if tp.interval > 0 {
-		tp.loop.After(tp.interval, tp.run)
+		eventloop.ScheduleFree(tp.loop, tp.interval, tp.runFn)
 	} else {
-		tp.loop.Defer(tp.run)
+		tp.loop.Defer(tp.runFn)
 	}
 }
 
@@ -294,6 +299,7 @@ type Periodic struct {
 	seq     int64
 	stopped bool
 	mk      func(addr string, seq int64, period float64) *tuple.Tuple
+	fireFn  func() // bound once; each tick re-arms on a pooled timer
 }
 
 // NewPeriodic creates a periodic source pushing to output 0 once
@@ -304,15 +310,19 @@ func NewPeriodic(name string, loop eventloop.Loop, addr string, period float64, 
 	if count == 0 {
 		count = -1
 	}
-	return &Periodic{
+	p := &Periodic{
 		Base: NewBase(name, 1, 0), loop: loop, addr: addr,
 		period: period, count: count, mk: mk,
 	}
+	p.fireFn = p.fire
+	return p
 }
 
-// Start schedules the first firing after delay seconds.
+// Start schedules the first firing after delay seconds. Stop is the
+// only control: no timer handle is kept, so the ticking rides pooled
+// fire-and-forget timers.
 func (p *Periodic) Start(delay float64) {
-	p.loop.After(delay, p.fire)
+	eventloop.ScheduleFree(p.loop, delay, p.fireFn)
 }
 
 // Stop halts future firings.
@@ -331,7 +341,7 @@ func (p *Periodic) fire() {
 		p.count--
 	}
 	if p.count != 0 && p.period > 0 {
-		p.loop.After(p.period, p.fire)
+		eventloop.ScheduleFree(p.loop, p.period, p.fireFn)
 	}
 }
 

@@ -17,38 +17,100 @@ import (
 // (§2.5). For each pushed tuple it looks up matches in the table's
 // secondary index and emits one concatenated tuple per match:
 // fields(input) ++ fields(match), under the configured output name.
+//
+// The probe is allocation-free beyond the emitted tuples: the index
+// handle is resolved once at construction, the probe key renders into a
+// reusable scratch buffer, and matches are visited in place via
+// Index.Each rather than collected into a result slice.
 type Join struct {
 	Base
-	tbl       *table.Table
+	ix        *table.Index
 	streamKey []int // key positions in the incoming tuple
-	tableKey  []int // indexed positions in the stored tuples
+	keyBuf    []byte
 	outName   string
+
+	// Fused selection predicates and trailing assignments (see
+	// AddFilter / AddAssigns).
+	filters []*pel.Program
+	assigns []*pel.Program
+	vm      *pel.VM
+	env     *pel.Env
 }
 
-// NewJoin builds an equijoin element and ensures the table index exists.
+// NewJoin builds an equijoin element and resolves the table's index
+// handle, creating the index if needed.
 func NewJoin(name string, tbl *table.Table, streamKey, tableKey []int, outName string) *Join {
-	tbl.EnsureIndex(tableKey)
 	return &Join{
 		Base:      NewBase(name, 1, 0),
-		tbl:       tbl,
+		ix:        tbl.EnsureIndex(tableKey),
 		streamKey: append([]int(nil), streamKey...),
-		tableKey:  append([]int(nil), tableKey...),
 		outName:   outName,
 	}
 }
 
-// Push probes the table and emits all matches downstream.
+// AddFilter fuses a selection predicate into the probe. The program is
+// evaluated over the virtual concatenation input++match (the same
+// binding environment a downstream Select would see); matches that fail
+// — by evaluating false or erroring — are skipped before the
+// concatenated tuple is built. OverLog join bodies are dominated by
+// range predicates that keep one match in many (Chord's "K in (N, S]"
+// finger walks), so filtering during the probe removes most of a
+// strand's tuple construction. Semantics are identical to a Select
+// element placed immediately after the join.
+func (j *Join) AddFilter(prog *pel.Program, env *pel.Env) {
+	if j.vm == nil {
+		j.vm = pel.NewVM()
+		j.env = env
+	}
+	j.filters = append(j.filters, prog)
+}
+
+// AddAssigns fuses a run of trailing assignments into the emit: the
+// concatenated tuple is built once at its final arity and each program
+// fills the next slot, exactly as a downstream MultiAssign would —
+// minus that element's second tuple construction per match.
+func (j *Join) AddAssigns(progs []*pel.Program, env *pel.Env) {
+	if j.vm == nil {
+		j.vm = pel.NewVM()
+		j.env = env
+	}
+	j.assigns = append(j.assigns, progs...)
+}
+
+// Push probes the table and emits all surviving matches downstream.
+// Strands run one at a time to completion and downstream
+// re-derivations are deferred, so Push is never re-entered while active
+// and the scratch key buffer is safe to reuse.
 func (j *Join) Push(_ int, t *tuple.Tuple, poke Poke) bool {
-	key := t.Key(j.streamKey)
+	j.keyBuf = t.AppendKey(j.keyBuf[:0], j.streamKey)
+	na := t.Arity()
 	ok := true
-	for _, m := range j.tbl.Lookup(j.tableKey, key) {
-		fields := make([]val.Value, 0, t.Arity()+m.Arity())
-		fields = append(fields, t.Fields()...)
-		fields = append(fields, m.Fields()...)
-		if !j.PushOut(0, tuple.New(j.outName, fields...), poke) {
+	j.ix.Each(j.keyBuf, func(m *tuple.Tuple) bool {
+		for _, f := range j.filters {
+			v, err := j.vm.EvalJoined(f, t, m, j.env)
+			if err != nil || !v.AsBool() {
+				return true // match filtered out; keep probing
+			}
+		}
+		base := na + m.Arity()
+		fields := make([]val.Value, base+len(j.assigns))
+		copy(fields, t.Fields())
+		copy(fields[na:], m.Fields())
+		out := tuple.New(j.outName, fields...)
+		for i, prog := range j.assigns {
+			// Each assignment sees the fields earlier ones filled; the
+			// tuple escapes only after every slot is in place.
+			v, err := j.vm.Eval(prog, out, j.env)
+			if err != nil {
+				return true // underivable match dropped, as Assign would
+			}
+			fields[base+i] = v
+		}
+		if !j.PushOut(0, out, poke) {
 			ok = false
 		}
-	}
+		return true
+	})
 	return ok
 }
 
@@ -56,25 +118,24 @@ func (j *Join) Push(_ int, t *tuple.Tuple, poke Poke) bool {
 // passes through unchanged iff the table contains no match.
 type NotJoin struct {
 	Base
-	tbl       *table.Table
+	ix        *table.Index
 	streamKey []int
-	tableKey  []int
+	keyBuf    []byte
 }
 
 // NewNotJoin builds an antijoin element.
 func NewNotJoin(name string, tbl *table.Table, streamKey, tableKey []int) *NotJoin {
-	tbl.EnsureIndex(tableKey)
 	return &NotJoin{
 		Base:      NewBase(name, 1, 0),
-		tbl:       tbl,
+		ix:        tbl.EnsureIndex(tableKey),
 		streamKey: append([]int(nil), streamKey...),
-		tableKey:  append([]int(nil), tableKey...),
 	}
 }
 
 // Push forwards t iff the table has no matching row.
 func (j *NotJoin) Push(_ int, t *tuple.Tuple, poke Poke) bool {
-	if len(j.tbl.Lookup(j.tableKey, t.Key(j.streamKey))) > 0 {
+	j.keyBuf = t.AppendKey(j.keyBuf[:0], j.streamKey)
+	if j.ix.Contains(j.keyBuf) {
 		return true // match exists: tuple eliminated
 	}
 	return j.PushOut(0, t, poke)
@@ -127,6 +188,48 @@ func (a *Assign) Push(_ int, t *tuple.Tuple, poke Poke) bool {
 	fields = append(fields, t.Fields()...)
 	fields = append(fields, v)
 	return a.PushOut(0, tuple.New(t.Name(), fields...), poke)
+}
+
+// MultiAssign fuses a run of consecutive assignments into one element:
+// where a chain of k Assigns would build k intermediate tuples of
+// growing arity, MultiAssign extends the binding environment once.
+// OverLog rule bodies routinely carry several ":=" steps (Chord's
+// lookup rules compute hashes, ranges, and candidate successors in
+// sequence), so the fusion removes most of a strand's intermediate
+// tuple construction. The engine's strand builder performs the fusion.
+type MultiAssign struct {
+	Base
+	progs []*pel.Program
+	vm    *pel.VM
+	env   *pel.Env
+}
+
+// NewMultiAssign builds a fused run of appending evaluators; each
+// program appends one trailing field, in order.
+func NewMultiAssign(name string, progs []*pel.Program, env *pel.Env) *MultiAssign {
+	return &MultiAssign{Base: NewBase(name, 1, 0), progs: progs, vm: pel.NewVM(), env: env}
+}
+
+// Push emits t extended with every evaluated value. Later programs see
+// the fields earlier ones appended, exactly as the unfused chain would:
+// the output tuple is built first (unset trailing fields read as Null)
+// and each evaluation fills the next slot before the following program
+// runs. The tuple does not escape until every field is in place, so the
+// in-place writes never touch a tuple another element can observe. Any
+// evaluation error drops the tuple.
+func (a *MultiAssign) Push(_ int, t *tuple.Tuple, poke Poke) bool {
+	n := t.Arity()
+	fields := make([]val.Value, n+len(a.progs))
+	copy(fields, t.Fields())
+	out := tuple.New(t.Name(), fields...)
+	for i, prog := range a.progs {
+		v, err := a.vm.Eval(prog, out, a.env)
+		if err != nil {
+			return true
+		}
+		fields[n+i] = v
+	}
+	return a.PushOut(0, out, poke)
 }
 
 // Project constructs the rule-head tuple: one PEL program per output
@@ -344,6 +447,7 @@ func (s *aggState) result(fn AggFunc) val.Value {
 type AggTable struct {
 	Base
 	tbl      *table.Table
+	groupIx  *table.Index // exemplar refresh handle; nil for accumulators
 	fn       AggFunc
 	groupPos []int
 	aggPos   int
@@ -376,7 +480,7 @@ func NewAggTable(name string, tbl *table.Table, fn AggFunc, groupPos []int, aggP
 		last:     make(map[string]val.Value),
 	}
 	if a.exemplar() {
-		tbl.EnsureIndex(a.groupPos) // exemplar refreshes read one group, not the table
+		a.groupIx = tbl.EnsureIndex(a.groupPos) // exemplar refreshes read one group, not the table
 	}
 	tbl.OnReplace(func(old *tuple.Tuple) { a.displaced = old })
 	tbl.OnInsert(func(t *tuple.Tuple) {
@@ -468,7 +572,7 @@ func (a *AggTable) refresh(key string) {
 		// Read the group's rows through PeekLookup: refresh runs inside
 		// table notifications, where re-entering the expiry pass would
 		// recurse into this listener.
-		rows := a.tbl.PeekLookup(a.groupPos, key)
+		rows := a.groupIx.PeekLookup(key)
 		if len(rows) == 0 {
 			delete(a.last, key)
 			return

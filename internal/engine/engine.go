@@ -127,14 +127,47 @@ type Node struct {
 	allStrands []*strand    // every strand, in build order, for sysRule
 	aggFires   []*ruleFires // table-aggregate counters for sysRule
 	introTimer *eventloop.Timer
+	sysref     *sysRefresh // incremental system-table refresh cache
 }
 
-// strand is one rule's compiled element chain.
+// strand is one rule's compiled element chain plus its trigger runner:
+// a preallocated FIFO of pending events and a single func value handed
+// to the loop's DPC lane, so triggering a strand allocates nothing —
+// no per-tuple closure, no Timer.
 type strand struct {
 	rule  *planner.Rule
 	entry dataflow.Pusher
 	agg   *dataflow.AggStream
 	fires int64
+
+	node  *Node
+	queue []*tuple.Tuple // pending trigger events; one Defer per entry
+	head  int
+	runFn func() // bound once to runNext
+}
+
+// runNext pops the oldest pending event and executes the strand for it.
+// Each queued event has exactly one matching Defer, so global FIFO
+// ordering across strands is identical to deferring a closure per
+// tuple.
+func (s *strand) runNext() {
+	t := s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	} else if s.head > 32 && s.head*2 >= len(s.queue) {
+		// Slide a perpetually non-empty queue down so the backing
+		// array stays bounded by the outstanding-event high-water mark.
+		kept := copy(s.queue, s.queue[s.head:])
+		for i := kept; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:kept]
+		s.head = 0
+	}
+	s.node.runStrand(s, t)
 }
 
 // ruleFires counts head emissions of a continuous table aggregate.
@@ -160,6 +193,7 @@ func NewNode(addr string, loop eventloop.Loop, net netif.Network, plan *planner.
 		tables:   make(map[string]*table.Table),
 		strands:  make(map[string][]*strand),
 		watchers: make(map[string][]WatchFunc),
+		sysref:   newSysRefresh(),
 	}
 	n.env = &pel.Env{Clock: loop, Rand: rng, Local: addr}
 	return n
@@ -247,6 +281,7 @@ func (n *Node) Start() error {
 // soft state: a few missed refreshes and they fade, like any other
 // P2 relation.
 func (n *Node) newTable(spec *planner.TableSpec) *table.Table {
+	n.sysref.registerTable(spec.Name)
 	if spec.System {
 		ttl := table.Infinity
 		if iv := n.introspectInterval(); iv > 0 {
@@ -343,19 +378,51 @@ func (n *Node) buildStrand(r *planner.Rule) {
 	var elems []dataflow.Pusher
 	label := func(kind string) string { return fmt.Sprintf("%s.%s.%s", n.addr, r.ID, kind) }
 
-	for i, op := range r.Ops {
-		switch o := op.(type) {
+	for i := 0; i < len(r.Ops); i++ {
+		switch o := r.Ops[i].(type) {
 		case *planner.OpJoin:
 			tbl := n.tables[o.Table]
 			if o.Neg {
 				elems = append(elems, dataflow.NewNotJoin(label(fmt.Sprintf("antijoin%d", i)), tbl, o.StreamKey, o.TableKey))
 			} else {
-				elems = append(elems, dataflow.NewJoin(label(fmt.Sprintf("join%d", i)), tbl, o.StreamKey, o.TableKey, "w"))
+				j := dataflow.NewJoin(label(fmt.Sprintf("join%d", i)), tbl, o.StreamKey, o.TableKey, "w")
+				// Fuse immediately-following selections into the probe
+				// (filtered matches never materialize a concatenated
+				// tuple), then the assignment run after them into the
+				// emit (one tuple at final arity per surviving match).
+				for i+1 < len(r.Ops) {
+					sel, ok := r.Ops[i+1].(*planner.OpSelect)
+					if !ok {
+						break
+					}
+					j.AddFilter(sel.Prog, n.env)
+					i++
+				}
+				for i+1 < len(r.Ops) {
+					asn, ok := r.Ops[i+1].(*planner.OpAssign)
+					if !ok {
+						break
+					}
+					j.AddAssigns([]*pel.Program{asn.Prog}, n.env)
+					i++
+				}
+				elems = append(elems, j)
 			}
 		case *planner.OpSelect:
 			elems = append(elems, dataflow.NewSelect(label(fmt.Sprintf("select%d", i)), o.Prog, n.env))
 		case *planner.OpAssign:
-			elems = append(elems, dataflow.NewAssign(label(fmt.Sprintf("assign%d", i)), o.Prog, n.env))
+			// Fuse the whole run of consecutive assignments into one
+			// element: one extended tuple instead of one per ":=" step.
+			progs := []*pel.Program{o.Prog}
+			for i+1 < len(r.Ops) {
+				next, ok := r.Ops[i+1].(*planner.OpAssign)
+				if !ok {
+					break
+				}
+				progs = append(progs, next.Prog)
+				i++
+			}
+			elems = append(elems, dataflow.NewMultiAssign(label(fmt.Sprintf("assign%d", i)), progs, n.env))
 		case *planner.OpRange:
 			elems = append(elems, dataflow.NewRange(label(fmt.Sprintf("range%d", i)), o.Lo, o.Hi, n.env))
 		}
@@ -376,7 +443,8 @@ func (n *Node) buildStrand(r *planner.Rule) {
 	}
 	connect(elems[len(elems)-1], sink)
 
-	s := &strand{rule: r, entry: elems[0], agg: agg}
+	s := &strand{rule: r, entry: elems[0], agg: agg, node: n}
+	s.runFn = s.runNext
 	n.allStrands = append(n.allStrands, s)
 	if r.Trigger.Kind == planner.TrigPeriodic {
 		n.startPeriodic(r, s)
@@ -517,11 +585,13 @@ func (n *Node) deliverLocal(t *tuple.Tuple, dir Direction) {
 }
 
 // trigger schedules every strand listening on name. Runs are deferred
-// so each strand executes run-to-completion with a quiesced stack.
+// so each strand executes run-to-completion with a quiesced stack. The
+// event rides the strand's own pending queue and the strand's
+// preallocated runner goes on the DPC ring — no closure per tuple.
 func (n *Node) trigger(name string, t *tuple.Tuple) {
 	for _, s := range n.strands[name] {
-		s := s
-		n.loop.Defer(func() { n.runStrand(s, t) })
+		s.queue = append(s.queue, t)
+		n.loop.Defer(s.runFn)
 	}
 }
 

@@ -8,12 +8,60 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"p2/internal/introspect"
 	"p2/internal/overlog"
 	"p2/internal/planner"
+	"p2/internal/table"
+	"p2/internal/transport"
+	"p2/internal/tuple"
+	"p2/internal/val"
 )
+
+// sysRefresh caches the previous refresh's counter values and rendered
+// tuples per system-table row. A refresh whose counters are unchanged
+// re-delivers the cached tuple pointer: the table sees an identical
+// tuple, renews its TTL, and produces no delta — and the refresh
+// allocates nothing for it. On a mostly idle overlay that turns the
+// once-a-second snapshot from the node's largest allocator into a
+// near-free TTL renewal pass.
+type sysRefresh struct {
+	tableNames []string // application relations, sorted, maintained at creation
+	tableLast  map[string]introspect.TableStat
+	tableTup   map[string]*tuple.Tuple
+	ruleLast   map[string]int64
+	ruleTup    map[string]*tuple.Tuple
+	netLast    map[string]introspect.NetStat
+	netTup     map[string]*tuple.Tuple
+	netBuf     []transport.DestStats
+}
+
+func newSysRefresh() *sysRefresh {
+	return &sysRefresh{
+		tableLast: make(map[string]introspect.TableStat),
+		tableTup:  make(map[string]*tuple.Tuple),
+		ruleLast:  make(map[string]int64),
+		ruleTup:   make(map[string]*tuple.Tuple),
+		netLast:   make(map[string]introspect.NetStat),
+		netTup:    make(map[string]*tuple.Tuple),
+	}
+}
+
+// registerTable records an application relation for the sysTable
+// refresh walk, keeping the name list sorted (the deterministic order
+// Snapshot uses).
+func (sr *sysRefresh) registerTable(name string) {
+	if introspect.IsReserved(name) {
+		return
+	}
+	i := sort.SearchStrings(sr.tableNames, name)
+	if i < len(sr.tableNames) && sr.tableNames[i] == name {
+		return
+	}
+	sr.tableNames = slices.Insert(sr.tableNames, i, name)
+}
 
 // introspectInterval resolves the option's default: 1 s, negative
 // disables.
@@ -47,9 +95,60 @@ func (n *Node) scheduleIntrospect() {
 // whose values changed produce deltas that trigger any rules listening
 // on the system tables, exactly as application-table deltas would. The
 // engine calls it on a timer; tests and tools may call it directly.
+//
+// The refresh is incremental: rows are delivered in the same
+// deterministic order as introspect.Snapshot (sysNode, then sysTable /
+// sysRule / sysNet), but a row whose counters match the previous
+// refresh reuses the cached tuple, so steady-state refreshes only
+// build tuples for rows that actually changed.
 func (n *Node) RefreshSystemTables() {
-	for _, t := range introspect.Snapshot(n) {
+	sr := n.sysref
+	addr := val.Str(n.addr)
+
+	ns := n.NodeStat() // uptime always moves; sysNode rebuilds every pass
+	n.deliverLocal(introspect.NodeTuple(addr, ns), DirDerived)
+
+	for _, name := range sr.tableNames {
+		tb := n.tables[name]
+		if tb == nil {
+			continue
+		}
+		ts := tableStat(name, tb)
+		t := sr.tableTup[name]
+		if t == nil || ts != sr.tableLast[name] {
+			t = introspect.TableTuple(addr, ts)
+			sr.tableTup[name], sr.tableLast[name] = t, ts
+		}
 		n.deliverLocal(t, DirDerived)
+	}
+
+	emitRule := func(id string, fires int64) {
+		t := sr.ruleTup[id]
+		if t == nil || fires != sr.ruleLast[id] {
+			t = introspect.RuleTuple(addr, introspect.RuleStat{ID: id, Fires: fires})
+			sr.ruleTup[id], sr.ruleLast[id] = t, fires
+		}
+		n.deliverLocal(t, DirDerived)
+	}
+	for _, s := range n.allStrands {
+		emitRule(s.rule.ID, s.fires)
+	}
+	for _, rf := range n.aggFires {
+		emitRule(rf.id, rf.fires)
+	}
+
+	if n.trans != nil {
+		sr.netBuf = n.trans.PerDestInto(sr.netBuf)
+		for i := range sr.netBuf {
+			d := &sr.netBuf[i]
+			st := netStat(d)
+			t := sr.netTup[d.Addr]
+			if t == nil || st != sr.netLast[d.Addr] {
+				t = introspect.NetTuple(addr, st)
+				sr.netTup[d.Addr], sr.netLast[d.Addr] = t, st
+			}
+			n.deliverLocal(t, DirDerived)
+		}
 	}
 }
 
@@ -70,16 +169,31 @@ func (n *Node) NodeStat() introspect.NodeStat {
 	return st
 }
 
+// tableStat maps one table's counters into its sysTable row — the
+// single mapping shared by TableStats and the incremental refresh.
+func tableStat(name string, tb *table.Table) introspect.TableStat {
+	st := tb.Stats()
+	return introspect.TableStat{
+		Name: name, Tuples: tb.Len(),
+		Inserts: st.Inserts, Deletes: st.Deletes, Refreshes: st.Refreshes,
+	}
+}
+
+// netStat maps one peer's transport accounting into its sysNet row —
+// the single mapping shared by NetStats and the incremental refresh.
+func netStat(d *transport.DestStats) introspect.NetStat {
+	return introspect.NetStat{
+		Dest: d.Addr, Sent: d.Sent, Recvd: d.Recvd, Bytes: d.Bytes, Retries: d.Retries,
+		Cwnd: d.Cwnd, RTO: d.RTO, Backlog: d.Backlog, BatchFill: d.BatchFill,
+	}
+}
+
 // TableStats reports per-relation counters for every table the node
 // maintains, system tables included, sorted by name.
 func (n *Node) TableStats() []introspect.TableStat {
 	out := make([]introspect.TableStat, 0, len(n.tables))
 	for name, tb := range n.tables {
-		st := tb.Stats()
-		out = append(out, introspect.TableStat{
-			Name: name, Tuples: tb.Len(),
-			Inserts: st.Inserts, Deletes: st.Deletes, Refreshes: st.Refreshes,
-		})
+		out = append(out, tableStat(name, tb))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -108,11 +222,8 @@ func (n *Node) NetStats() []introspect.NetStat {
 	}
 	per := n.trans.PerDest()
 	out := make([]introspect.NetStat, len(per))
-	for i, d := range per {
-		out[i] = introspect.NetStat{
-			Dest: d.Addr, Sent: d.Sent, Recvd: d.Recvd, Bytes: d.Bytes, Retries: d.Retries,
-			Cwnd: d.Cwnd, RTO: d.RTO, Backlog: d.Backlog, BatchFill: d.BatchFill,
-		}
+	for i := range per {
+		out[i] = netStat(&per[i])
 	}
 	return out
 }

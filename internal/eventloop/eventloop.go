@@ -10,12 +10,20 @@
 //   - Real: a wall-clock loop backed by time.Timer, used when deploying
 //     P2 nodes over real UDP sockets.
 //
+// Scheduling has two lanes. Timed work goes through a binary heap of
+// Timer structs. Deferred procedure calls (§3.3) — same-instant FIFO
+// work by definition — go through a dedicated ring buffer that bypasses
+// the heap entirely: a Defer is one ring slot, no Timer, no heap push,
+// no allocation. Ordering against At(now) timers stays deterministic
+// because both lanes share one scheduling sequence counter.
+//
 // Time is modeled as float64 seconds, matching the val.Time kind that
 // OverLog's f_now() returns.
 package eventloop
 
 import (
 	"container/heap"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,22 +48,104 @@ type Loop interface {
 	Defer(fn func())
 }
 
+// FreeScheduler is implemented by loops that can schedule
+// fire-and-forget callbacks on pooled Timer structs. No handle is
+// returned, so the timer cannot be canceled — which is exactly what
+// makes recycling it safe.
+type FreeScheduler interface {
+	AfterFree(d float64, fn func())
+}
+
+// ScheduleFree schedules fn d seconds out without a cancel handle,
+// using the loop's pooled path when available. Periodic re-arms
+// (OverLog periodics, transfer loops) route through here so steady
+// ticking does not churn Timer allocations.
+func ScheduleFree(l Loop, d float64, fn func()) {
+	if fs, ok := l.(FreeScheduler); ok {
+		fs.AfterFree(d, fn)
+		return
+	}
+	l.After(d, fn)
+}
+
+// Timer lifecycle bits. A timer is scheduled with state 0 (or stFree
+// when fire-and-forget); Cancel sets stCanceled, removal from the heap
+// sets stPopped. Exactly one of those two transitions decrements the
+// loop's live-timer gauge, which is what makes Pending O(1) instead of
+// an O(heap) scan.
+const (
+	stCanceled uint32 = 1 << iota // will not fire
+	stPopped                      // left the heap (fired or discarded)
+	stFree                        // no handle retained; pool on pop
+)
+
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	at       float64
-	seq      uint64
-	fn       func()
-	canceled atomic.Bool
-	index    int // heap position, -1 when popped
+	at    float64
+	seq   uint64
+	fn    func()
+	state atomic.Uint32
+	live  *atomic.Int64 // owning loop's live-timer gauge
+	index int           // heap position, -1 when popped
 }
 
 // Cancel prevents the callback from firing. Safe to call after firing,
-// and (because the flag is atomic) from any goroutine.
+// and (because the state word is atomic) from any goroutine.
 func (t *Timer) Cancel() {
-	if t != nil {
-		t.canceled.Store(true)
+	if t == nil {
+		return
+	}
+	for {
+		s := t.state.Load()
+		if s&stCanceled != 0 {
+			return
+		}
+		if t.state.CompareAndSwap(s, s|stCanceled) {
+			if s&stPopped == 0 && t.live != nil {
+				t.live.Add(-1)
+			}
+			return
+		}
 	}
 }
+
+// CancelFree cancels the timer and releases the handle: the caller
+// promises to drop every reference and never touch the timer again, so
+// the loop may recycle the struct once it leaves the heap. Hot
+// re-arm/disarm cycles (retransmission timers, delayed acks) use this
+// instead of Cancel to avoid churning a Timer allocation per cycle.
+func (t *Timer) CancelFree() {
+	if t == nil {
+		return
+	}
+	t.Cancel()
+	for {
+		s := t.state.Load()
+		if s&stFree != 0 || t.state.CompareAndSwap(s, s|stFree) {
+			return
+		}
+	}
+}
+
+// take marks the timer as removed from the heap, decrementing the live
+// gauge. It reports false if the timer was canceled first.
+func (t *Timer) take() bool {
+	for {
+		s := t.state.Load()
+		if s&stCanceled != 0 {
+			return false
+		}
+		if t.state.CompareAndSwap(s, s|stPopped) {
+			if t.live != nil {
+				t.live.Add(-1)
+			}
+			return true
+		}
+	}
+}
+
+// canceled reports whether Cancel has been called.
+func (t *Timer) canceled() bool { return t.state.Load()&stCanceled != 0 }
 
 // When returns the scheduled absolute time.
 func (t *Timer) When() float64 { return t.at }
@@ -91,24 +181,68 @@ func (h *timerHeap) Pop() any {
 	return t
 }
 
-// live counts heap entries that have not been canceled.
-func (h timerHeap) live() int {
-	n := 0
-	for _, t := range h {
-		if !t.canceled.Load() {
-			n++
-		}
-	}
-	return n
+// dpc is one deferred procedure call: the callback plus its position in
+// the loop's global scheduling order (shared with the timer heap, so
+// Defer interleaves deterministically with At(now)).
+type dpc struct {
+	fn  func()
+	seq uint64
 }
+
+// dpcRing is a growable FIFO ring of deferred procedure calls — the
+// same-instant lane that bypasses the timer heap. Push and pop are O(1)
+// and allocation-free once the ring has grown to the workload's
+// high-water mark.
+type dpcRing struct {
+	buf  []dpc
+	head int
+	n    int
+}
+
+func (q *dpcRing) push(fn func(), seq uint64) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = dpc{fn: fn, seq: seq}
+	q.n++
+}
+
+func (q *dpcRing) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8 // power of two; indexing masks instead of dividing
+	}
+	nb := make([]dpc, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}
+
+func (q *dpcRing) pop() func() {
+	d := q.buf[q.head]
+	q.buf[q.head] = dpc{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return d.fn
+}
+
+// peekSeq returns the scheduling sequence of the oldest entry; call
+// only when n > 0.
+func (q *dpcRing) peekSeq() uint64 { return q.buf[q.head].seq }
+
+// maxTimerPool bounds the free list of recycled Timer structs.
+const maxTimerPool = 256
 
 // Sim is a virtual-time discrete-event loop. Not safe for concurrent
 // use: a simulation is a single goroutine by construction.
 type Sim struct {
-	now     float64
-	seq     uint64
-	heap    timerHeap
-	running bool
+	now   float64
+	seq   uint64
+	heap  timerHeap
+	dq    dpcRing
+	livec atomic.Int64 // scheduled, uncanceled timers (not DPCs)
+	pool  []*Timer     // recycled fire-and-forget timers
 }
 
 // NewSim returns a simulation loop starting at time zero.
@@ -119,13 +253,7 @@ func (s *Sim) Now() float64 { return s.now }
 
 // At schedules fn at virtual time t.
 func (s *Sim) At(t float64, fn func()) *Timer {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.heap, tm)
-	return tm
+	return s.schedule(t, fn, 0)
 }
 
 // After schedules fn d seconds from the current virtual time.
@@ -133,26 +261,105 @@ func (s *Sim) After(d float64, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, 0)
+}
+
+// AfterFree schedules fn d seconds out on a pooled timer. No handle is
+// returned — the caller cannot cancel, and the Timer struct is recycled
+// when it leaves the heap.
+func (s *Sim) AfterFree(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn, stFree)
+}
+
+func (s *Sim) schedule(at float64, fn func(), flags uint32) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	tm := s.get()
+	tm.at, tm.seq, tm.fn = at, s.seq, fn
+	tm.live = &s.livec
+	tm.state.Store(flags)
+	s.livec.Add(1)
+	heap.Push(&s.heap, tm)
+	return tm
+}
+
+func (s *Sim) get() *Timer {
+	if n := len(s.pool); n > 0 {
+		tm := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return tm
+	}
+	return &Timer{}
+}
+
+// recycle returns tm to the pool if its owner released the handle.
+func (s *Sim) recycle(tm *Timer) {
+	if tm.state.Load()&stFree != 0 && len(s.pool) < maxTimerPool {
+		tm.fn = nil
+		s.pool = append(s.pool, tm)
+	}
 }
 
 // Defer schedules fn at the current virtual time, after already-queued
-// same-instant events.
-func (s *Sim) Defer(fn func()) { s.At(s.now, fn) }
+// same-instant events. It is one ring slot: no Timer, no heap push, no
+// allocation beyond the queued entry.
+func (s *Sim) Defer(fn func()) {
+	s.seq++
+	s.dq.push(fn, s.seq)
+}
+
+// next pops the earliest runnable event due at or before limit,
+// advancing virtual time. The DPC ring holds same-instant work, so a
+// heap timer runs first only when it is due at the current instant and
+// was scheduled earlier than the ring's oldest entry.
+func (s *Sim) next(limit float64) (func(), bool) {
+	for {
+		var top *Timer
+		for s.heap.Len() > 0 {
+			tm := s.heap[0]
+			if tm.canceled() {
+				heap.Pop(&s.heap)
+				s.recycle(tm)
+				continue
+			}
+			top = tm
+			break
+		}
+		if s.dq.n > 0 {
+			if top == nil || top.at > s.now || top.seq > s.dq.peekSeq() {
+				return s.dq.pop(), true
+			}
+		}
+		if top == nil || top.at > limit {
+			return nil, false
+		}
+		heap.Pop(&s.heap)
+		if !top.take() {
+			s.recycle(top)
+			continue
+		}
+		s.now = top.at
+		fn := top.fn
+		s.recycle(top)
+		return fn, true
+	}
+}
 
 // Step fires the next pending event, advancing virtual time. It reports
 // whether an event ran.
 func (s *Sim) Step() bool {
-	for s.heap.Len() > 0 {
-		tm := heap.Pop(&s.heap).(*Timer)
-		if tm.canceled.Load() {
-			continue
-		}
-		s.now = tm.at
-		tm.fn()
-		return true
+	fn, ok := s.next(math.Inf(1))
+	if !ok {
+		return false
 	}
-	return false
+	fn()
+	return true
 }
 
 // Run fires events until the queue is empty or virtual time would pass
@@ -161,18 +368,12 @@ func (s *Sim) Step() bool {
 // drained earlier.
 func (s *Sim) Run(until float64) int {
 	n := 0
-	for s.heap.Len() > 0 {
-		next := s.heap[0]
-		if next.canceled.Load() {
-			heap.Pop(&s.heap)
-			continue
-		}
-		if next.at > until {
+	for {
+		fn, ok := s.next(until)
+		if !ok {
 			break
 		}
-		heap.Pop(&s.heap)
-		s.now = next.at
-		next.fn()
+		fn()
 		n++
 	}
 	if s.now < until {
@@ -184,20 +385,24 @@ func (s *Sim) Run(until float64) int {
 // RunFor advances the loop by d seconds of virtual time.
 func (s *Sim) RunFor(d float64) int { return s.Run(s.now + d) }
 
-// Pending returns the number of scheduled events still due to fire.
-// Canceled timers linger in the heap until popped but are not work, so
-// they are excluded — the count is a true queue-length gauge (sysNode).
-func (s *Sim) Pending() int { return s.heap.live() }
+// Pending returns the number of scheduled events still due to fire:
+// live (uncanceled) timers plus queued deferred procedure calls. The
+// gauge is maintained incrementally on schedule/cancel/pop, so the
+// sysNode introspection refresh reads it in O(1) instead of scanning a
+// heap full of lingering canceled retry timers.
+func (s *Sim) Pending() int { return int(s.livec.Load()) + s.dq.n }
 
 // Real is a wall-clock loop. Callbacks still run one at a time on the
-// loop goroutine; Post is the only entry point safe to call from other
-// goroutines (e.g. a UDP reader).
+// loop goroutine; Post and Defer are safe to call from other goroutines
+// (e.g. a UDP reader posting inbound datagrams).
 type Real struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	heap   timerHeap
 	seq    uint64
 	posted []func()
+	dq     dpcRing
+	livec  atomic.Int64
 	stop   bool
 	start  time.Time
 }
@@ -217,7 +422,8 @@ func (r *Real) At(t float64, fn func()) *Timer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
-	tm := &Timer{at: t, seq: r.seq, fn: fn}
+	tm := &Timer{at: t, seq: r.seq, fn: fn, live: &r.livec}
+	r.livec.Add(1)
 	heap.Push(&r.heap, tm)
 	r.cond.Signal()
 	return tm
@@ -231,8 +437,21 @@ func (r *Real) After(d float64, fn func()) *Timer {
 	return r.At(r.Now()+d, fn)
 }
 
-// Defer schedules fn to run as soon as possible on the loop.
-func (r *Real) Defer(fn func()) { r.Post(fn) }
+// AfterFree schedules fn without returning a handle. The wall-clock
+// loop does not pool timers — allocation churn is noise next to real
+// network I/O — but implementing FreeScheduler keeps scheduling code
+// identical across Sim and Real.
+func (r *Real) AfterFree(d float64, fn func()) { r.After(d, fn) }
+
+// Defer schedules fn on the deferred-procedure-call ring: it runs as
+// soon as the in-progress handler completes, before posted work and due
+// timers collected for later in the same batch.
+func (r *Real) Defer(fn func()) {
+	r.mu.Lock()
+	r.dq.push(fn, 0)
+	r.mu.Unlock()
+	r.cond.Signal()
+}
 
 // Post enqueues fn from any goroutine; it runs on the loop goroutine.
 func (r *Real) Post(fn func()) {
@@ -242,15 +461,16 @@ func (r *Real) Post(fn func()) {
 	r.cond.Signal()
 }
 
-// Pending returns the number of live scheduled timers plus posted
-// functions not yet run — the Real counterpart of Sim.Pending, used by
-// the sysNode introspection relation as a queue-length gauge. Canceled
-// timers (e.g. transport retransmit timers voided by an ack) are
-// excluded: they occupy the heap but are not work.
+// Pending returns the number of live scheduled timers plus queued
+// deferred and posted functions not yet run — the Real counterpart of
+// Sim.Pending, used by the sysNode introspection relation as a
+// queue-length gauge. Canceled timers (e.g. transport retransmit timers
+// voided by an ack) never count: the gauge is decremented the moment
+// Cancel runs.
 func (r *Real) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.heap.live() + len(r.posted)
+	return int(r.livec.Load()) + len(r.posted) + r.dq.n
 }
 
 // Stop makes Run return after the current handler.
@@ -261,9 +481,33 @@ func (r *Real) Stop() {
 	r.cond.Signal()
 }
 
-// Run processes posted functions and timers until Stop is called.
-// It must be called from exactly one goroutine.
+// runDPCs drains one generation of the deferred-procedure-call ring —
+// the entries present at call time — running each outside the lock.
+// Entries deferred by the drained callbacks themselves wait for the
+// next call (runDPCs runs after every handler, so they are still
+// prompt), which keeps a same-instant defer cascade from starving the
+// batch loop where Stop is honored and due timers are collected.
+func (r *Real) runDPCs() {
+	r.mu.Lock()
+	gen := r.dq.n
+	r.mu.Unlock()
+	for i := 0; i < gen; i++ {
+		r.mu.Lock()
+		if r.stop || r.dq.n == 0 {
+			r.mu.Unlock()
+			return
+		}
+		fn := r.dq.pop()
+		r.mu.Unlock()
+		fn()
+	}
+}
+
+// Run processes deferred calls, posted functions, and timers until Stop
+// is called. It must be called from exactly one goroutine.
 func (r *Real) Run() {
+	var fns []func()
+	var due []*Timer
 	for {
 		r.mu.Lock()
 		for {
@@ -271,12 +515,12 @@ func (r *Real) Run() {
 				r.mu.Unlock()
 				return
 			}
-			if len(r.posted) > 0 {
+			if r.dq.n > 0 || len(r.posted) > 0 {
 				break
 			}
 			if r.heap.Len() > 0 {
 				next := r.heap[0]
-				if next.canceled.Load() {
+				if next.canceled() {
 					heap.Pop(&r.heap)
 					continue
 				}
@@ -292,15 +536,19 @@ func (r *Real) Run() {
 			}
 			r.cond.Wait()
 		}
-		// Collect runnable work under the lock, run it outside.
-		var fns []func()
-		fns = append(fns, r.posted...)
+		// Collect runnable work under the lock, run it outside. The
+		// reusable fns/due buffers are cleared after execution so stale
+		// callbacks do not linger.
+		fns = append(fns[:0], r.posted...)
+		for i := range r.posted {
+			r.posted[i] = nil
+		}
 		r.posted = r.posted[:0]
 		now := r.Now()
-		var due []*Timer
+		due = due[:0]
 		for r.heap.Len() > 0 {
 			next := r.heap[0]
-			if next.canceled.Load() {
+			if next.canceled() {
 				heap.Pop(&r.heap)
 				continue
 			}
@@ -308,18 +556,27 @@ func (r *Real) Run() {
 				break
 			}
 			heap.Pop(&r.heap)
+			next.take()
 			due = append(due, next)
 		}
 		r.mu.Unlock()
-		for _, fn := range fns {
+		// Deferred procedure calls run first and re-drain after every
+		// callback, so each handler's deferred work runs the moment the
+		// handler completes.
+		r.runDPCs()
+		for i, fn := range fns {
 			fn()
+			fns[i] = nil
+			r.runDPCs()
 		}
-		for _, tm := range due {
+		for i, tm := range due {
 			// Re-check at invocation time: an earlier callback in this
 			// very batch may have canceled a timer collected with it.
-			if !tm.canceled.Load() {
+			if !tm.canceled() {
 				tm.fn()
 			}
+			due[i] = nil
+			r.runDPCs()
 		}
 	}
 }

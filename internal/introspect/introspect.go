@@ -122,6 +122,38 @@ type Source interface {
 	NetStats() []NetStat
 }
 
+// The render helpers below are the single source of truth for each
+// system relation's field order and arity. Snapshot composes them, and
+// so does the engine's incremental refresh (which caches rendered
+// tuples per row and only re-renders when a row's counters change) —
+// a schema change edits exactly one function per relation.
+
+// NodeTuple renders one sysNode row.
+func NodeTuple(addr val.Value, ns NodeStat) *tuple.Tuple {
+	return tuple.New(NodeRelation,
+		addr, val.Float(ns.UptimeS), val.Int(ns.Events), val.Int(int64(ns.Queue)))
+}
+
+// TableTuple renders one sysTable row.
+func TableTuple(addr val.Value, ts TableStat) *tuple.Tuple {
+	return tuple.New(TableRelation,
+		addr, val.Str(ts.Name), val.Int(int64(ts.Tuples)),
+		val.Int(ts.Inserts), val.Int(ts.Deletes), val.Int(ts.Refreshes))
+}
+
+// RuleTuple renders one sysRule row.
+func RuleTuple(addr val.Value, rs RuleStat) *tuple.Tuple {
+	return tuple.New(RuleRelation, addr, val.Str(rs.ID), val.Int(rs.Fires))
+}
+
+// NetTuple renders one sysNet row.
+func NetTuple(addr val.Value, st NetStat) *tuple.Tuple {
+	return tuple.New(NetRelation,
+		addr, val.Str(st.Dest), val.Int(st.Sent), val.Int(st.Recvd),
+		val.Int(st.Bytes), val.Int(st.Retries), val.Float(st.Cwnd),
+		val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill))
+}
+
 // Snapshot renders src's current state as system-table tuples, in
 // deterministic order (sysNode, then sysTable, sysRule, sysNet rows
 // sorted by their reporting Source). Inserting them into the node's
@@ -129,9 +161,7 @@ type Source interface {
 // normal local-delivery path so deltas trigger listening rules.
 func Snapshot(src Source) []*tuple.Tuple {
 	addr := val.Str(src.Addr())
-	ns := src.NodeStat()
-	out := []*tuple.Tuple{tuple.New(NodeRelation,
-		addr, val.Float(ns.UptimeS), val.Int(ns.Events), val.Int(int64(ns.Queue)))}
+	out := []*tuple.Tuple{NodeTuple(addr, src.NodeStat())}
 
 	tstats := src.TableStats()
 	sort.Slice(tstats, func(i, j int) bool { return tstats[i].Name < tstats[j].Name })
@@ -139,20 +169,15 @@ func Snapshot(src Source) []*tuple.Tuple {
 		if IsReserved(ts.Name) {
 			continue
 		}
-		out = append(out, tuple.New(TableRelation,
-			addr, val.Str(ts.Name), val.Int(int64(ts.Tuples)),
-			val.Int(ts.Inserts), val.Int(ts.Deletes), val.Int(ts.Refreshes)))
+		out = append(out, TableTuple(addr, ts))
 	}
 	for _, rs := range src.RuleStats() {
-		out = append(out, tuple.New(RuleRelation, addr, val.Str(rs.ID), val.Int(rs.Fires)))
+		out = append(out, RuleTuple(addr, rs))
 	}
 	nstats := src.NetStats()
 	sort.Slice(nstats, func(i, j int) bool { return nstats[i].Dest < nstats[j].Dest })
 	for _, st := range nstats {
-		out = append(out, tuple.New(NetRelation,
-			addr, val.Str(st.Dest), val.Int(st.Sent), val.Int(st.Recvd),
-			val.Int(st.Bytes), val.Int(st.Retries), val.Float(st.Cwnd),
-			val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill)))
+		out = append(out, NetTuple(addr, st))
 	}
 	return out
 }

@@ -179,6 +179,19 @@ func NewVM() *VM { return &VM{stack: make([]val.Value, 0, 16)} }
 // value left on top of the stack. Errors indicate malformed programs
 // (stack underflow, missing constant), which are planner bugs.
 func (vm *VM) Eval(p *Program, in *tuple.Tuple, env *Env) (val.Value, error) {
+	return vm.run(p, in, nil, 0, env)
+}
+
+// EvalJoined runs p against the virtual concatenation of left and
+// right: field references below left's arity read left, the rest read
+// right shifted down. Equijoins use it to evaluate selection predicates
+// against a candidate match before materializing the concatenated
+// tuple, so filtered-out matches never allocate.
+func (vm *VM) EvalJoined(p *Program, left, right *tuple.Tuple, env *Env) (val.Value, error) {
+	return vm.run(p, left, right, left.Arity(), env)
+}
+
+func (vm *VM) run(p *Program, in, right *tuple.Tuple, split int, env *Env) (val.Value, error) {
 	st := vm.stack[:0]
 	pop := func() val.Value {
 		v := st[len(st)-1]
@@ -198,7 +211,11 @@ func (vm *VM) Eval(p *Program, in *tuple.Tuple, env *Env) (val.Value, error) {
 			}
 			st = append(st, p.consts[ins.Arg])
 		case OpField:
-			st = append(st, in.Field(ins.Arg))
+			if right != nil && ins.Arg >= split {
+				st = append(st, right.Field(ins.Arg-split))
+			} else {
+				st = append(st, in.Field(ins.Arg))
+			}
 		case OpPop:
 			pop()
 		case OpDup:

@@ -11,6 +11,12 @@
 // loop means no locking is needed, mirroring the paper's libasync-based
 // design. Insert and delete listeners let the planner turn table deltas
 // into dataflow events and keep continuous aggregates current.
+//
+// The probe path is allocation-free: every row caches its rendered
+// primary and per-index key strings at add time (removal and
+// replacement never re-render), and equijoins resolve an *Index handle
+// once at wiring time, then probe it with Index.Each against a scratch
+// key buffer — no signature strings, no result slices.
 package table
 
 import (
@@ -38,13 +44,22 @@ type Table struct {
 
 	rows    map[string]*row // primary key → row
 	order   *list.List      // *row in insertion order, oldest first
-	indices map[string]*index
+	indices []*Index        // creation order; row.ixKeys is parallel
+	bySig   map[string]*Index
 
 	onInsert  []func(*tuple.Tuple)
 	onDelete  []func(*tuple.Tuple)
 	onRefresh []func(*tuple.Tuple)
 	onReplace []func(*tuple.Tuple)
 	inserting *tuple.Tuple
+
+	// probing counts in-flight Index.Each visits. While positive,
+	// removals tombstone bucket slots instead of compacting them, so a
+	// probe never visits a row twice; buckets compact when it drops to
+	// zero.
+	probing int
+
+	scratch []byte // probe/insert key render buffer
 
 	stats Stats
 }
@@ -63,11 +78,20 @@ type row struct {
 	t       *tuple.Tuple
 	expires float64
 	elem    *list.Element
+	pk      string   // rendered primary key, cached at add time
+	ixKeys  []string // rendered per-index keys, parallel to Table.indices
 }
 
-type index struct {
+// Index is a secondary equality index over a fixed set of field
+// positions — the handle equijoins resolve once at wiring time and
+// probe on every event. Obtained from Table.EnsureIndex.
+type Index struct {
+	tb        *Table
 	positions []int
+	ord       int // position in Table.indices; row.ixKeys[ord] is this index's key
 	m         map[string][]*row
+	dirty     []string // bucket keys tombstoned while a probe was live
+	appends   uint64   // bumped per bucket append; live probes re-read on change
 }
 
 // New creates a table. ttl is the tuple lifetime in seconds (use
@@ -86,7 +110,7 @@ func New(name string, ttl float64, maxSize int, pk []int, clock eventloop.Clock)
 		clock:   clock,
 		rows:    make(map[string]*row),
 		order:   list.New(),
-		indices: make(map[string]*index),
+		bySig:   make(map[string]*Index),
 	}
 }
 
@@ -149,12 +173,17 @@ type InsertResult struct {
 // Insert stores t, applying primary-key replacement, FIFO size
 // eviction, and TTL stamping. Arity must match prior rows (enforced by
 // the planner; here we only guard the key positions).
+//
+// The primary key is rendered exactly once, into a scratch buffer; pure
+// refreshes (the steady state of periodic re-derivation) allocate
+// nothing, and replacements reuse the displaced row's cached key
+// string.
 func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 	tb.Expire()
 	now := tb.clock.Now()
-	key := t.Key(tb.pk)
+	tb.scratch = t.AppendKey(tb.scratch[:0], tb.pk)
 
-	if existing, ok := tb.rows[key]; ok {
+	if existing, ok := tb.rows[string(tb.scratch)]; ok {
 		if existing.t.Equal(t) {
 			// Pure refresh: renew lifetime, no delta.
 			existing.expires = tb.expiry(now)
@@ -166,8 +195,9 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 			return InsertResult{Stored: true}
 		}
 		old := existing.t
+		pk := existing.pk // same key bytes; reuse the interned string
 		tb.removeRow(existing, false)
-		tb.addRow(t, now)
+		tb.addRow(t, now, pk)
 		tb.stats.Inserts++
 		for _, fn := range tb.onReplace {
 			fn(old)
@@ -178,7 +208,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		return InsertResult{Stored: true, Delta: true, Replaced: old}
 	}
 
-	tb.addRow(t, now)
+	tb.addRow(t, now, string(tb.scratch))
 	// FIFO eviction when over capacity. The eviction's delete listeners
 	// fire while t is stored but not yet announced; Inserting marks the
 	// window so incremental listeners can fold the whole mutation into
@@ -204,34 +234,63 @@ func (tb *Table) expiry(now float64) float64 {
 	return now + tb.ttl
 }
 
-func (tb *Table) addRow(t *tuple.Tuple, now float64) {
-	r := &row{t: t, expires: tb.expiry(now)}
+// addRow stores t under the pre-rendered primary key pk, rendering and
+// caching each secondary-index key once. Bucket keys are interned: when
+// the bucket already holds a row, its cached string is reused instead
+// of materializing a fresh one.
+func (tb *Table) addRow(t *tuple.Tuple, now float64, pk string) {
+	r := &row{t: t, expires: tb.expiry(now), pk: pk}
 	r.elem = tb.order.PushBack(r)
-	tb.rows[t.Key(tb.pk)] = r
-	for _, ix := range tb.indices {
-		k := t.Key(ix.positions)
-		ix.m[k] = append(ix.m[k], r)
+	tb.rows[pk] = r
+	if len(tb.indices) > 0 {
+		r.ixKeys = make([]string, len(tb.indices))
+		for i, ix := range tb.indices {
+			tb.scratch = t.AppendKey(tb.scratch[:0], ix.positions)
+			k, ok := internKey(ix.m[string(tb.scratch)], i)
+			if !ok {
+				k = string(tb.scratch)
+			}
+			r.ixKeys[i] = k
+			ix.m[k] = append(ix.m[k], r)
+			ix.appends++
+		}
 	}
 }
 
-// removeRow unlinks r; when notify is set the delete listeners fire.
+// internKey recovers the bucket's existing key string from any resident
+// row, avoiding a string allocation per insert on populated buckets.
+func internKey(bucket []*row, ord int) (string, bool) {
+	for _, r := range bucket {
+		if r != nil { // tombstones possible while a probe is live
+			return r.ixKeys[ord], true
+		}
+	}
+	return "", false
+}
+
+// removeRow unlinks r using its cached key strings — nothing is
+// re-rendered; when notify is set the delete listeners fire. While a
+// probe is visiting buckets, slots are tombstoned in place (and
+// compacted when the probe finishes) so no probe sees a row twice.
 func (tb *Table) removeRow(r *row, notify bool) {
-	delete(tb.rows, r.t.Key(tb.pk))
+	delete(tb.rows, r.pk)
 	tb.order.Remove(r.elem)
-	for _, ix := range tb.indices {
-		k := r.t.Key(ix.positions)
-		rows := ix.m[k]
-		for i, cand := range rows {
+	for i, ix := range tb.indices {
+		k := r.ixKeys[i]
+		bucket := ix.m[k]
+		for j, cand := range bucket {
 			if cand == r {
-				rows[i] = rows[len(rows)-1]
-				rows = rows[:len(rows)-1]
+				if tb.probing > 0 {
+					bucket[j] = nil
+					ix.dirty = append(ix.dirty, k)
+				} else if len(bucket) == 1 {
+					delete(ix.m, k)
+				} else {
+					bucket[j] = bucket[len(bucket)-1]
+					ix.m[k] = bucket[:len(bucket)-1]
+				}
 				break
 			}
-		}
-		if len(rows) == 0 {
-			delete(ix.m, k)
-		} else {
-			ix.m[k] = rows
 		}
 	}
 	if notify {
@@ -242,11 +301,41 @@ func (tb *Table) removeRow(r *row, notify bool) {
 	}
 }
 
+// endProbe compacts tombstoned buckets once the last in-flight probe
+// completes.
+func (tb *Table) endProbe() {
+	tb.probing--
+	if tb.probing > 0 {
+		return
+	}
+	for _, ix := range tb.indices {
+		for _, k := range ix.dirty {
+			bucket, ok := ix.m[k]
+			if !ok {
+				continue
+			}
+			live := bucket[:0]
+			for _, r := range bucket {
+				if r != nil {
+					live = append(live, r)
+				}
+			}
+			if len(live) == 0 {
+				delete(ix.m, k)
+			} else {
+				ix.m[k] = live
+			}
+		}
+		ix.dirty = ix.dirty[:0]
+	}
+}
+
 // Delete removes the row whose primary key matches t. It reports
 // whether a row was removed.
 func (tb *Table) Delete(t *tuple.Tuple) bool {
 	tb.Expire()
-	r, ok := tb.rows[t.Key(tb.pk)]
+	tb.scratch = t.AppendKey(tb.scratch[:0], tb.pk)
+	r, ok := tb.rows[string(tb.scratch)]
 	if !ok {
 		return false
 	}
@@ -311,20 +400,33 @@ func (tb *Table) Expire() int {
 	return n
 }
 
-// EnsureIndex creates a secondary index over the given field positions
-// if one does not already exist.
-func (tb *Table) EnsureIndex(positions []int) {
+// EnsureIndex returns the secondary index over the given field
+// positions, creating it (and backfilling existing rows) on first use.
+// The returned handle is stable for the table's lifetime — equijoins
+// resolve it once at wiring time and probe it directly.
+func (tb *Table) EnsureIndex(positions []int) *Index {
 	sig := indexSig(positions)
-	if _, ok := tb.indices[sig]; ok {
-		return
+	if ix, ok := tb.bySig[sig]; ok {
+		return ix
 	}
-	ix := &index{positions: append([]int(nil), positions...), m: make(map[string][]*row)}
+	ix := &Index{
+		tb:        tb,
+		positions: append([]int(nil), positions...),
+		ord:       len(tb.indices),
+		m:         make(map[string][]*row),
+	}
 	for e := tb.order.Front(); e != nil; e = e.Next() {
 		r := e.Value.(*row)
 		k := r.t.Key(ix.positions)
+		if got, ok := internKey(ix.m[k], ix.ord); ok {
+			k = got
+		}
+		r.ixKeys = append(r.ixKeys, k)
 		ix.m[k] = append(ix.m[k], r)
 	}
-	tb.indices[sig] = ix
+	tb.indices = append(tb.indices, ix)
+	tb.bySig[sig] = ix
+	return ix
 }
 
 func indexSig(positions []int) string {
@@ -335,21 +437,122 @@ func indexSig(positions []int) string {
 	return strings.Join(parts, ",")
 }
 
-// Lookup returns the live tuples whose indexed fields equal key.
-// The index must have been created with EnsureIndex; looking up a
-// missing index panics, which flags a planner bug immediately.
-func (tb *Table) Lookup(positions []int, key string) []*tuple.Tuple {
-	tb.Expire()
-	ix, ok := tb.indices[indexSig(positions)]
+// index resolves positions to an existing index or panics — a missing
+// index flags a planner bug immediately.
+func (tb *Table) index(positions []int) *Index {
+	ix, ok := tb.bySig[indexSig(positions)]
 	if !ok {
 		panic(fmt.Sprintf("table %s: lookup on missing index %v", tb.name, positions))
 	}
-	rows := ix.m[key]
-	out := make([]*tuple.Tuple, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, r.t)
+	return ix
+}
+
+// Positions returns the indexed field positions. Treat as read-only.
+func (ix *Index) Positions() []int { return ix.positions }
+
+// Each visits every live tuple whose indexed fields equal the rendered
+// key (as produced by tuple.AppendKey over the probe positions),
+// stopping early if fn returns false. This is the zero-allocation probe
+// path: the key arrives in a caller-owned scratch buffer and the bucket
+// is consulted in place.
+//
+// Mid-visit mutation semantics: rows the visit's own side effects
+// insert are not visited (the probe sees the bucket as of entry), and
+// rows they remove are tombstoned in place, so no row is ever visited
+// twice. A removed-but-unvisited row is therefore SKIPPED — this
+// differs deliberately from the slice-returning Lookup, whose snapshot
+// would still yield a row retracted after the probe began. Not deriving
+// from a row the same event chain just retracted is the more faithful
+// reading of soft state; self-modifying rules that delete from the
+// table they are probing see the deletion immediately.
+func (ix *Index) Each(key []byte, fn func(*tuple.Tuple) bool) {
+	ix.tb.Expire()
+	ix.PeekEach(key, fn)
+}
+
+// PeekEach is Each without the expiry pass — for probes made from
+// inside table-mutation listeners, where re-entering Expire would
+// recurse into the listener chain.
+//
+// The key buffer must stay stable for the duration of the visit (true
+// for the per-element scratch buffers equijoins use: a strand element
+// is never re-entered while its Push is active).
+func (ix *Index) PeekEach(key []byte, fn func(*tuple.Tuple) bool) {
+	bucket := ix.m[string(key)]
+	end := len(bucket)
+	if end == 0 {
+		return
+	}
+	ix.tb.probing++
+	ver := ix.appends
+	for i := 0; i < end; i++ {
+		if ix.appends != ver {
+			// A mid-visit insert into this index may have reallocated
+			// the bucket, in which case later tombstones land in the new
+			// array; re-read so removals stay visible. Slot positions
+			// are stable — removals tombstone in place while a probe is
+			// live and appends only extend past our bound.
+			bucket = ix.m[string(key)]
+			ver = ix.appends
+		}
+		r := bucket[i]
+		if r == nil {
+			continue
+		}
+		if !fn(r.t) {
+			break
+		}
+	}
+	ix.tb.endProbe()
+}
+
+// Contains reports whether any live row matches the rendered key — the
+// antijoin probe.
+func (ix *Index) Contains(key []byte) bool {
+	ix.tb.Expire()
+	for _, r := range ix.m[string(key)] {
+		if r != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the live tuples whose indexed fields equal key. The
+// single allocation is the result slice; probes that can consume rows
+// in place should prefer Each.
+func (ix *Index) Lookup(key string) []*tuple.Tuple {
+	ix.tb.Expire()
+	return ix.peek(key)
+}
+
+// PeekLookup is Lookup without the expiry pass (see PeekEach).
+func (ix *Index) PeekLookup(key string) []*tuple.Tuple {
+	return ix.peek(key)
+}
+
+func (ix *Index) peek(key string) []*tuple.Tuple {
+	bucket := ix.m[key]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]*tuple.Tuple, 0, len(bucket))
+	for _, r := range bucket {
+		if r != nil {
+			out = append(out, r.t)
+		}
 	}
 	return out
+}
+
+// Lookup returns the live tuples whose indexed fields equal key.
+// The index must have been created with EnsureIndex; looking up a
+// missing index panics, which flags a planner bug immediately.
+//
+// This positional form re-derives the index signature per call; hot
+// paths resolve the *Index handle once and use its methods instead.
+func (tb *Table) Lookup(positions []int, key string) []*tuple.Tuple {
+	return tb.index(positions).Lookup(key)
 }
 
 // PeekLookup is Lookup without the expiry pass — for listeners that
@@ -357,16 +560,7 @@ func (tb *Table) Lookup(positions []int, key string) []*tuple.Tuple {
 // Expire would recurse into the listener chain. Rows past their TTL but
 // not yet swept may be included; their own delete notifications follow.
 func (tb *Table) PeekLookup(positions []int, key string) []*tuple.Tuple {
-	ix, ok := tb.indices[indexSig(positions)]
-	if !ok {
-		panic(fmt.Sprintf("table %s: lookup on missing index %v", tb.name, positions))
-	}
-	rows := ix.m[key]
-	out := make([]*tuple.Tuple, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, r.t)
-	}
-	return out
+	return tb.index(positions).PeekLookup(key)
 }
 
 // LookupPK returns the live tuple with the given primary-key value, or
@@ -390,9 +584,21 @@ func (tb *Table) Scan() []*tuple.Tuple {
 }
 
 // ScanSorted returns all live tuples ordered by their rendered form —
-// deterministic output for tests and the olgc inspector.
+// deterministic output for tests and the olgc inspector. Each tuple is
+// rendered once, not O(log n) times inside the sort comparator.
 func (tb *Table) ScanSorted() []*tuple.Tuple {
-	out := tb.Scan()
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	rows := tb.Scan()
+	type keyed struct {
+		key string
+		t   *tuple.Tuple
+	}
+	keys := make([]keyed, len(rows))
+	for i, t := range rows {
+		keys[i] = keyed{key: t.String(), t: t}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+	for i := range keys {
+		rows[i] = keys[i].t
+	}
+	return rows
 }

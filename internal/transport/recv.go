@@ -130,7 +130,7 @@ func (a *Ack) piggyback(dst string) uint64 {
 	}
 	rs.ackPending = false
 	if rs.ackTimer != nil {
-		rs.ackTimer.Cancel()
+		rs.ackTimer.CancelFree()
 		rs.ackTimer = nil
 		rs.ackArmed = false
 	}

@@ -26,10 +26,12 @@ type wireBatch struct {
 func (wb *wireBatch) last() uint64 { return wb.first + uint64(len(wb.recs)) - 1 }
 
 // destRetry is one destination's retransmission state: the outstanding
-// batches and the single timer guarding the oldest of them.
+// batches and the single timer guarding the oldest of them. timeoutFn
+// is built once per destination so re-arming allocates no closure.
 type destRetry struct {
-	pend  map[uint64]*wireBatch
-	timer *eventloop.Timer
+	pend      map[uint64]*wireBatch
+	timer     *eventloop.Timer
+	timeoutFn func()
 }
 
 // Retry is the reliable-transmission element: it remembers every batch
@@ -55,6 +57,7 @@ func (r *Retry) dest(dst string) *destRetry {
 	d, ok := r.dests[dst]
 	if !ok {
 		d = &destRetry{pend: make(map[uint64]*wireBatch)}
+		d.timeoutFn = func() { r.onTimeout(dst) }
 		r.dests[dst] = d
 	}
 	return d
@@ -85,9 +88,11 @@ func (r *Retry) pushBatch(wb *wireBatch, _ poke) bool {
 }
 
 // arm points the destination's timer at its oldest outstanding batch.
+// The disarmed timer's struct is released to the loop's pool — acks
+// re-arm on every cleared batch, so this path churns constantly.
 func (r *Retry) arm(dst string, d *destRetry) {
 	if d.timer != nil {
-		d.timer.Cancel()
+		d.timer.CancelFree()
 		d.timer = nil
 	}
 	o := d.oldest()
@@ -95,7 +100,7 @@ func (r *Retry) arm(dst string, d *destRetry) {
 		return
 	}
 	delay := r.tr.cc.rtoFor(dst) * math.Pow(2, float64(o.retries))
-	d.timer = r.tr.loop.After(delay, func() { r.onTimeout(dst) })
+	d.timer = r.tr.loop.After(delay, d.timeoutFn)
 }
 
 // onTimeout handles the destination timer: the oldest batch is presumed

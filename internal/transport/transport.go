@@ -33,6 +33,7 @@ package transport
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"p2/internal/eventloop"
@@ -154,6 +155,14 @@ type Transport struct {
 	accts  map[string]*destAcct
 	stats  Stats
 	closed bool
+
+	// Peer registry for allocation-free accounting snapshots: every
+	// address that ever appears in the sender or receiver maps, kept
+	// sorted. Peers are only ever added, so the registry is maintained
+	// incrementally and PerDestInto walks it without building a merge
+	// map per call.
+	peerSet   map[string]bool
+	peerOrder []string
 }
 
 // New assembles the element chain cfg.Spec() names, bound to ep. Wire
@@ -315,42 +324,65 @@ type DestStats struct {
 // PerDest returns per-peer accounting for every address this transport
 // has sent to or received from, sorted by address.
 func (tr *Transport) PerDest() []DestStats {
-	merged := make(map[string]*DestStats)
-	at := func(addr string) *DestStats {
-		st, ok := merged[addr]
-		if !ok {
-			st = &DestStats{Addr: addr, Cwnd: tr.cfg.WindowInit, RTO: tr.cfg.InitialRTO}
-			merged[addr] = st
-		}
-		return st
+	return tr.PerDestInto(nil)
+}
+
+// PerDestInto is PerDest writing into a caller-owned buffer — the
+// introspection refresh runs it once a second per node, so the steady
+// state must not allocate. The peer registry (addresses are only ever
+// added) is reconciled incrementally; the sorted walk then reads each
+// accounting map directly.
+func (tr *Transport) PerDestInto(out []DestStats) []DestStats {
+	if tr.peerSet == nil {
+		tr.peerSet = make(map[string]bool)
 	}
-	for addr, a := range tr.accts {
-		st := at(addr)
-		st.Sent, st.Bytes, st.Retries, st.Frames = a.sent, a.sentBytes, a.retries, a.frames
-		if a.frames > 0 {
-			st.BatchFill = float64(a.sent) / float64(a.frames)
-		}
+	for addr := range tr.accts {
+		tr.registerPeer(addr)
 	}
 	if tr.cc != nil {
-		for addr, cs := range tr.cc.dests {
-			st := at(addr)
-			st.Cwnd, st.RTO = cs.cwnd, cs.rto
+		for addr := range tr.cc.dests {
+			tr.registerPeer(addr)
 		}
 	}
-	for addr, q := range tr.bat.qs {
-		if n := len(q.recs); n > 0 {
-			at(addr).Backlog = n
+	for addr := range tr.bat.qs {
+		tr.registerPeer(addr)
+	}
+	for addr := range tr.srcs {
+		tr.registerPeer(addr)
+	}
+	out = out[:0]
+	for _, addr := range tr.peerOrder {
+		st := DestStats{Addr: addr, Cwnd: tr.cfg.WindowInit, RTO: tr.cfg.InitialRTO}
+		if a, ok := tr.accts[addr]; ok {
+			st.Sent, st.Bytes, st.Retries, st.Frames = a.sent, a.sentBytes, a.retries, a.frames
+			if a.frames > 0 {
+				st.BatchFill = float64(a.sent) / float64(a.frames)
+			}
 		}
+		if tr.cc != nil {
+			if cs, ok := tr.cc.dests[addr]; ok {
+				st.Cwnd, st.RTO = cs.cwnd, cs.rto
+			}
+		}
+		if q, ok := tr.bat.qs[addr]; ok {
+			st.Backlog = len(q.recs)
+		}
+		if rs, ok := tr.srcs[addr]; ok {
+			st.Recvd = rs.recvd
+		}
+		out = append(out, st)
 	}
-	for addr, rs := range tr.srcs {
-		at(addr).Recvd = rs.recvd
-	}
-	out := make([]DestStats, 0, len(merged))
-	for _, st := range merged {
-		out = append(out, *st)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// registerPeer adds addr to the sorted peer registry on first sight.
+func (tr *Transport) registerPeer(addr string) {
+	if tr.peerSet[addr] {
+		return
+	}
+	tr.peerSet[addr] = true
+	i := sort.SearchStrings(tr.peerOrder, addr)
+	tr.peerOrder = slices.Insert(tr.peerOrder, i, addr)
 }
 
 // Window reports the current congestion window toward to — exposed for

@@ -80,11 +80,19 @@ func (t *Tuple) Equal(o *Tuple) bool {
 // used by table primary keys and secondary indices. Positions out of
 // range contribute the null encoding.
 func (t *Tuple) Key(positions []int) string {
-	var b []byte
+	return string(t.AppendKey(nil, positions))
+}
+
+// AppendKey appends the binary key for the given field positions to b
+// and returns the extended buffer. It is the allocation-free form of
+// Key: the table probe path renders keys into a reusable scratch buffer
+// and looks indices up via map[string(buf)], which Go compiles without
+// materializing the string.
+func (t *Tuple) AppendKey(b []byte, positions []int) []byte {
 	for _, p := range positions {
 		b = t.Field(p).AppendBinary(b)
 	}
-	return string(b)
+	return b
 }
 
 // String renders the tuple as name(field, field, ...).

@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document, so CI can archive one BENCH_<short-sha>.json artifact
+// per commit and the performance trajectory of the simulator (events/sec,
+// hops/lookup, B/s/node, datagrams/ktuple, ...) is recorded over time.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x . | go run ./tools/benchjson -o BENCH_abc1234.json
+//
+// Every benchmark line is parsed into its name, iteration count, and
+// the full set of reported metrics (ns/op, B/op, and any custom
+// b.ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the archived artifact.
+type Doc struct {
+	Commit    string   `json:"commit,omitempty"`
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Timestamp string   `json:"timestamp"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the document")
+	flag.Parse()
+
+	doc := Doc{
+		Commit:    *commit,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iters, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -17,15 +17,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"p2/internal/experiments"
+	"p2/internal/harness"
+	"p2/internal/simnet"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig3|fig4|rules|mem|ablation|all")
 	scale := flag.String("scale", "quick", "scale: quick|medium|paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	shards := flag.Int("shards", runtime.NumCPU(),
+		"parallel simulation shards (1 = sharded machinery on one core; metrics are identical at every count)")
+	placement := flag.Bool("placement", false, "dump the node→shard placement map before running")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -62,6 +68,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *shards < 1 {
+		*shards = 1
+	}
+	sc.Shards = *shards
+	// The ablation and footprint experiments build their own harness
+	// options; they pick the shard count up from the environment.
+	os.Setenv(harness.EnvShards, strconv.Itoa(*shards))
+
+	if *placement {
+		dumpPlacement(sc, *shards)
 	}
 
 	run := func(name string, fn func()) {
@@ -106,4 +123,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// dumpPlacement prints where every node of the largest configured
+// static ring would land. Placement is a pure function of (address,
+// topology, shard count) — domain = hash(addr) mod Domains, shard =
+// domain mod P — so the map is known before a single node spawns.
+func dumpPlacement(sc experiments.Scale, shards int) {
+	n := 0
+	for _, size := range sc.StaticSizes {
+		if size > n {
+			n = size
+		}
+	}
+	if sc.ChurnN > n {
+		n = sc.ChurnN
+	}
+	cfg := simnet.DefaultConfig()
+	perShard := make([]int, shards)
+	fmt.Printf("== node→shard placement (%d nodes, %d domains, %d shards) ==\n",
+		n, cfg.Domains, shards)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("n%d:p2", i)
+		domain := cfg.DomainOf(addr)
+		shard := domain % shards
+		perShard[shard]++
+		fmt.Printf("  %-12s domain %-3d shard %d\n", addr, domain, shard)
+	}
+	fmt.Printf("per-shard node counts: %v\n\n", perShard)
 }

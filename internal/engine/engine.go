@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"p2/internal/dataflow"
 	"p2/internal/eventloop"
@@ -102,7 +103,13 @@ type Stats struct {
 	TuplesDropped int64 // no table, strand, or watcher wanted them
 }
 
-// Node is one P2 participant executing a Plan.
+// Node is one P2 participant executing a Plan. A node is pinned to the
+// loop it was built with for its whole life: every table, strand,
+// timer, and transport structure it owns schedules exclusively there.
+// In a sharded simulation that loop is the owning shard of an
+// eventloop.ShardedSim (the harness pins nodes shard = domain mod P),
+// and the eventloop shard-ownership rule extends to all of the node's
+// state — nothing here may be touched from another shard's epoch.
 type Node struct {
 	addr string
 	loop eventloop.Loop
@@ -115,6 +122,7 @@ type Node struct {
 	env        *pel.Env
 	rng        *rand.Rand
 	tables     map[string]*table.Table
+	tableOrder []string // sorted names; deterministic sweep order
 	strands    map[string][]*strand
 	periodics  []*dataflow.Periodic
 	watchers   map[string][]WatchFunc
@@ -254,8 +262,19 @@ func (n *Node) Start() error {
 	n.trans.OnReceive(n.onNetReceive)
 
 	n.startTime = n.loop.Now()
-	for name, spec := range n.plan.Tables {
-		n.tables[name] = n.newTable(spec)
+	// Tables are created and later swept in sorted-name order: map
+	// iteration order is randomized per process, and expiry sweeps can
+	// emit deletion deltas whose relative order would otherwise differ
+	// between two same-seed runs — the determinism the sharded
+	// simulator's shards=1 vs shards=P comparison is built on.
+	names := make([]string, 0, len(n.plan.Tables))
+	for name := range n.plan.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	n.tableOrder = names
+	for _, name := range names {
+		n.tables[name] = n.newTable(n.plan.Tables[name])
 	}
 	for _, r := range n.plan.Rules {
 		n.buildStrand(r)
@@ -366,8 +385,8 @@ func (n *Node) scheduleSweep() {
 		if n.stopped {
 			return
 		}
-		for _, tb := range n.tables {
-			tb.Expire()
+		for _, name := range n.tableOrder {
+			n.tables[name].Expire()
 		}
 		n.scheduleSweep()
 	})

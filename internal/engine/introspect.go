@@ -257,7 +257,11 @@ func (n *Node) Install(src string) error {
 	n.plan = newPlan
 	for _, ts := range delta.Tables {
 		n.tables[ts.Name] = n.newTable(ts)
+		n.tableOrder = append(n.tableOrder, ts.Name)
 	}
+	// Keep the sweep order sorted so a node that installed its way to a
+	// plan sweeps identically to one that started with it.
+	sort.Strings(n.tableOrder)
 	for _, r := range delta.Rules {
 		n.buildStrand(r)
 	}

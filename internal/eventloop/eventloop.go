@@ -235,7 +235,13 @@ func (q *dpcRing) peekSeq() uint64 { return q.buf[q.head].seq }
 const maxTimerPool = 256
 
 // Sim is a virtual-time discrete-event loop. Not safe for concurrent
-// use: a simulation is a single goroutine by construction.
+// use: at any moment exactly one goroutine may touch a Sim. In a
+// single-loop simulation that is the simulation goroutine; under a
+// ShardedSim each shard's Sim is owned by its worker during an epoch
+// and by the coordinator at barriers, with the epoch channel handshake
+// serializing the handoff (the shard-ownership rule — see the package
+// documentation in sharded.go). Everything pinned to a shard (nodes,
+// tables, transports) inherits the same rule.
 type Sim struct {
 	now   float64
 	seq   uint64

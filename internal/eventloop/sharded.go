@@ -1,0 +1,264 @@
+// Sharded parallel simulation: a ShardedSim partitions a deployment
+// across P per-shard Sim loops and runs them concurrently in epochs
+// bounded by a conservative lookahead, the classic conservative
+// (Chandy-Misra-style) synchronization discipline specialized to a
+// network whose minimum link latency is known up front.
+//
+// # Shard-ownership rule
+//
+// Every simulated entity (a node, its tables, its transport state) is
+// pinned to exactly one shard and must only ever be touched from that
+// shard's Sim: by handlers the shard runs during an epoch, or by the
+// coordinator goroutine between epochs when every shard is quiescent.
+// Cross-shard interaction happens exclusively through values exchanged
+// at epoch barriers (see Exchanger) or through the AtBarrier control
+// lane. Under this rule no handler ever observes concurrent execution,
+// so all the single-threaded invariants Sim documents keep holding
+// shard-locally — and the race detector will catch violations, because
+// epoch execution really is parallel.
+//
+// # Determinism
+//
+// A ShardedSim run is reproducible, and — when barrier work is merged
+// in a canonical order, as simnet does with its (timestamp, sender,
+// sequence) datagram sort — bit-identical across shard counts: the
+// epoch grid depends only on (lookahead, Run calls), every shard-local
+// event order is fixed by its own (time, seq) heap, and all cross-shard
+// scheduling happens on the coordinator goroutine at barriers, in a
+// deterministic order. Wall-clock interleaving of shard goroutines
+// within an epoch is invisible because shards share no mutable state.
+package eventloop
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Exchanger is barrier-time cross-shard glue: after every epoch the
+// coordinator calls Exchange on the coordinator goroutine while all
+// shards are quiescent. Implementations drain per-shard mailboxes and
+// schedule the collected work onto destination shards in a canonical
+// order (the network does this for datagrams). now is the epoch
+// boundary just reached; everything exchanged must be scheduled at or
+// after it — conservative lookahead has already guaranteed that for
+// work generated during the epoch.
+type Exchanger interface {
+	Exchange(now float64)
+}
+
+// BarrierEvent is a handle to a control-lane callback scheduled with
+// AtBarrier. Cancel prevents it from running; safe to call from the
+// coordinator goroutine only.
+type BarrierEvent struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// Cancel prevents the control callback from running.
+func (e *BarrierEvent) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type barrierHeap []*BarrierEvent
+
+func (h barrierHeap) Len() int { return len(h) }
+func (h barrierHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h barrierHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *barrierHeap) Push(x any) {
+	e := x.(*BarrierEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *barrierHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ShardedSim coordinates P Sim loops through conservative-lookahead
+// epochs: every shard runs to the same epoch boundary (run-to-completion
+// within its own timeline), then the coordinator — the goroutine calling
+// Run — executes barrier work: registered Exchangers first, then due
+// AtBarrier control callbacks, in (time, schedule-order) order.
+//
+// Shard 0 always executes on the coordinator goroutine, so a
+// single-shard ShardedSim degenerates to a plain Sim run with a little
+// barrier bookkeeping and no cross-goroutine traffic at all.
+type ShardedSim struct {
+	shards    []*Sim
+	lookahead float64
+	now       float64
+
+	exchangers []Exchanger
+	controls   barrierHeap
+	ctlSeq     uint64
+
+	work   []chan float64 // per worker shard: epoch boundary to run to
+	result []chan int     // per worker shard: events fired
+	closed bool
+}
+
+// NewShardedSim builds a coordinator over p shards with the given
+// conservative lookahead (seconds). The lookahead must be positive and
+// no larger than the minimum latency of any cross-shard interaction,
+// or conservative synchronization is unsound.
+func NewShardedSim(p int, lookahead float64) *ShardedSim {
+	if p < 1 {
+		p = 1
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("eventloop: non-positive lookahead %g", lookahead))
+	}
+	ss := &ShardedSim{lookahead: lookahead}
+	for i := 0; i < p; i++ {
+		ss.shards = append(ss.shards, NewSim())
+	}
+	ss.work = make([]chan float64, p)
+	ss.result = make([]chan int, p)
+	for i := 1; i < p; i++ {
+		ss.work[i] = make(chan float64)
+		ss.result[i] = make(chan int)
+		go ss.worker(i)
+	}
+	return ss
+}
+
+// worker owns shard i (for i > 0) during epochs: it runs the shard to
+// each boundary received on the work channel. The channel handshake is
+// the happens-before edge that transfers shard ownership between the
+// coordinator (at barriers) and the worker (during epochs).
+func (ss *ShardedSim) worker(i int) {
+	s := ss.shards[i]
+	for end := range ss.work[i] {
+		ss.result[i] <- s.Run(end)
+	}
+}
+
+// Shards returns the shard count.
+func (ss *ShardedSim) Shards() int { return len(ss.shards) }
+
+// Shard returns shard i's loop. Entities pinned to shard i schedule
+// exclusively on it; see the shard-ownership rule in the package docs.
+func (ss *ShardedSim) Shard(i int) *Sim { return ss.shards[i] }
+
+// Lookahead returns the epoch length in seconds.
+func (ss *ShardedSim) Lookahead() float64 { return ss.lookahead }
+
+// Now returns the global epoch floor: every shard's clock reads at
+// least this. Between Run calls all shard clocks read exactly this.
+func (ss *ShardedSim) Now() float64 { return ss.now }
+
+// AddExchanger registers barrier-time cross-shard glue, called after
+// every epoch in registration order.
+func (ss *ShardedSim) AddExchanger(x Exchanger) {
+	ss.exchangers = append(ss.exchangers, x)
+}
+
+// AtBarrier schedules fn on the coordinator goroutine at the first
+// barrier whose time is >= t — the control lane for driver-level
+// actions (spawning a node, killing one, installing a partition) that
+// touch cross-shard state and therefore must run while every shard is
+// quiescent. Callbacks due at the same barrier run in (t, schedule
+// order). Coordinator goroutine only.
+func (ss *ShardedSim) AtBarrier(t float64, fn func()) *BarrierEvent {
+	if t < ss.now {
+		t = ss.now
+	}
+	ss.ctlSeq++
+	e := &BarrierEvent{at: t, seq: ss.ctlSeq, fn: fn}
+	heap.Push(&ss.controls, e)
+	return e
+}
+
+// runBarrier executes exchangers, then control callbacks due at or
+// before the current global time.
+func (ss *ShardedSim) runBarrier() {
+	for _, x := range ss.exchangers {
+		x.Exchange(ss.now)
+	}
+	for ss.controls.Len() > 0 && ss.controls[0].at <= ss.now {
+		e := heap.Pop(&ss.controls).(*BarrierEvent)
+		if !e.canceled {
+			e.fn()
+		}
+	}
+}
+
+// runEpoch runs every shard to the boundary, shard 0 on the calling
+// goroutine, and returns the number of events fired across shards.
+func (ss *ShardedSim) runEpoch(end float64) int {
+	for i := 1; i < len(ss.shards); i++ {
+		ss.work[i] <- end
+	}
+	n := ss.shards[0].Run(end)
+	for i := 1; i < len(ss.shards); i++ {
+		n += <-ss.result[i]
+	}
+	return n
+}
+
+// Run advances the whole sharded simulation to the given global time,
+// epoch by epoch, and returns the number of events fired. It must be
+// called from one goroutine — the coordinator — which is also the only
+// goroutine allowed to touch any shard between Run calls.
+func (ss *ShardedSim) Run(until float64) int {
+	if math.IsInf(until, 1) {
+		panic("eventloop: ShardedSim.Run requires a finite horizon")
+	}
+	total := 0
+	ss.runBarrier() // work due at the current instant (e.g. time-zero spawns)
+	for ss.now < until {
+		end := ss.now + ss.lookahead
+		if end > until {
+			end = until
+		}
+		total += ss.runEpoch(end)
+		ss.now = end
+		ss.runBarrier()
+	}
+	return total
+}
+
+// RunFor advances the simulation by d seconds of virtual time.
+func (ss *ShardedSim) RunFor(d float64) int { return ss.Run(ss.now + d) }
+
+// Pending sums pending events across shards (coordinator only, between
+// Run calls).
+func (ss *ShardedSim) Pending() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// Close releases the worker goroutines. The ShardedSim must not be run
+// afterwards; Close is idempotent.
+func (ss *ShardedSim) Close() {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	for i := 1; i < len(ss.shards); i++ {
+		close(ss.work[i])
+	}
+}

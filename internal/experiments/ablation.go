@@ -56,6 +56,7 @@ func RunSuccessorAblation(n int, killFrac float64, sizes []int, seed int64) []Su
 			RingCorrectness: h.RingCorrectness(),
 			LiveNodes:       len(h.LiveAddrs()),
 		})
+		h.Close() // per ring: don't hold finished shard workers across iterations
 	}
 	return rows
 }
@@ -103,6 +104,7 @@ func RunTransportAblation(n int, lossRates []float64, lookups int, seed int64) [
 				}
 			}
 			rows = append(rows, row)
+			h.Close() // per ring: don't hold finished shard workers across iterations
 		}
 	}
 	return rows

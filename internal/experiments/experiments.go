@@ -36,6 +36,10 @@ type Scale struct {
 	Probes        int       // consistency probes per session time
 	ProbeSample   int       // simultaneous lookups per probe
 	ProbeTimeout  float64
+	// Execution (orthogonal to sizing): harness shard count. >= 1 runs
+	// each network across that many parallel event-loop shards; 0
+	// defers to P2_SIM_SHARDS (cmd/p2sim sets it from -shards).
+	Shards int
 }
 
 // PaperScale reproduces the evaluation's parameters: static rings of
@@ -167,7 +171,8 @@ func RunFig3(sc Scale, seed int64) *Fig3Result {
 }
 
 func runStaticSize(sc Scale, n int, seed int64) *StaticSizeResult {
-	h := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing})
+	h := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards})
+	defer h.Close()
 	h.Run(float64(n)*sc.JoinSpacing + sc.SettleTime)
 
 	out := &StaticSizeResult{N: n, HopHist: make(map[int]int)}
@@ -236,13 +241,14 @@ func RunFig4(sc Scale, seed int64) *Fig4Result {
 }
 
 func runChurnSession(sc Scale, sessMin float64, seed int64) *ChurnSessionResult {
-	h := harness.NewChord(harness.Opts{N: sc.ChurnN, Seed: seed, JoinSpacing: sc.JoinSpacing})
+	h := harness.NewChord(harness.Opts{N: sc.ChurnN, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards})
+	defer h.Close()
 	h.Run(float64(sc.ChurnN)*sc.JoinSpacing + sc.SettleTime)
 
 	out := &ChurnSessionResult{SessionMin: sessMin}
 	h.StartChurn(sessMin * 60)
 	h.ResetTraffic()
-	start := h.Loop.Now()
+	start := h.Now()
 
 	// Interleave consistency probes across the churn window; each
 	// probe advances the clock by its timeout, churn running throughout.
@@ -258,10 +264,10 @@ func runChurnSession(sc Scale, sessMin float64, seed int64) *ChurnSessionResult 
 		fracs = append(fracs, h.ConsistencyProbe(sc.ProbeSample, sc.ProbeTimeout))
 		h.Run(gap)
 	}
-	if rem := sc.ChurnDuration - (h.Loop.Now() - start); rem > 0 {
+	if rem := sc.ChurnDuration - (h.Now() - start); rem > 0 {
 		h.Run(rem)
 	}
-	elapsed := h.Loop.Now() - start
+	elapsed := h.Now() - start
 	h.StopChurn()
 
 	_, maint := h.TrafficBytes()

@@ -27,6 +27,7 @@ func MeasureFootprint(n int, warm float64) Footprint {
 	runtime.ReadMemStats(&before)
 
 	h := harness.NewChord(harness.Opts{N: n, Seed: 1, JoinSpacing: 0.25})
+	defer h.Close()
 	h.Run(float64(n)*0.25 + warm)
 
 	runtime.GC()

@@ -4,14 +4,37 @@
 // lookup latency, per-node maintenance bandwidth, and Bamboo-style
 // lookup consistency.
 //
-// Everything runs in virtual time on one simulation loop, so a
-// 20-minute churn run with 400 nodes is deterministic and fast.
+// Everything runs in virtual time, deterministically, in one of two
+// execution modes selected by Opts.Shards:
+//
+//   - Single-loop: every node shares one eventloop.Sim — the classic
+//     arrangement, one goroutine end to end.
+//   - Sharded: nodes are partitioned across the shards of an
+//     eventloop.ShardedSim by stub domain (shard = domain mod P), so a
+//     P-shard run uses P cores while intra-domain chatter stays
+//     shard-local. Cross-shard datagrams are merged at epoch barriers
+//     in a canonical order, and all driver-level structural actions —
+//     spawning a node, churn kills and replacements — run on the
+//     coordinator through the barrier control lane. The result is
+//     exact: a run at P shards reports bit-identical metrics to the
+//     same seed at 1 shard (TestShardedDeterminism enforces it).
+//
+// All randomness that shapes an individual node — its engine seed, its
+// churn session length, its loss pattern in simnet — derives from
+// (Seed, address) alone, never from a shared stream, so outcomes are
+// independent of how other nodes' events interleave. The harness-level
+// rng only drives workload choices made between Run calls (which node
+// looks up which key).
 package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
+	"sync"
 
 	"p2/internal/engine"
 	"p2/internal/eventloop"
@@ -24,6 +47,11 @@ import (
 	"p2/internal/val"
 )
 
+// EnvShards is the environment variable CI uses to run the whole
+// simulation suite in sharded mode: any NewChord whose Opts leave
+// Shards at zero picks up its value.
+const EnvShards = "P2_SIM_SHARDS"
+
 // Opts configures a Chord network build.
 type Opts struct {
 	N           int     // initial population
@@ -32,6 +60,39 @@ type Opts struct {
 	Defines     map[string]val.Value
 	Net         *simnet.Config // nil = paper topology
 	Unreliable  bool           // fire-and-forget transport (ablation)
+	// Shards selects the execution mode: >= 1 runs the simulation
+	// across that many parallel shard loops (1 = the sharded machinery
+	// with a single shard — the determinism baseline), 0 defers to the
+	// P2_SIM_SHARDS environment variable (absent: single-loop), and a
+	// negative value forces classic single-loop mode regardless of the
+	// environment.
+	Shards int
+}
+
+func resolveShards(v int) int {
+	switch {
+	case v > 0:
+		return v
+	case v < 0:
+		return 0
+	}
+	if s := os.Getenv(EnvShards); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 0
+}
+
+// seedFor derives the per-address random stream for one concern (node
+// engine randomness, churn session length, ...) from the master seed:
+// a pure function, so outcomes never depend on draw order.
+func seedFor(seed int64, concern, addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(concern))
+	h.Write([]byte{0})
+	h.Write([]byte(addr))
+	return seed ^ int64(h.Sum64())
 }
 
 // LookupResult records one issued lookup's fate.
@@ -54,13 +115,24 @@ func (lr *LookupResult) Latency() float64 {
 	return lr.Completed - lr.Issued
 }
 
+// canceler unifies the two churn-death handles: an event-loop Timer in
+// single-loop mode, a barrier control event in sharded mode.
+type canceler interface{ Cancel() }
+
 // Chord is a running Chord deployment under measurement.
 type Chord struct {
+	// Loop is the shared event loop in single-loop mode; nil when the
+	// deployment is sharded. Drive time through Run/RunEvents/Now,
+	// which cover both modes.
 	Loop *eventloop.Sim
-	Net  *simnet.Net
-	Plan *planner.Plan
+	// Coord coordinates the shard loops in sharded mode; nil in
+	// single-loop mode.
+	Coord *eventloop.ShardedSim
+	Net   *simnet.Net
+	Plan  *planner.Plan
 
 	opts      Opts
+	shards    int // 0 = single-loop
 	rng       *rand.Rand
 	nodes     map[string]*engine.Node // live and dead
 	order     []string                // creation order
@@ -71,13 +143,17 @@ type Chord struct {
 	pending map[string]*LookupResult
 	Results []*LookupResult
 
-	// traffic classification: bytes by class, per node, via transport taps
+	// tapMu guards measurement state mutated from watch and transport
+	// taps, which in sharded mode fire concurrently on shard loops. All
+	// guarded updates commute (counter increments), so the lock order
+	// never shows in the metrics.
+	tapMu       sync.Mutex
 	lookupBytes int64
 	maintBytes  int64
 
-	churnTimers []*eventloop.Timer
-	churnMean   float64
-	churning    bool
+	churnCancels []canceler
+	churnMean    float64
+	churning     bool
 }
 
 // NewChord builds (but does not yet run) a Chord network: nodes start
@@ -86,40 +162,81 @@ func NewChord(opts Opts) *Chord {
 	if opts.JoinSpacing <= 0 {
 		opts.JoinSpacing = 0.5
 	}
-	loop := eventloop.NewSim()
 	cfg := simnet.DefaultConfig()
 	if opts.Net != nil {
 		cfg = *opts.Net
 	}
 	cfg.Seed = opts.Seed
 	h := &Chord{
-		Loop:    loop,
-		Net:     simnet.New(loop, cfg),
 		Plan:    overlays.ChordPlan(opts.Defines),
 		opts:    opts,
+		shards:  resolveShards(opts.Shards),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		nodes:   make(map[string]*engine.Node),
 		pending: make(map[string]*LookupResult),
 	}
+	if h.shards > 0 {
+		h.Coord = eventloop.NewShardedSim(h.shards, cfg.Lookahead())
+		h.Net = simnet.NewSharded(h.Coord, cfg)
+	} else {
+		h.Loop = eventloop.NewSim()
+		h.Net = simnet.New(h.Loop, cfg)
+	}
 	for i := 0; i < opts.N; i++ {
 		at := float64(i) * opts.JoinSpacing
-		h.Loop.At(at, func() { h.spawn() })
+		if h.Coord != nil {
+			// Structural changes are coordinator work: the spawn runs at
+			// the first epoch barrier at or past its nominal instant,
+			// while every shard is quiescent.
+			addr := h.nextAddr()
+			h.Coord.AtBarrier(at, func() { h.spawn(addr) })
+		} else {
+			h.Loop.At(at, func() { h.spawn(h.nextAddr()) })
+		}
 	}
 	return h
 }
 
-// spawn creates and starts the next node; the first becomes the
-// landmark, everyone else joins through it.
-func (h *Chord) spawn() *engine.Node {
+// Close releases coordinator resources (sharded mode worker
+// goroutines). The deployment must not be run afterwards.
+func (h *Chord) Close() {
+	if h.Coord != nil {
+		h.Coord.Close()
+	}
+}
+
+// Shards returns the shard count (0 when single-loop).
+func (h *Chord) Shards() int { return h.shards }
+
+// nextAddr mints the next node address. Coordinator/driver only, so
+// address assignment — and everything derived from it: domain, shard,
+// per-node random streams — is deterministic.
+func (h *Chord) nextAddr() string {
 	addr := fmt.Sprintf("n%d:p2", h.nextID)
 	h.nextID++
-	opts := engine.Options{Seed: h.rng.Int63()}
+	return addr
+}
+
+// nodeLoop returns the loop the node at addr must run on: its owning
+// shard's loop, or the shared loop in single-loop mode.
+func (h *Chord) nodeLoop(addr string) *eventloop.Sim {
+	if h.Coord != nil {
+		return h.Net.ShardLoop(addr)
+	}
+	return h.Loop
+}
+
+// spawn creates and starts a node at addr; the first becomes the
+// landmark, everyone else joins through it. Runs on the simulation
+// goroutine (single-loop) or the coordinator at a barrier (sharded).
+func (h *Chord) spawn(addr string) *engine.Node {
+	opts := engine.Options{Seed: seedFor(h.opts.Seed, "node", addr)}
 	if h.opts.Unreliable {
 		tc := transport.DefaultConfig()
 		tc.Unreliable = true
 		opts.Transport = &tc
 	}
-	n := engine.NewNode(addr, h.Loop, h.Net, h.Plan, opts)
+	n := engine.NewNode(addr, h.nodeLoop(addr), h.Net, h.Plan, opts)
 	if err := n.Start(); err != nil {
 		panic(fmt.Sprintf("harness: start %s: %v", addr, err))
 	}
@@ -134,14 +251,19 @@ func (h *Chord) spawn() *engine.Node {
 	}
 	n.AddFact("join", val.Str(addr), val.Str(addr+"!boot"))
 
-	// Measurement taps.
+	// Measurement taps. These run on the node's own loop — concurrently
+	// with other shards' taps when sharded — so shared tallies go
+	// through tapMu and everything else stays per-lookup state touched
+	// only by the requester's shard.
 	n.Watch("lookup", func(ev engine.WatchEvent) {
 		if ev.Dir != engine.DirSent {
 			return
 		}
 		eid := ev.Tuple.Field(3).AsStr()
 		if lr, ok := h.pending[eid]; ok {
+			h.tapMu.Lock()
 			lr.Hops++
+			h.tapMu.Unlock()
 		}
 	})
 	n.Watch("lookupResults", func(ev engine.WatchEvent) {
@@ -167,15 +289,22 @@ func (h *Chord) spawn() *engine.Node {
 		// to the simulator's wire total so acks and datagram headers
 		// (now shared across a batch, often piggybacked) are
 		// apportioned instead of guessed at.
+		h.tapMu.Lock()
 		switch t.Name() {
 		case "lookup", "lookupResults":
 			h.lookupBytes += int64(wire)
 		default:
 			h.maintBytes += int64(wire)
 		}
+		h.tapMu.Unlock()
 	})
 	return n
 }
+
+// Spawn starts one additional node joining through the landmark — the
+// late-join entry point for tests and interactive drivers. Call from
+// the driver between Run invocations (both modes are quiescent then).
+func (h *Chord) Spawn() *engine.Node { return h.spawn(h.nextAddr()) }
 
 // Node returns the engine node at addr (nil if unknown).
 func (h *Chord) Node(addr string) *engine.Node { return h.nodes[addr] }
@@ -191,8 +320,41 @@ func (h *Chord) LiveAddrs() []string {
 	return out
 }
 
+// PlacementMap returns every created node's shard assignment — the
+// node→shard map cmd/p2sim dumps. Single-loop deployments map
+// everything to shard 0.
+func (h *Chord) PlacementMap() map[string]int {
+	out := make(map[string]int, len(h.order))
+	for _, a := range h.order {
+		if h.Coord != nil {
+			out[a] = h.Net.ShardOf(a)
+		} else {
+			out[a] = 0
+		}
+	}
+	return out
+}
+
+// Now returns the current virtual time in either execution mode.
+func (h *Chord) Now() float64 {
+	if h.Coord != nil {
+		return h.Coord.Now()
+	}
+	return h.Loop.Now()
+}
+
 // Run advances virtual time by d seconds.
-func (h *Chord) Run(d float64) { h.Loop.RunFor(d) }
+func (h *Chord) Run(d float64) { h.RunEvents(d) }
+
+// RunEvents advances virtual time by d seconds and returns the number
+// of events fired — the simulator-throughput gauge the benchmarks
+// meter.
+func (h *Chord) RunEvents(d float64) int {
+	if h.Coord != nil {
+		return h.Coord.RunFor(d)
+	}
+	return h.Loop.RunFor(d)
+}
 
 // Lookup issues one lookup for key from the given node and returns its
 // result record (filled in as the simulation progresses).
@@ -203,7 +365,7 @@ func (h *Chord) Lookup(from string, key id.ID) *LookupResult {
 		EventID: eid,
 		Key:     key,
 		From:    from,
-		Issued:  h.Loop.Now(),
+		Issued:  h.Now(),
 	}
 	h.pending[eid] = lr
 	h.Results = append(h.Results, lr)
@@ -299,7 +461,8 @@ func (h *Chord) ResetTraffic() {
 }
 
 // Kill stops the node at addr and removes it from the network —
-// process-crash semantics for churn.
+// process-crash semantics for churn. In sharded mode, call only from
+// the coordinator between runs or from a barrier callback.
 func (h *Chord) Kill(addr string) {
 	if n := h.nodes[addr]; n != nil && n.Running() {
 		n.Stop()
@@ -310,7 +473,10 @@ func (h *Chord) Kill(addr string) {
 // StartChurn begins Bamboo-style churn: every node except the landmark
 // lives for an exponentially distributed session with the given mean,
 // then dies and is immediately replaced by a fresh node joining through
-// the landmark, keeping the population constant.
+// the landmark, keeping the population constant. Session lengths come
+// from each address's private stream, so the churn schedule is
+// independent of event interleaving — and identical at every shard
+// count.
 func (h *Chord) StartChurn(meanSession float64) {
 	h.churnMean = meanSession
 	h.churning = true
@@ -325,23 +491,36 @@ func (h *Chord) StartChurn(meanSession float64) {
 // StopChurn cancels scheduled deaths.
 func (h *Chord) StopChurn() {
 	h.churning = false
-	for _, t := range h.churnTimers {
-		t.Cancel()
+	for _, c := range h.churnCancels {
+		c.Cancel()
 	}
-	h.churnTimers = h.churnTimers[:0]
+	h.churnCancels = h.churnCancels[:0]
+}
+
+// sessionFor draws addr's session length from its private stream.
+func (h *Chord) sessionFor(addr string) float64 {
+	rng := rand.New(rand.NewSource(seedFor(h.opts.Seed, "session", addr)))
+	return rng.ExpFloat64() * h.churnMean
 }
 
 func (h *Chord) scheduleDeath(addr string) {
-	session := h.rng.ExpFloat64() * h.churnMean
-	t := h.Loop.After(session, func() {
+	session := h.sessionFor(addr)
+	die := func() {
 		if !h.churning {
 			return
 		}
 		h.Kill(addr)
-		repl := h.spawn()
-		h.scheduleDeath(repl.Addr())
-	})
-	h.churnTimers = append(h.churnTimers, t)
+		repl := h.nextAddr()
+		h.spawn(repl)
+		h.scheduleDeath(repl)
+	}
+	if h.Coord != nil {
+		// Death and replacement are structural: barrier work, quantized
+		// to the epoch grid (at most one lookahead late).
+		h.churnCancels = append(h.churnCancels, h.Coord.AtBarrier(h.Coord.Now()+session, die))
+	} else {
+		h.churnCancels = append(h.churnCancels, h.Loop.After(session, die))
+	}
 }
 
 // ConsistencyProbe issues the same key lookup from sample random live

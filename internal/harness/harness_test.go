@@ -101,7 +101,7 @@ func TestLateJoinIntegrates(t *testing.T) {
 	h := NewChord(Opts{N: 6, Seed: 5, JoinSpacing: 1})
 	h.Run(100)
 	before := len(h.LiveAddrs())
-	h.Loop.Defer(func() { h.spawn() })
+	h.Spawn()
 	h.Run(90)
 	if len(h.LiveAddrs()) != before+1 {
 		t.Fatal("late joiner not live")

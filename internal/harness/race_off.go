@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceEnabled mirrors the -race build tag; see race_on.go.
+const raceEnabled = false

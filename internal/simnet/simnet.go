@@ -7,8 +7,37 @@
 // sender's access-link capacity (with sender-side queueing), propagation
 // latency from the transit-stub topology, optional uniform loss, and
 // node death (datagrams to or from dead nodes vanish, as they would
-// with a crashed process). It runs on the shared virtual-time event
-// loop, so experiments are deterministic given a seed.
+// with a crashed process). Experiments are deterministic given a seed:
+// all randomness is drawn from per-node streams derived from
+// (Config.Seed, address), so one node's outcomes are independent of how
+// other nodes' events interleave.
+//
+// A Net runs in one of two modes:
+//
+//   - Single-loop (New): every node shares one eventloop.Sim, exactly
+//     the classic arrangement.
+//   - Sharded (NewSharded): nodes are partitioned across the shards of
+//     an eventloop.ShardedSim by domain (shard = domain mod P), each
+//     node's record owned by its shard per the shard-ownership rule.
+//     Every datagram — local or remote — is staged in the sending
+//     shard's outbox and merged at the next epoch barrier in canonical
+//     (arrival time, sender, sender sequence) order before being
+//     scheduled on the destination shard. Because the coordinator's
+//     lookahead equals the minimum link latency, a datagram's arrival
+//     always falls at or beyond the barrier doing the scheduling, so
+//     staging never delays delivery; it only fixes a deterministic
+//     merge order. That order is independent of the shard count, which
+//     is what makes a P-shard run bit-identical to a 1-shard run.
+//
+// Liveness bookkeeping differs slightly between the modes: the
+// single-loop sender short-circuits datagrams to addresses already dead
+// or unknown at send time (charging PacketsLost to the sender), while a
+// sharded sender cannot peek at another shard's records and instead the
+// destination shard discards the datagram at delivery time (charging
+// the destination, or a per-shard orphan counter when the address never
+// attached). A destination dying while the datagram is in flight is
+// charged to the destination in both modes. Totals agree; only
+// attribution and increment timing differ.
 //
 // Byte counters per node feed the maintenance-bandwidth figures.
 package simnet
@@ -17,6 +46,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"p2/internal/eventloop"
 	"p2/internal/netif"
@@ -29,7 +59,7 @@ type Config struct {
 	InterLatency float64 // seconds across domains (paper: 100 ms)
 	StubBps      float64 // access link capacity in bytes/sec (paper: 10 Mbps)
 	LossRate     float64 // uniform datagram loss probability
-	Seed         int64   // rng seed for loss and placement
+	Seed         int64   // rng seed; per-node streams derive from (Seed, addr)
 	HeaderBytes  int     // per-datagram overhead charged (UDP+IP headers)
 	MTU          int     // datagram payload budget endpoints advertise (0: netif.DefaultMTU)
 }
@@ -48,6 +78,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// MinLatency returns the smallest one-way propagation delay any
+// datagram can experience — the sound conservative lookahead for a
+// sharded run, whatever the node-to-shard placement.
+func (c Config) MinLatency() float64 {
+	intra := c.IntraLatency
+	inter := c.InterLatency + 2*c.IntraLatency
+	if c.Domains <= 1 || intra <= inter {
+		return intra
+	}
+	return inter
+}
+
 // Stats aggregates one node's traffic counters.
 type Stats struct {
 	BytesSent     int64
@@ -57,73 +99,174 @@ type Stats struct {
 	PacketsLost   int64
 }
 
-// Net is the simulated network. All methods must run on the simulation
-// goroutine (they schedule onto the shared event loop).
+// Net is the simulated network. In single-loop mode all methods must
+// run on the simulation goroutine. In sharded mode, Attach / Kill /
+// Partition / the Stats family are coordinator-only (between epochs),
+// while Send on an endpoint runs on the owning node's shard.
 type Net struct {
-	loop *eventloop.Sim
+	loop *eventloop.Sim       // single-loop mode (nil when sharded)
+	ss   *eventloop.ShardedSim // sharded mode (nil when single-loop)
 	cfg  Config
-	rng  *rand.Rand
 
-	nodes map[string]*node
-	// partitioned pairs; key "a|b" with a < b lexically.
+	shards []*shardNet
+	// partitioned pairs; key "a|b" with a < b lexically. Mutated by the
+	// driver only (coordinator/simulation goroutine); read at send time.
 	cuts map[string]bool
+}
+
+// shardNet is the slice of the network owned by one shard: its node
+// records and the outbox of datagrams sent during the current epoch.
+// Only the owning shard touches these during an epoch; the coordinator
+// drains outboxes at barriers.
+type shardNet struct {
+	loop     *eventloop.Sim
+	nodes    map[string]*node
+	outbox   []datagram
+	orphaned int64 // datagrams to addresses that never attached
 }
 
 type node struct {
 	addr     string
 	domain   int
+	shard    int
 	deliver  netif.DeliverFunc
-	linkFree float64 // time the access link next becomes idle
+	rng      *rand.Rand // per-node stream: (Seed, addr)-derived
+	sendSeq  uint64     // datagrams sent; canonical merge tie-breaker
+	linkFree float64    // time the access link next becomes idle
 	dead     bool
 	stats    Stats
 }
 
-// New creates a simulated network on the given loop.
+// datagram is one in-flight cross-barrier message.
+type datagram struct {
+	arrive  float64
+	from    string
+	seq     uint64 // sender's sendSeq at send time
+	to      string
+	dstSh   int
+	size    int64
+	payload []byte
+}
+
+// New creates a simulated network in single-loop mode.
 func New(loop *eventloop.Sim, cfg Config) *Net {
+	n := newNet(cfg)
+	n.loop = loop
+	n.shards = []*shardNet{{loop: loop, nodes: make(map[string]*node)}}
+	return n
+}
+
+// NewSharded creates a simulated network spread across the shards of
+// ss. The caller must have built ss with a lookahead no larger than
+// cfg.MinLatency() (Lookahead reports the right value); anything larger
+// would let a datagram arrive inside the epoch that sent it, which the
+// barrier exchange cannot express.
+func NewSharded(ss *eventloop.ShardedSim, cfg Config) *Net {
+	n := newNet(cfg)
+	if la := n.cfg.MinLatency(); la <= 0 {
+		panic("simnet: sharded mode requires positive link latencies")
+	} else if ss.Lookahead() > la {
+		panic(fmt.Sprintf("simnet: lookahead %g exceeds minimum link latency %g", ss.Lookahead(), la))
+	}
+	n.ss = ss
+	for i := 0; i < ss.Shards(); i++ {
+		n.shards = append(n.shards, &shardNet{loop: ss.Shard(i), nodes: make(map[string]*node)})
+	}
+	ss.AddExchanger(n)
+	return n
+}
+
+func newNet(cfg Config) *Net {
 	if cfg.Domains <= 0 {
 		cfg.Domains = 1
 	}
-	return &Net{
-		loop:  loop,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[string]*node),
-		cuts:  make(map[string]bool),
-	}
+	return &Net{cfg: cfg, cuts: make(map[string]bool)}
 }
 
-// Attach registers addr. Domain placement hashes the address, so a
-// node's location is stable across runs.
-func (n *Net) Attach(addr string, deliver netif.DeliverFunc) (netif.Endpoint, error) {
-	if existing, ok := n.nodes[addr]; ok && !existing.dead {
-		return nil, fmt.Errorf("simnet: %q already attached", addr)
+// Lookahead returns the conservative epoch bound for this topology —
+// pass NewShardedSim this value when building the coordinator for a
+// sharded net.
+func (c Config) Lookahead() float64 { return c.MinLatency() }
+
+// Sharded reports whether the net runs across a ShardedSim.
+func (n *Net) Sharded() bool { return n.ss != nil }
+
+// DomainOf returns addr's stub domain: a pure function of the address,
+// so placement is stable across runs and computable without touching
+// any node records — cmd/p2sim previews node→shard placement maps from
+// the Config alone.
+func (c Config) DomainOf(addr string) int {
+	d := c.Domains
+	if d <= 0 {
+		d = 1
 	}
 	h := fnv.New32a()
 	h.Write([]byte(addr))
+	return int(h.Sum32()) % d
+}
+
+// DomainOf returns addr's stub domain (see Config.DomainOf).
+func (n *Net) DomainOf(addr string) int { return n.cfg.DomainOf(addr) }
+
+// ShardOf returns the shard owning addr: whole domains map to shards
+// (shard = domain mod P) so intra-domain chatter stays shard-local.
+func (n *Net) ShardOf(addr string) int {
+	return n.DomainOf(addr) % len(n.shards)
+}
+
+// ShardLoop returns the event loop that owns addr — the loop a node at
+// that address must schedule all its work on.
+func (n *Net) ShardLoop(addr string) *eventloop.Sim {
+	return n.shards[n.ShardOf(addr)].loop
+}
+
+// nodeSeed derives addr's private rng stream from the master seed.
+func nodeSeed(seed int64, addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return seed ^ int64(h.Sum64())
+}
+
+// Attach registers addr. Domain placement hashes the address, so a
+// node's location — and, sharded, its shard — is stable across runs.
+// In sharded mode Attach is coordinator-only (quiescent shards).
+func (n *Net) Attach(addr string, deliver netif.DeliverFunc) (netif.Endpoint, error) {
+	sh := n.shards[n.ShardOf(addr)]
+	if existing, ok := sh.nodes[addr]; ok && !existing.dead {
+		return nil, fmt.Errorf("simnet: %q already attached", addr)
+	}
 	nd := &node{
 		addr:    addr,
-		domain:  int(h.Sum32()) % n.cfg.Domains,
+		domain:  n.DomainOf(addr),
+		shard:   n.ShardOf(addr),
 		deliver: deliver,
+		rng:     rand.New(rand.NewSource(nodeSeed(n.cfg.Seed, addr))),
 	}
-	n.nodes[addr] = nd
+	sh.nodes[addr] = nd
 	return &endpoint{net: n, node: nd}, nil
 }
 
+// lookup finds addr's record, whichever shard owns it.
+func (n *Net) lookup(addr string) *node {
+	return n.shards[n.ShardOf(addr)].nodes[addr]
+}
+
 // Kill marks addr dead: its in-flight and future datagrams vanish.
-// Used by the churn generator.
+// Used by the churn generator. Coordinator-only in sharded mode.
 func (n *Net) Kill(addr string) {
-	if nd, ok := n.nodes[addr]; ok {
+	if nd := n.lookup(addr); nd != nil {
 		nd.dead = true
 	}
 }
 
 // Alive reports whether addr is attached and not dead.
 func (n *Net) Alive(addr string) bool {
-	nd, ok := n.nodes[addr]
-	return ok && !nd.dead
+	nd := n.lookup(addr)
+	return nd != nil && !nd.dead
 }
 
 // Partition cuts or heals bidirectional connectivity between a and b.
+// Coordinator-only in sharded mode.
 func (n *Net) Partition(a, b string, cut bool) {
 	key := pairKey(a, b)
 	if cut {
@@ -140,48 +283,58 @@ func pairKey(a, b string) string {
 	return a + "|" + b
 }
 
-// Latency returns the one-way propagation delay between two addresses.
+// Latency returns the one-way propagation delay between two addresses —
+// a pure function of the two domains, so a sender can compute it
+// without touching the destination shard's records.
 func (n *Net) Latency(a, b string) float64 {
-	na, nb := n.nodes[a], n.nodes[b]
-	if na == nil || nb == nil {
-		return n.cfg.InterLatency
-	}
-	if na.domain == nb.domain {
+	if n.DomainOf(a) == n.DomainOf(b) {
 		return n.cfg.IntraLatency
 	}
 	return n.cfg.InterLatency + 2*n.cfg.IntraLatency
 }
 
-// Stats returns a copy of addr's counters.
+// Stats returns a copy of addr's counters. Coordinator-only in sharded
+// mode.
 func (n *Net) Stats(addr string) Stats {
-	if nd, ok := n.nodes[addr]; ok {
+	if nd := n.lookup(addr); nd != nil {
 		return nd.stats
 	}
 	return Stats{}
 }
 
 // ResetStats zeroes every node's counters — used between experiment
-// warm-up and measurement phases.
+// warm-up and measurement phases. Coordinator-only in sharded mode.
 func (n *Net) ResetStats() {
-	for _, nd := range n.nodes {
-		nd.stats = Stats{}
+	for _, sh := range n.shards {
+		for _, nd := range sh.nodes {
+			nd.stats = Stats{}
+		}
+		sh.orphaned = 0
 	}
 }
 
-// TotalStats sums counters across live and dead nodes.
+// TotalStats sums counters across live and dead nodes. Coordinator-only
+// in sharded mode.
 func (n *Net) TotalStats() Stats {
 	var s Stats
-	for _, nd := range n.nodes {
-		s.BytesSent += nd.stats.BytesSent
-		s.BytesReceived += nd.stats.BytesReceived
-		s.PacketsSent += nd.stats.PacketsSent
-		s.PacketsRecv += nd.stats.PacketsRecv
-		s.PacketsLost += nd.stats.PacketsLost
+	for _, sh := range n.shards {
+		for _, nd := range sh.nodes {
+			s.BytesSent += nd.stats.BytesSent
+			s.BytesReceived += nd.stats.BytesReceived
+			s.PacketsSent += nd.stats.PacketsSent
+			s.PacketsRecv += nd.stats.PacketsRecv
+			s.PacketsLost += nd.stats.PacketsLost
+		}
+		s.PacketsLost += sh.orphaned
 	}
 	return s
 }
 
-// send models the datagram's journey; called by endpoints.
+// send models the datagram's journey; called by endpoints on the
+// sender's own shard (or the single loop). Everything computed here —
+// serialization queueing, latency, the loss draw — reads only
+// sender-owned state, so sharded senders never reach across a shard
+// boundary.
 func (n *Net) send(src *node, to string, payload []byte) {
 	if src.dead {
 		return
@@ -189,18 +342,19 @@ func (n *Net) send(src *node, to string, payload []byte) {
 	size := int64(len(payload) + n.cfg.HeaderBytes)
 	src.stats.BytesSent += size
 	src.stats.PacketsSent++
+	src.sendSeq++
 
-	dst, ok := n.nodes[to]
-	if !ok || dst.dead || n.cuts[pairKey(src.addr, to)] {
+	if n.cuts[pairKey(src.addr, to)] {
 		src.stats.PacketsLost++
 		return
 	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	if n.cfg.LossRate > 0 && src.rng.Float64() < n.cfg.LossRate {
 		src.stats.PacketsLost++
 		return
 	}
 
-	now := n.loop.Now()
+	sh := n.shards[src.shard]
+	now := sh.loop.Now()
 	// Serialization against the sender's access link, with queueing.
 	txTime := 0.0
 	if n.cfg.StubBps > 0 {
@@ -213,15 +367,83 @@ func (n *Net) send(src *node, to string, payload []byte) {
 	src.linkFree = start + txTime
 	arrive := src.linkFree + n.Latency(src.addr, to)
 
-	from := src.addr
-	n.loop.At(arrive, func() {
-		if dst.dead {
+	if n.ss == nil {
+		// Single-loop: the sender may inspect the destination directly
+		// and short-circuit doomed datagrams at send time.
+		dst := n.lookup(to)
+		if dst == nil || dst.dead {
+			src.stats.PacketsLost++
 			return
 		}
-		dst.stats.BytesReceived += size
-		dst.stats.PacketsRecv++
-		dst.deliver(from, payload)
+		from := src.addr
+		sh.loop.At(arrive, func() {
+			if dst.dead {
+				// Died while the datagram was in flight; charge the loss
+				// to the destination, exactly as the sharded path does.
+				dst.stats.PacketsLost++
+				return
+			}
+			dst.stats.BytesReceived += size
+			dst.stats.PacketsRecv++
+			dst.deliver(from, payload)
+		})
+		return
+	}
+	// Sharded: stage in the sending shard's outbox; the barrier exchange
+	// merges and schedules it. arrive >= the next barrier because the
+	// lookahead never exceeds any link latency.
+	sh.outbox = append(sh.outbox, datagram{
+		arrive: arrive, from: src.addr, seq: src.sendSeq,
+		to: to, dstSh: n.ShardOf(to), size: size, payload: payload,
 	})
+}
+
+// Exchange implements eventloop.Exchanger: at each epoch barrier the
+// coordinator drains every shard's outbox, merges the datagrams in
+// canonical (arrival, sender, sender-sequence) order — an ordering
+// computed entirely from sender-deterministic values, hence identical
+// whatever the shard count — and schedules each on its destination
+// shard. Liveness is judged at delivery time by the owning shard.
+func (n *Net) Exchange(now float64) {
+	var all []datagram
+	for _, sh := range n.shards {
+		all = append(all, sh.outbox...)
+		for i := range sh.outbox {
+			sh.outbox[i] = datagram{}
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.arrive != b.arrive {
+			return a.arrive < b.arrive
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.seq < b.seq
+	})
+	for i := range all {
+		d := all[i]
+		sh := n.shards[d.dstSh]
+		sh.loop.At(d.arrive, func() {
+			dst := sh.nodes[d.to]
+			if dst == nil {
+				sh.orphaned++
+				return
+			}
+			if dst.dead {
+				dst.stats.PacketsLost++
+				return
+			}
+			dst.stats.BytesReceived += d.size
+			dst.stats.PacketsRecv++
+			dst.deliver(d.from, d.payload)
+		})
+	}
 }
 
 type endpoint struct {

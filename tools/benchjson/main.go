@@ -23,11 +23,41 @@ import (
 	"time"
 )
 
-// Result is one benchmark's parsed measurements.
+// Result is one benchmark's parsed measurements. Shards is lifted out
+// of the metrics (or the sub-benchmark name, e.g. ".../shards=8-4")
+// for the sharded-simulator benchmarks, and events/sec/core is derived
+// whenever events/sec and a shard count are both known, so trend
+// analysis can compare parallel efficiency across commits directly.
 type Result struct {
 	Name    string             `json:"name"`
 	Iters   int64              `json:"iters"`
+	Shards  int64              `json:"shards,omitempty"`
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// finalize resolves the shard count and derives events/sec/core.
+func (r *Result) finalize() {
+	if s, ok := r.Metrics["shards"]; ok {
+		r.Shards = int64(s)
+	} else {
+		for _, seg := range strings.Split(r.Name, "/") {
+			// Trailing "-N" is GOMAXPROCS, not part of the shard count.
+			seg = strings.TrimSpace(seg)
+			if rest, ok := strings.CutPrefix(seg, "shards="); ok {
+				if i := strings.IndexByte(rest, '-'); i >= 0 {
+					rest = rest[:i]
+				}
+				if v, err := strconv.ParseInt(rest, 10, 64); err == nil {
+					r.Shards = v
+				}
+			}
+		}
+	}
+	if ev, ok := r.Metrics["events/sec"]; ok && r.Shards > 0 {
+		if _, done := r.Metrics["events/sec/core"]; !done {
+			r.Metrics["events/sec/core"] = ev / float64(r.Shards)
+		}
+	}
 }
 
 // Doc is the archived artifact.
@@ -83,6 +113,7 @@ func main() {
 			}
 			r.Metrics[fields[i+1]] = v
 		}
+		r.finalize()
 		doc.Results = append(doc.Results, r)
 	}
 	if err := sc.Err(); err != nil {

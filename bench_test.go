@@ -1,4 +1,4 @@
-package p2
+package p2_test
 
 // Benchmarks regenerating the paper's evaluation (§5), one per figure
 // or quantified claim. These wrap the generators in
@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"p2"
 	"p2/internal/chordref"
 	"p2/internal/eventloop"
 	"p2/internal/experiments"
@@ -275,7 +276,7 @@ func BenchmarkLookupHandcoded(b *testing.B) {
 func BenchmarkParseChord(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := overlog.Parse(ChordSource); err != nil {
+		if _, err := overlog.Parse(p2.ChordSource); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -283,7 +284,7 @@ func BenchmarkParseChord(b *testing.B) {
 
 // BenchmarkCompileChord measures the planner on the same spec.
 func BenchmarkCompileChord(b *testing.B) {
-	prog := overlog.MustParse(ChordSource)
+	prog := overlog.MustParse(p2.ChordSource)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

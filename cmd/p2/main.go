@@ -80,11 +80,15 @@ func main() {
 	tcfg.Unreliable = *unreliable
 	tcfg.NoBatch = *noBatch
 	tcfg.AckDelay = ackDelay.Seconds()
-	node, err := p2.NewUDPNode(*addr, plan, p2.NodeOptions{Seed: *seed, Transport: &tcfg})
+	dep, err := p2.NewDeployment(p2.UDP, p2.WithSeed(*seed), p2.WithTransport(tcfg))
+	if err != nil {
+		fatal("deployment: %v", err)
+	}
+	defer dep.Close()
+	node, err := dep.Spawn(*addr, plan)
 	if err != nil {
 		fatal("starting node: %v", err)
 	}
-	defer node.Close()
 	fmt.Printf("p2: node %s running %s (%d rules)\n", *addr, *spec, plan.RuleCount())
 
 	node.Do(func(n *p2.Node) {
@@ -141,9 +145,10 @@ func main() {
 	fmt.Println("\np2: shutting down")
 }
 
-// renderTop snapshots the node's system-table counters on its event
-// loop and renders them as a p2top-style dashboard frame.
-func renderTop(node *p2.UDPNode) string {
+// renderTop snapshots the node's system-table counters in one trip to
+// its event loop — so every section of a frame reflects the same
+// instant — and renders them as a p2top-style dashboard frame.
+func renderTop(node *p2.Handle) string {
 	type snap struct {
 		addr   string
 		ns     p2.NodeStat
@@ -151,11 +156,10 @@ func renderTop(node *p2.UDPNode) string {
 		rules  []p2.RuleStat
 		nets   []p2.NetStat
 	}
-	ch := make(chan snap, 1)
+	var s snap
 	node.Do(func(n *p2.Node) {
-		ch <- snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats()}
+		s = snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats()}
 	})
-	s := <-ch
 
 	var sb strings.Builder
 	sb.WriteString("\033[H\033[2J") // home + clear

@@ -3,6 +3,11 @@
 // and print the routes they take — the paper's Section 4 scenario as a
 // runnable program.
 //
+// The whole scenario is expressed against the runtime-agnostic
+// Deployment API — here on a four-shard simulated deployment; swapping
+// the NewDeployment call to p2.UDP would run the identical call
+// sequence over real sockets.
+//
 //	go run ./examples/chord
 package main
 
@@ -10,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 
 	"p2"
 )
@@ -21,13 +27,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := p2.NewSim(nil, 7)
+	// Four parallel shards: same results as one, just faster at scale.
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(7), p2.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 
 	// Node 0 creates the ring (landmark "-"); the rest join through it.
-	var nodes []*p2.Node
+	var nodes []*p2.Handle
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("n%02d:p2", i)
-		node, err := sim.SpawnNode(addr, plan)
+		node, err := d.Spawn(addr, plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,11 +49,11 @@ func main() {
 		node.AddFact("landmark", p2.Str(addr), p2.Str(landmark))
 		node.AddFact("join", p2.Str(addr), p2.Str(addr+"!boot"))
 		nodes = append(nodes, node)
-		sim.Run(1) // stagger joins
+		d.Run(1) // stagger joins
 	}
 
 	fmt.Println("stabilizing ...")
-	sim.Run(180)
+	d.Run(180)
 
 	// Print the ring in identifier order with each node's view.
 	type entry struct {
@@ -58,9 +69,9 @@ func main() {
 	correct := 0
 	fmt.Println("\nring (sorted by identifier):")
 	for i, e := range ring {
-		node := findNode(nodes, e.addr)
+		node := d.Node(e.addr)
 		succ := "?"
-		if rows := node.Table("bestSucc").Scan(); len(rows) == 1 {
+		if rows := node.Scan("bestSucc"); len(rows) == 1 {
 			succ = rows[0].Field(2).AsStr()
 		}
 		ideal := ring[(i+1)%len(ring)].addr
@@ -77,41 +88,39 @@ func main() {
 	// Resolve a few keys, tracing the route each lookup takes.
 	for _, name := range []string{"alpha", "beta", "gamma"} {
 		key := p2.Hash(name)
-		resolveAndTrace(sim, nodes, key, name)
+		resolveAndTrace(d, nodes, key, name)
 	}
 }
 
-func findNode(nodes []*p2.Node, addr string) *p2.Node {
-	for _, n := range nodes {
-		if n.Addr() == addr {
-			return n
-		}
-	}
-	return nil
-}
-
-func resolveAndTrace(sim *p2.Sim, nodes []*p2.Node, key p2.ID, name string) {
+func resolveAndTrace(d *p2.Deployment, nodes []*p2.Handle, key p2.ID, name string) {
 	from := nodes[3]
 	eid := "query-" + name
+	// Watch callbacks fire on the owning shard's goroutine while the
+	// simulation runs, so this cross-node trace takes its own lock.
+	var mu sync.Mutex
 	var hops []string
 	var owner string
 
 	for _, node := range nodes {
 		node.Watch("lookup", func(ev p2.WatchEvent) {
 			if ev.Dir == p2.DirSent && ev.Tuple.Field(3).AsStr() == eid {
+				mu.Lock()
 				hops = append(hops, ev.Node+" -> "+ev.Peer)
+				mu.Unlock()
 			}
 		})
 	}
 	from.Watch("lookupResults", func(ev p2.WatchEvent) {
 		if ev.Tuple.Field(4).AsStr() == eid {
+			mu.Lock()
 			owner = ev.Tuple.Field(3).AsStr()
+			mu.Unlock()
 		}
 	})
 
-	from.InjectTuple(p2.NewTuple("lookup",
+	from.Inject(p2.NewTuple("lookup",
 		p2.Str(from.Addr()), p2.IDValue(key), p2.Str(from.Addr()), p2.Str(eid)))
-	sim.Run(10)
+	d.Run(10)
 
 	fmt.Printf("lookup %q (key %s) from %s:\n", name, key.Short(), from.Addr())
 	for _, h := range hops {

@@ -20,16 +20,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := p2.NewSim(nil, 11)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 	rng := rand.New(rand.NewSource(11))
 
 	addrs := make([]string, n)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("g%02d:gossip", i)
 	}
-	var nodes []*p2.Node
+	var nodes []*p2.Handle
 	for i, addr := range addrs {
-		node, err := sim.SpawnNode(addr, plan)
+		node, err := d.Spawn(addr, plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +53,7 @@ func main() {
 	infected := func() int {
 		c := 0
 		for _, node := range nodes {
-			if node.Table("rumor").Len() > 0 {
+			if node.TableLen("rumor") > 0 {
 				c++
 			}
 		}
@@ -59,11 +63,11 @@ func main() {
 	fmt.Println("round  time   infected")
 	round := 0
 	for infected() < n && round < 40 {
-		fmt.Printf("%5d  %4.0fs  %d/%d\n", round, sim.Now(), infected(), n)
-		sim.Run(2) // one gossip period
+		fmt.Printf("%5d  %4.0fs  %d/%d\n", round, d.Now(), infected(), n)
+		d.Run(2) // one gossip period
 		round++
 	}
-	fmt.Printf("%5d  %4.0fs  %d/%d\n", round, sim.Now(), infected(), n)
+	fmt.Printf("%5d  %4.0fs  %d/%d\n", round, d.Now(), infected(), n)
 	if infected() == n {
 		fmt.Printf("\nfully infected after %d rounds (~log2(%d)=%.1f expected for push epidemics)\n",
 			round, n, logish(n))

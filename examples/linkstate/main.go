@@ -19,16 +19,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := p2.NewSim(nil, 5)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 
 	//      1        1
 	//  sf ─── den ─── chi
 	//   │              │
 	//   └──────8───────┘     plus chi ─1─ nyc
 	names := []string{"sf", "den", "chi", "nyc"}
-	nodes := map[string]*p2.Node{}
+	nodes := map[string]*p2.Handle{}
 	for _, name := range names {
-		n, err := sim.SpawnNode(name+":rt", plan)
+		n, err := d.Spawn(name+":rt", plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,16 +47,16 @@ func main() {
 	link("chi", "nyc", 1)
 	link("sf", "chi", 8)
 
-	sim.Run(40)
+	d.Run(40)
 	printTables(nodes, names, "routing tables after convergence:")
 
 	fmt.Println("\nbreaking the den–chi link (den goes down) ...")
-	nodes["den"].Stop()
-	sim.Run(60)
+	nodes["den"].Kill()
+	d.Run(60)
 	printTables(nodes, names, "routing tables after failure (sf reroutes via the cost-8 link):")
 }
 
-func printTables(nodes map[string]*p2.Node, names []string, label string) {
+func printTables(nodes map[string]*p2.Handle, names []string, label string) {
 	fmt.Println(label)
 	for _, name := range names {
 		n := nodes[name]
@@ -61,7 +65,7 @@ func printTables(nodes map[string]*p2.Node, names []string, label string) {
 			continue
 		}
 		fmt.Printf("  %-4s", name)
-		for _, row := range n.Table("bestPath").ScanSorted() {
+		for _, row := range n.ScanSorted("bestPath") {
 			fmt.Printf("  ->%s via %s cost %d;",
 				short(row.Field(1).AsStr()), short(row.Field(2).AsStr()), row.Field(3).AsInt())
 		}

@@ -47,13 +47,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := p2.NewSim(nil, 11)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 	hub := "n00:p2"
 
-	var nodes []*p2.Node
+	var nodes []*p2.Handle
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("n%02d:p2", i)
-		node, err := sim.SpawnNode(addr, plan)
+		node, err := d.Spawn(addr, plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +68,7 @@ func main() {
 		node.AddFact("landmark", p2.Str(addr), p2.Str(landmark))
 		node.AddFact("join", p2.Str(addr), p2.Str(addr+"!boot"))
 		nodes = append(nodes, node)
-		sim.Run(1) // stagger joins
+		d.Run(1) // stagger joins
 	}
 
 	// The ring is already building; graft the monitor into every live
@@ -79,29 +83,29 @@ func main() {
 
 	// Let the overlay and its observer run; report the hub's view.
 	for step := 0; step < 6; step++ {
-		sim.Run(30)
+		d.Run(30)
 		total := int64(-1)
-		if rows := nodes[0].Table("overlayTuples").Scan(); len(rows) == 1 {
+		if rows := nodes[0].Scan("overlayTuples"); len(rows) == 1 {
 			total = rows[0].Field(1).AsInt()
 		}
-		reports := nodes[0].Table("nodeReport").Len()
+		reports := nodes[0].TableLen("nodeReport")
 		fmt.Printf("%7.1fs  overlay total %4d tuples across %2d reporting nodes\n",
-			sim.Now(), total, reports)
+			d.Now(), total, reports)
 	}
 
 	fmt.Printf("\nnodes above %s tuples (hub's hotNode table):\n", "hotTuples=200")
-	for _, row := range nodes[0].Table("hotNode").ScanSorted() {
+	for _, row := range nodes[0].ScanSorted("hotNode") {
 		fmt.Printf("  %s stores %d tuples\n", row.Field(1).AsStr(), row.Field(2).AsInt())
 	}
 	fmt.Println("\nrules past hotFires=1000 firings at the hub (busyRule, fed by sysRule):")
-	for _, row := range nodes[0].Table("busyRule").ScanSorted() {
+	for _, row := range nodes[0].ScanSorted("busyRule") {
 		fmt.Printf("  %-4s fired %d times\n", row.Field(1).AsStr(), row.Field(2).AsInt())
 	}
 
 	// The monitor can watch the monitors: per-rule fire counts of the
 	// monitor rules themselves, read from sysRule like any relation.
 	fmt.Println("\nmonitor rule activity at the hub (from sysRule):")
-	for _, row := range nodes[0].Table(p2.SysRule).ScanSorted() {
+	for _, row := range nodes[0].ScanSorted(p2.SysRule) {
 		id := row.Field(1).AsStr()
 		if id == "M1" || id == "M2" || id == "M3" || id == "M4" || id == "M5" {
 			fmt.Printf("  %s fired %d times\n", id, row.Field(2).AsInt())

@@ -25,15 +25,19 @@ func main() {
 	fmt.Printf("merged plan: %d rules, shared tables include neighbor=%v seenMsg=%v\n\n",
 		plan.RuleCount(), plan.IsTable("neighbor"), plan.IsTable("seenMsg"))
 
-	sim := p2.NewSim(nil, 21)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 	addrs := make([]string, n)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("node%02d:mc", i)
 	}
-	var nodes []*p2.Node
+	var nodes []*p2.Handle
 	deliveries := 0
 	for i := 0; i < n; i++ {
-		node, err := sim.SpawnNode(addrs[i], plan)
+		node, err := d.Spawn(addrs[i], plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,12 +54,12 @@ func main() {
 	}
 
 	fmt.Println("mesh forming (20 s) ...")
-	sim.Run(20)
+	d.Run(20)
 
 	fmt.Println("\npublishing from node00:")
-	nodes[0].InjectTuple(p2.NewTuple("message",
+	nodes[0].Inject(p2.NewTuple("message",
 		p2.Str(addrs[0]), p2.Str("msg-1"), p2.Str("hello, mesh"), p2.Str("-")))
-	sim.Run(10)
+	d.Run(10)
 
 	fmt.Printf("\n%d deliveries across %d nodes (each exactly once)\n", deliveries, n)
 }

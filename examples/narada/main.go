@@ -20,17 +20,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := p2.NewSim(nil, 3)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 
 	// Bootstrap topology: a ring of neighbor hints via env() rows —
 	// node i knows only node (i+1) mod n.
-	var nodes []*p2.Node
+	var nodes []*p2.Handle
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
 		addrs[i] = fmt.Sprintf("m%d:narada", i)
 	}
 	for i := 0; i < n; i++ {
-		node, err := sim.SpawnNode(addrs[i], plan)
+		node, err := d.Spawn(addrs[i], plan)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +50,7 @@ func main() {
 				continue
 			}
 			live, dead := 0, 0
-			for _, row := range node.Table("member").Scan() {
+			for _, row := range node.Scan("member") {
 				if row.Field(4).AsBool() {
 					live++
 				} else {
@@ -54,22 +58,22 @@ func main() {
 				}
 			}
 			fmt.Printf("  %-12s knows %d live, %d dead members; %d neighbors\n",
-				node.Addr(), live, dead, node.Table("neighbor").Len())
+				node.Addr(), live, dead, node.TableLen("neighbor"))
 		}
 	}
 
-	sim.Run(30)
+	d.Run(30)
 	report("after 30 s of gossip (every node should know all 8 members):")
 
 	victim := nodes[5]
 	fmt.Printf("\nkilling %s ...\n\n", victim.Addr())
-	victim.Stop()
-	sim.Run(60)
+	victim.Kill()
+	d.Run(60)
 	report("60 s after the failure (members should mark it dead):")
 
 	// Round-trip latencies measured by the P0-P3 rules.
 	fmt.Println("\nsample mesh latencies at m0:")
-	for _, row := range nodes[0].Table("latency").ScanSorted() {
+	for _, row := range nodes[0].ScanSorted("latency") {
 		fmt.Printf("  to %-12s %.1f ms\n", row.Field(1).AsStr(), row.Field(2).AsFloat()*1000)
 	}
 }

@@ -1,5 +1,5 @@
-// Quickstart: two P2 nodes running the ping-pong overlay on the
-// simulated network. The entire "protocol" is four OverLog rules
+// Quickstart: two P2 nodes running the ping-pong overlay on a
+// simulated deployment. The entire "protocol" is four OverLog rules
 // (p2.PingPongSource); this program just compiles them, spawns nodes,
 // and reads the measured round-trip times out of the rtt table.
 //
@@ -19,13 +19,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sim := p2.NewSim(nil, 1)
-	alice, err := sim.SpawnNode("alice:p2", plan)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bob, err := sim.SpawnNode("bob:p2", plan)
+	defer d.Close()
+	alice, err := d.Spawn("alice:p2", plan)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.Spawn("bob:p2", plan); err != nil {
 		log.Fatal(err)
 	}
 
@@ -40,12 +43,11 @@ func main() {
 		}
 	})
 
-	sim.Run(5) // five virtual seconds
+	d.Run(5) // five virtual seconds
 
-	rows := alice.Table("rtt").Scan()
+	rows := alice.Scan("rtt")
 	fmt.Printf("\nrtt table after 5 s: %d row(s)\n", len(rows))
 	for _, r := range rows {
 		fmt.Println("  ", r)
 	}
-	_ = bob
 }

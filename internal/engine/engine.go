@@ -107,9 +107,10 @@ type Stats struct {
 // loop it was built with for its whole life: every table, strand,
 // timer, and transport structure it owns schedules exclusively there.
 // In a sharded simulation that loop is the owning shard of an
-// eventloop.ShardedSim (the harness pins nodes shard = domain mod P),
-// and the eventloop shard-ownership rule extends to all of the node's
-// state — nothing here may be touched from another shard's epoch.
+// eventloop.ShardedSim (the p2.Deployment pins nodes shard = domain
+// mod P), and the eventloop shard-ownership rule extends to all of the
+// node's state — nothing here may be touched from another shard's
+// epoch.
 type Node struct {
 	addr string
 	loop eventloop.Loop

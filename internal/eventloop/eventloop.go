@@ -23,11 +23,16 @@ package eventloop
 
 import (
 	"container/heap"
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrStopped is returned by Real.Post once the loop has been stopped:
+// the callback will never run, so callers waiting on it must not block.
+var ErrStopped = errors.New("eventloop: loop stopped")
 
 // Clock supplies the current time in seconds.
 type Clock interface {
@@ -410,12 +415,13 @@ type Real struct {
 	dq     dpcRing
 	livec  atomic.Int64
 	stop   bool
+	stopc  chan struct{}
 	start  time.Time
 }
 
 // NewReal returns a wall-clock loop; time zero is the moment of creation.
 func NewReal() *Real {
-	r := &Real{start: time.Now()}
+	r := &Real{start: time.Now(), stopc: make(chan struct{})}
 	r.cond = sync.NewCond(&r.mu)
 	return r
 }
@@ -460,12 +466,27 @@ func (r *Real) Defer(fn func()) {
 }
 
 // Post enqueues fn from any goroutine; it runs on the loop goroutine.
-func (r *Real) Post(fn func()) {
+// Once the loop has been stopped Post returns ErrStopped and the
+// callback is guaranteed never to run — callers that wait for the
+// callback's result must check the error (and select on Stopped for the
+// window where a Post was accepted but Stop preempted the loop) or they
+// would block forever on a dead loop.
+func (r *Real) Post(fn func()) error {
 	r.mu.Lock()
+	if r.stop {
+		r.mu.Unlock()
+		return ErrStopped
+	}
 	r.posted = append(r.posted, fn)
 	r.mu.Unlock()
 	r.cond.Signal()
+	return nil
 }
+
+// Stopped returns a channel closed when the loop has been stopped.
+// Posted callbacks accepted before Stop may or may not run; once
+// Stopped is closed, a caller waiting on one must stop waiting.
+func (r *Real) Stopped() <-chan struct{} { return r.stopc }
 
 // Pending returns the number of live scheduled timers plus queued
 // deferred and posted functions not yet run — the Real counterpart of
@@ -479,10 +500,14 @@ func (r *Real) Pending() int {
 	return int(r.livec.Load()) + len(r.posted) + r.dq.n
 }
 
-// Stop makes Run return after the current handler.
+// Stop makes Run return after the current handler and closes the
+// Stopped channel. Idempotent; safe from any goroutine.
 func (r *Real) Stop() {
 	r.mu.Lock()
-	r.stop = true
+	if !r.stop {
+		r.stop = true
+		close(r.stopc)
+	}
 	r.mu.Unlock()
 	r.cond.Signal()
 }
@@ -568,14 +593,24 @@ func (r *Real) Run() {
 		r.mu.Unlock()
 		// Deferred procedure calls run first and re-drain after every
 		// callback, so each handler's deferred work runs the moment the
-		// handler completes.
+		// handler completes. Stop is honored between callbacks — "Run
+		// returns after the current handler" — so a batch entry that
+		// stops the loop prevents the rest of its batch from running;
+		// combined with Post's ErrStopped this is what lets a waiter
+		// released by Stopped know its callback will never run.
 		r.runDPCs()
 		for i, fn := range fns {
+			if r.stopping() {
+				break
+			}
 			fn()
 			fns[i] = nil
 			r.runDPCs()
 		}
 		for i, tm := range due {
+			if r.stopping() {
+				break
+			}
 			// Re-check at invocation time: an earlier callback in this
 			// very batch may have canceled a timer collected with it.
 			if !tm.canceled() {
@@ -584,5 +619,21 @@ func (r *Real) Run() {
 			due[i] = nil
 			r.runDPCs()
 		}
+		for i := range fns {
+			fns[i] = nil
+		}
+		for i := range due {
+			due[i] = nil
+		}
+	}
+}
+
+// stopping reports whether Stop has been called.
+func (r *Real) stopping() bool {
+	select {
+	case <-r.stopc:
+		return true
+	default:
+		return false
 	}
 }

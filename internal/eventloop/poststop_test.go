@@ -1,0 +1,60 @@
+package eventloop
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPostAfterStopErrors is the regression test for the Install/Close
+// TOCTOU: posting onto a stopped Real must return ErrStopped instead of
+// silently enqueueing a callback that will never run (and leaving a
+// caller blocked forever on its result).
+func TestPostAfterStopErrors(t *testing.T) {
+	r := NewReal()
+	go r.Run()
+	if err := r.Post(func() {}); err != nil {
+		t.Fatalf("Post on a live loop: %v", err)
+	}
+	r.Stop()
+	if err := r.Post(func() { t.Error("callback ran on a stopped loop") }); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Post after Stop = %v, want ErrStopped", err)
+	}
+	select {
+	case <-r.Stopped():
+	default:
+		t.Fatal("Stopped channel not closed after Stop")
+	}
+}
+
+// TestPostStopWindowUnblocksWaiter covers the race the channel exists
+// for: a Post accepted just before Stop may never run, so a caller
+// waiting on its completion must be released by Stopped rather than
+// block forever.
+func TestPostStopWindowUnblocksWaiter(t *testing.T) {
+	r := NewReal()
+	// Deliberately never call Run: the posted callback can never
+	// execute, exactly like a Post that lost the race with Stop.
+	done := make(chan struct{})
+	if err := r.Post(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	go r.Stop()
+	select {
+	case <-done:
+		t.Fatal("callback ran without a loop")
+	case <-r.Stopped():
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never released")
+	}
+}
+
+// TestStopIdempotent double-stops safely.
+func TestStopIdempotent(t *testing.T) {
+	r := NewReal()
+	r.Stop()
+	r.Stop()
+	if err := r.Post(func() {}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Post after double Stop = %v", err)
+	}
+}

@@ -4,52 +4,42 @@
 // lookup latency, per-node maintenance bandwidth, and Bamboo-style
 // lookup consistency.
 //
-// Everything runs in virtual time, deterministically, in one of two
-// execution modes selected by Opts.Shards:
+// The harness is a thin Chord-metrics layer over the public
+// p2.Deployment API: node placement, spawn/kill/replace routing through
+// the barrier control lane, churn scheduling, and per-address seed
+// derivation all belong to the Deployment; the harness adds only the
+// Chord-specific parts — landmark bootstrap facts, lookup issuance and
+// watch taps, traffic classification, and ring ground truth.
 //
-//   - Single-loop: every node shares one eventloop.Sim — the classic
-//     arrangement, one goroutine end to end.
-//   - Sharded: nodes are partitioned across the shards of an
-//     eventloop.ShardedSim by stub domain (shard = domain mod P), so a
-//     P-shard run uses P cores while intra-domain chatter stays
-//     shard-local. Cross-shard datagrams are merged at epoch barriers
-//     in a canonical order, and all driver-level structural actions —
-//     spawning a node, churn kills and replacements — run on the
-//     coordinator through the barrier control lane. The result is
-//     exact: a run at P shards reports bit-identical metrics to the
-//     same seed at 1 shard (TestShardedDeterminism enforces it).
-//
-// All randomness that shapes an individual node — its engine seed, its
-// churn session length, its loss pattern in simnet — derives from
-// (Seed, address) alone, never from a shared stream, so outcomes are
-// independent of how other nodes' events interleave. The harness-level
-// rng only drives workload choices made between Run calls (which node
-// looks up which key).
+// Everything runs in virtual time, deterministically, on a Simulated
+// deployment of Opts.Shards parallel shards (1 = the sharded machinery
+// on the driver goroutine — the determinism baseline). A P-shard run
+// reports bit-identical metrics to the same seed at 1 shard
+// (TestShardedDeterminism enforces it): all randomness that shapes an
+// individual node derives from (Seed, address) alone, and the
+// harness-level rng only drives workload choices made between Run
+// calls (which node looks up which key).
 package harness
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"os"
 	"sort"
 	"strconv"
 	"sync"
 
-	"p2/internal/engine"
-	"p2/internal/eventloop"
+	"p2"
 	"p2/internal/id"
 	"p2/internal/overlays"
-	"p2/internal/planner"
 	"p2/internal/simnet"
-	"p2/internal/transport"
 	"p2/internal/tuple"
 	"p2/internal/val"
 )
 
 // EnvShards is the environment variable CI uses to run the whole
-// simulation suite in sharded mode: any NewChord whose Opts leave
-// Shards at zero picks up its value.
+// simulation suite at a chosen shard count: any NewChord whose Opts
+// leave Shards at zero picks up its value.
 const EnvShards = "P2_SIM_SHARDS"
 
 // Opts configures a Chord network build.
@@ -60,39 +50,23 @@ type Opts struct {
 	Defines     map[string]val.Value
 	Net         *simnet.Config // nil = paper topology
 	Unreliable  bool           // fire-and-forget transport (ablation)
-	// Shards selects the execution mode: >= 1 runs the simulation
-	// across that many parallel shard loops (1 = the sharded machinery
-	// with a single shard — the determinism baseline), 0 defers to the
-	// P2_SIM_SHARDS environment variable (absent: single-loop), and a
-	// negative value forces classic single-loop mode regardless of the
-	// environment.
+	// Shards selects the parallel shard count: >= 1 is explicit, 0
+	// defers to the P2_SIM_SHARDS environment variable (absent: 1).
 	Shards int
 }
 
 func resolveShards(v int) int {
-	switch {
-	case v > 0:
+	if v >= 1 {
 		return v
-	case v < 0:
-		return 0
 	}
-	if s := os.Getenv(EnvShards); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
-			return n
+	if v == 0 {
+		if s := os.Getenv(EnvShards); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+				return n
+			}
 		}
 	}
-	return 0
-}
-
-// seedFor derives the per-address random stream for one concern (node
-// engine randomness, churn session length, ...) from the master seed:
-// a pure function, so outcomes never depend on draw order.
-func seedFor(seed int64, concern, addr string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(concern))
-	h.Write([]byte{0})
-	h.Write([]byte(addr))
-	return seed ^ int64(h.Sum64())
+	return 1
 }
 
 // LookupResult records one issued lookup's fate.
@@ -115,27 +89,17 @@ func (lr *LookupResult) Latency() float64 {
 	return lr.Completed - lr.Issued
 }
 
-// canceler unifies the two churn-death handles: an event-loop Timer in
-// single-loop mode, a barrier control event in sharded mode.
-type canceler interface{ Cancel() }
-
 // Chord is a running Chord deployment under measurement.
 type Chord struct {
-	// Loop is the shared event loop in single-loop mode; nil when the
-	// deployment is sharded. Drive time through Run/RunEvents/Now,
-	// which cover both modes.
-	Loop *eventloop.Sim
-	// Coord coordinates the shard loops in sharded mode; nil in
-	// single-loop mode.
-	Coord *eventloop.ShardedSim
-	Net   *simnet.Net
-	Plan  *planner.Plan
+	// D is the underlying simulated deployment; tests reach through it
+	// for structural operations the harness does not wrap (Partition,
+	// DomainOf, ...).
+	D    *p2.Deployment
+	Plan *p2.Plan
 
 	opts      Opts
-	shards    int // 0 = single-loop
 	rng       *rand.Rand
-	nodes     map[string]*engine.Node // live and dead
-	order     []string                // creation order
+	created   []string // every address ever spawned, in creation order
 	landmark  string
 	nextID    int
 	lookupSeq int
@@ -144,104 +108,77 @@ type Chord struct {
 	Results []*LookupResult
 
 	// tapMu guards measurement state mutated from watch and transport
-	// taps, which in sharded mode fire concurrently on shard loops. All
-	// guarded updates commute (counter increments), so the lock order
-	// never shows in the metrics.
+	// taps, which fire concurrently on shard loops. All guarded updates
+	// commute (counter increments), so the lock order never shows in
+	// the metrics.
 	tapMu       sync.Mutex
 	lookupBytes int64
 	maintBytes  int64
-
-	churnCancels []canceler
-	churnMean    float64
-	churning     bool
 }
 
 // NewChord builds (but does not yet run) a Chord network: nodes start
-// staggered on the virtual clock and join through the first node.
+// staggered on the virtual clock — through the deployment's barrier
+// control lane — and join through the first node.
 func NewChord(opts Opts) *Chord {
 	if opts.JoinSpacing <= 0 {
 		opts.JoinSpacing = 0.5
 	}
-	cfg := simnet.DefaultConfig()
-	if opts.Net != nil {
-		cfg = *opts.Net
+	dopts := []p2.Option{
+		p2.WithSeed(opts.Seed),
+		p2.WithShards(resolveShards(opts.Shards)),
 	}
-	cfg.Seed = opts.Seed
+	if opts.Net != nil {
+		dopts = append(dopts, p2.WithTopology(*opts.Net))
+	}
+	if opts.Unreliable {
+		tc := p2.DefaultTransportConfig()
+		tc.Unreliable = true
+		dopts = append(dopts, p2.WithTransport(tc))
+	}
+	d, err := p2.NewDeployment(p2.Simulated, dopts...)
+	if err != nil {
+		panic(fmt.Sprintf("harness: deployment: %v", err))
+	}
 	h := &Chord{
+		D:       d,
 		Plan:    overlays.ChordPlan(opts.Defines),
 		opts:    opts,
-		shards:  resolveShards(opts.Shards),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nodes:   make(map[string]*engine.Node),
 		pending: make(map[string]*LookupResult),
 	}
-	if h.shards > 0 {
-		h.Coord = eventloop.NewShardedSim(h.shards, cfg.Lookahead())
-		h.Net = simnet.NewSharded(h.Coord, cfg)
-	} else {
-		h.Loop = eventloop.NewSim()
-		h.Net = simnet.New(h.Loop, cfg)
-	}
 	for i := 0; i < opts.N; i++ {
-		at := float64(i) * opts.JoinSpacing
-		if h.Coord != nil {
-			// Structural changes are coordinator work: the spawn runs at
-			// the first epoch barrier at or past its nominal instant,
-			// while every shard is quiescent.
-			addr := h.nextAddr()
-			h.Coord.AtBarrier(at, func() { h.spawn(addr) })
-		} else {
-			h.Loop.At(at, func() { h.spawn(h.nextAddr()) })
-		}
+		addr := h.nextAddr()
+		d.At(float64(i)*opts.JoinSpacing, func() { h.spawn(addr) })
 	}
 	return h
 }
 
-// Close releases coordinator resources (sharded mode worker
-// goroutines). The deployment must not be run afterwards.
-func (h *Chord) Close() {
-	if h.Coord != nil {
-		h.Coord.Close()
-	}
-}
+// Close releases deployment resources (shard worker goroutines). The
+// harness must not be run afterwards.
+func (h *Chord) Close() { h.D.Close() }
 
-// Shards returns the shard count (0 when single-loop).
-func (h *Chord) Shards() int { return h.shards }
+// Shards returns the shard count.
+func (h *Chord) Shards() int { return h.D.Shards() }
 
-// nextAddr mints the next node address. Coordinator/driver only, so
-// address assignment — and everything derived from it: domain, shard,
-// per-node random streams — is deterministic.
+// nextAddr mints the next node address. Driver only, so address
+// assignment — and everything derived from it: domain, shard, per-node
+// random streams — is deterministic.
 func (h *Chord) nextAddr() string {
 	addr := fmt.Sprintf("n%d:p2", h.nextID)
 	h.nextID++
 	return addr
 }
 
-// nodeLoop returns the loop the node at addr must run on: its owning
-// shard's loop, or the shared loop in single-loop mode.
-func (h *Chord) nodeLoop(addr string) *eventloop.Sim {
-	if h.Coord != nil {
-		return h.Net.ShardLoop(addr)
-	}
-	return h.Loop
-}
-
 // spawn creates and starts a node at addr; the first becomes the
-// landmark, everyone else joins through it. Runs on the simulation
-// goroutine (single-loop) or the coordinator at a barrier (sharded).
-func (h *Chord) spawn(addr string) *engine.Node {
-	opts := engine.Options{Seed: seedFor(h.opts.Seed, "node", addr)}
-	if h.opts.Unreliable {
-		tc := transport.DefaultConfig()
-		tc.Unreliable = true
-		opts.Transport = &tc
+// landmark, everyone else joins through it. Runs in driver context:
+// between Run calls or at a barrier (initial stagger, churn
+// replacement).
+func (h *Chord) spawn(addr string) *p2.Handle {
+	n, err := h.D.Spawn(addr, h.Plan)
+	if err != nil {
+		panic(fmt.Sprintf("harness: spawn %s: %v", addr, err))
 	}
-	n := engine.NewNode(addr, h.nodeLoop(addr), h.Net, h.Plan, opts)
-	if err := n.Start(); err != nil {
-		panic(fmt.Sprintf("harness: start %s: %v", addr, err))
-	}
-	h.nodes[addr] = n
-	h.order = append(h.order, addr)
+	h.created = append(h.created, addr)
 
 	if h.landmark == "" {
 		h.landmark = addr
@@ -252,11 +189,11 @@ func (h *Chord) spawn(addr string) *engine.Node {
 	n.AddFact("join", val.Str(addr), val.Str(addr+"!boot"))
 
 	// Measurement taps. These run on the node's own loop — concurrently
-	// with other shards' taps when sharded — so shared tallies go
-	// through tapMu and everything else stays per-lookup state touched
-	// only by the requester's shard.
-	n.Watch("lookup", func(ev engine.WatchEvent) {
-		if ev.Dir != engine.DirSent {
+	// with other shards' taps — so shared tallies go through tapMu and
+	// everything else stays per-lookup state touched only by the
+	// requester's shard.
+	n.Watch("lookup", func(ev p2.WatchEvent) {
+		if ev.Dir != p2.DirSent {
 			return
 		}
 		eid := ev.Tuple.Field(3).AsStr()
@@ -266,8 +203,8 @@ func (h *Chord) spawn(addr string) *engine.Node {
 			h.tapMu.Unlock()
 		}
 	})
-	n.Watch("lookupResults", func(ev engine.WatchEvent) {
-		if ev.Dir != engine.DirReceived && ev.Dir != engine.DirDerived {
+	n.Watch("lookupResults", func(ev p2.WatchEvent) {
+		if ev.Dir != p2.DirReceived && ev.Dir != p2.DirDerived {
 			return
 		}
 		// lookupResults(R, K, S, SI, E): only the requester counts it,
@@ -284,64 +221,49 @@ func (h *Chord) spawn(addr string) *engine.Node {
 		lr.Completed = ev.Time
 		lr.Owner = ev.Tuple.Field(3).AsStr()
 	})
-	n.Transport().OnSent(func(to string, t *tuple.Tuple, wire int, rexmit bool) {
-		// Classify data bytes by tuple; TrafficBytes scales the classes
-		// to the simulator's wire total so acks and datagram headers
-		// (now shared across a batch, often piggybacked) are
-		// apportioned instead of guessed at.
-		h.tapMu.Lock()
-		switch t.Name() {
-		case "lookup", "lookupResults":
-			h.lookupBytes += int64(wire)
-		default:
-			h.maintBytes += int64(wire)
-		}
-		h.tapMu.Unlock()
+	n.Do(func(nd *p2.Node) {
+		nd.Transport().OnSent(func(to string, t *tuple.Tuple, wire int, rexmit bool) {
+			// Classify data bytes by tuple; TrafficBytes scales the
+			// classes to the simulator's wire total so acks and datagram
+			// headers (shared across a batch, often piggybacked) are
+			// apportioned instead of guessed at.
+			h.tapMu.Lock()
+			switch t.Name() {
+			case "lookup", "lookupResults":
+				h.lookupBytes += int64(wire)
+			default:
+				h.maintBytes += int64(wire)
+			}
+			h.tapMu.Unlock()
+		})
 	})
 	return n
 }
 
 // Spawn starts one additional node joining through the landmark — the
 // late-join entry point for tests and interactive drivers. Call from
-// the driver between Run invocations (both modes are quiescent then).
-func (h *Chord) Spawn() *engine.Node { return h.spawn(h.nextAddr()) }
+// the driver between Run invocations.
+func (h *Chord) Spawn() *p2.Handle { return h.spawn(h.nextAddr()) }
 
-// Node returns the engine node at addr (nil if unknown).
-func (h *Chord) Node(addr string) *engine.Node { return h.nodes[addr] }
+// Node returns the live node at addr (nil if dead or unknown).
+func (h *Chord) Node(addr string) *p2.Handle { return h.D.Node(addr) }
 
-// LiveAddrs returns the addresses of running nodes in creation order.
-func (h *Chord) LiveAddrs() []string {
-	var out []string
-	for _, a := range h.order {
-		if n := h.nodes[a]; n != nil && n.Running() {
-			out = append(out, a)
-		}
-	}
-	return out
-}
+// LiveAddrs returns the addresses of running nodes in creation order —
+// the deployment's live set.
+func (h *Chord) LiveAddrs() []string { return h.D.Addrs() }
 
 // PlacementMap returns every created node's shard assignment — the
-// node→shard map cmd/p2sim dumps. Single-loop deployments map
-// everything to shard 0.
+// node→shard map cmd/p2sim dumps.
 func (h *Chord) PlacementMap() map[string]int {
-	out := make(map[string]int, len(h.order))
-	for _, a := range h.order {
-		if h.Coord != nil {
-			out[a] = h.Net.ShardOf(a)
-		} else {
-			out[a] = 0
-		}
+	out := make(map[string]int, len(h.created))
+	for _, a := range h.created {
+		out[a] = h.D.ShardOf(a)
 	}
 	return out
 }
 
-// Now returns the current virtual time in either execution mode.
-func (h *Chord) Now() float64 {
-	if h.Coord != nil {
-		return h.Coord.Now()
-	}
-	return h.Loop.Now()
-}
+// Now returns the current virtual time.
+func (h *Chord) Now() float64 { return h.D.Now() }
 
 // Run advances virtual time by d seconds.
 func (h *Chord) Run(d float64) { h.RunEvents(d) }
@@ -349,12 +271,7 @@ func (h *Chord) Run(d float64) { h.RunEvents(d) }
 // RunEvents advances virtual time by d seconds and returns the number
 // of events fired — the simulator-throughput gauge the benchmarks
 // meter.
-func (h *Chord) RunEvents(d float64) int {
-	if h.Coord != nil {
-		return h.Coord.RunFor(d)
-	}
-	return h.Loop.RunFor(d)
-}
+func (h *Chord) RunEvents(d float64) int { return h.D.Run(d) }
 
 // Lookup issues one lookup for key from the given node and returns its
 // result record (filled in as the simulation progresses).
@@ -369,7 +286,7 @@ func (h *Chord) Lookup(from string, key id.ID) *LookupResult {
 	}
 	h.pending[eid] = lr
 	h.Results = append(h.Results, lr)
-	h.nodes[from].InjectTuple(tuple.New("lookup",
+	h.D.Node(from).Inject(tuple.New("lookup",
 		val.Str(from), val.MakeID(key), val.Str(from), val.Str(eid)))
 	return lr
 }
@@ -426,11 +343,7 @@ func (h *Chord) RingCorrectness() float64 {
 	}
 	good := 0
 	for _, a := range live {
-		tb := h.nodes[a].Table("bestSucc")
-		if tb == nil {
-			continue
-		}
-		rows := tb.Scan()
+		rows := h.D.Node(a).Scan("bestSucc")
 		if len(rows) == 1 && rows[0].Field(2).AsStr() == ideal[a] {
 			good++
 		}
@@ -445,7 +358,7 @@ func (h *Chord) RingCorrectness() float64 {
 // batching overhead are distributed proportionally between the classes.
 func (h *Chord) TrafficBytes() (lookup, maintenance int64) {
 	classified := h.lookupBytes + h.maintBytes
-	total := h.Net.TotalStats().BytesSent
+	total := h.D.NetTotals().BytesSent
 	if classified == 0 || total <= classified {
 		return h.lookupBytes, h.maintBytes
 	}
@@ -457,71 +370,27 @@ func (h *Chord) TrafficBytes() (lookup, maintenance int64) {
 // simulator's raw counters.
 func (h *Chord) ResetTraffic() {
 	h.lookupBytes, h.maintBytes = 0, 0
-	h.Net.ResetStats()
+	h.D.ResetNetStats()
 }
 
-// Kill stops the node at addr and removes it from the network —
-// process-crash semantics for churn. In sharded mode, call only from
-// the coordinator between runs or from a barrier callback.
-func (h *Chord) Kill(addr string) {
-	if n := h.nodes[addr]; n != nil && n.Running() {
-		n.Stop()
-		h.Net.Kill(addr)
-	}
-}
+// Kill crash-stops the node at addr — process-crash semantics for
+// churn. Call from the driver between runs or from a barrier callback.
+func (h *Chord) Kill(addr string) { h.D.Kill(addr) }
 
 // StartChurn begins Bamboo-style churn: every node except the landmark
 // lives for an exponentially distributed session with the given mean,
 // then dies and is immediately replaced by a fresh node joining through
-// the landmark, keeping the population constant. Session lengths come
-// from each address's private stream, so the churn schedule is
-// independent of event interleaving — and identical at every shard
-// count.
+// the landmark, keeping the population constant. Scheduling, session
+// derivation, and the kill itself belong to the deployment; the
+// harness only provisions each replacement.
 func (h *Chord) StartChurn(meanSession float64) {
-	h.churnMean = meanSession
-	h.churning = true
-	for _, a := range h.LiveAddrs() {
-		if a == h.landmark {
-			continue
-		}
-		h.scheduleDeath(a)
-	}
+	h.D.EnableChurn(meanSession, func(d *p2.Deployment, died string) *p2.Handle {
+		return h.spawn(h.nextAddr())
+	}, h.landmark)
 }
 
 // StopChurn cancels scheduled deaths.
-func (h *Chord) StopChurn() {
-	h.churning = false
-	for _, c := range h.churnCancels {
-		c.Cancel()
-	}
-	h.churnCancels = h.churnCancels[:0]
-}
-
-// sessionFor draws addr's session length from its private stream.
-func (h *Chord) sessionFor(addr string) float64 {
-	rng := rand.New(rand.NewSource(seedFor(h.opts.Seed, "session", addr)))
-	return rng.ExpFloat64() * h.churnMean
-}
-
-func (h *Chord) scheduleDeath(addr string) {
-	session := h.sessionFor(addr)
-	die := func() {
-		if !h.churning {
-			return
-		}
-		h.Kill(addr)
-		repl := h.nextAddr()
-		h.spawn(repl)
-		h.scheduleDeath(repl)
-	}
-	if h.Coord != nil {
-		// Death and replacement are structural: barrier work, quantized
-		// to the epoch grid (at most one lookahead late).
-		h.churnCancels = append(h.churnCancels, h.Coord.AtBarrier(h.Coord.Now()+session, die))
-	} else {
-		h.churnCancels = append(h.churnCancels, h.Loop.After(session, die))
-	}
-}
+func (h *Chord) StopChurn() { h.D.DisableChurn() }
 
 // ConsistencyProbe issues the same key lookup from sample random live
 // nodes at once and reports, after waiting timeout seconds, the

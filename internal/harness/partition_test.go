@@ -22,7 +22,7 @@ func TestPartitionDegradesAndHeals(t *testing.T) {
 	cut := func(on bool) {
 		for _, a := range groupA {
 			for _, b := range groupB {
-				h.Net.Partition(a, b, on)
+				h.D.Partition(a, b, on)
 			}
 		}
 	}

@@ -125,9 +125,9 @@ func TestShardedPlacementByDomain(t *testing.T) {
 		t.Fatalf("placement has %d entries, want 24", len(pm))
 	}
 	for addr, shard := range pm {
-		if want := h.Net.DomainOf(addr) % 4; shard != want {
+		if want := h.D.DomainOf(addr) % 4; shard != want {
 			t.Errorf("%s on shard %d, want domain %d mod 4 = %d",
-				addr, shard, h.Net.DomainOf(addr), want)
+				addr, shard, h.D.DomainOf(addr), want)
 		}
 	}
 }

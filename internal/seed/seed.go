@@ -1,0 +1,23 @@
+// Package seed derives per-address random streams from a master seed.
+//
+// Everything that shapes an individual node in a deployment — its
+// engine randomness, its churn session length, its loss pattern in the
+// simulated network — must come from a pure function of (master seed,
+// address), never from a shared stream, so that one node's outcomes are
+// independent of how other nodes' events interleave. That independence
+// is what makes a sharded simulation bit-identical to a single-loop
+// one: the values cannot depend on draw order.
+package seed
+
+import "hash/fnv"
+
+// For derives the random-stream seed for one concern ("node", "session",
+// ...) at one address from the master seed. Pure function: outcomes
+// never depend on call order.
+func For(master int64, concern, addr string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(concern))
+	h.Write([]byte{0})
+	h.Write([]byte(addr))
+	return master ^ int64(h.Sum64())
+}

@@ -1,8 +1,8 @@
-package p2
+package p2_test
 
 // Introspection through the public API, including the UDP deployment
 // path: system tables populate over real sockets, and a rule installed
-// at runtime with UDPNode.Install aggregates them into a watchable
+// at runtime with Handle.Install aggregates them into a watchable
 // relation — the acceptance scenario for the introspection subsystem.
 
 import (
@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"p2"
 	"p2/internal/udpnet"
 )
 
@@ -35,7 +36,7 @@ const peerNetRules = `
 `
 
 func TestSystemTableCatalog(t *testing.T) {
-	defs := SystemTables()
+	defs := p2.SystemTables()
 	if len(defs) != 4 {
 		t.Fatalf("system tables = %d, want 4", len(defs))
 	}
@@ -43,21 +44,22 @@ func TestSystemTableCatalog(t *testing.T) {
 	for _, d := range defs {
 		names[d.Name] = true
 	}
-	for _, want := range []string{SysTable, SysRule, SysNet, SysNode} {
+	for _, want := range []string{p2.SysTable, p2.SysRule, p2.SysNet, p2.SysNode} {
 		if !names[want] {
 			t.Fatalf("catalog missing %s", want)
 		}
 	}
 	// Reserved names are rejected at compile time.
-	if _, err := Compile("materialize(sysX, 10, 10, keys(1)).", nil); err == nil {
+	if _, err := p2.Compile("materialize(sysX, 10, 10, keys(1)).", nil); err == nil {
 		t.Fatal("compiling a sys* materialize must fail")
 	}
 }
 
 // TestUDPInstallAggregatesSystemTable is the UDP-path acceptance test,
-// the twin of the engine package's simulated-path test.
+// the twin of the engine package's simulated-path test — driven
+// entirely through the runtime-agnostic Deployment surface.
 func TestUDPInstallAggregatesSystemTable(t *testing.T) {
-	plan := MustCompile(udpPingPong, nil)
+	plan := p2.MustCompile(udpPingPong, nil)
 
 	addrA, err := udpnet.ReserveAddr()
 	if err != nil {
@@ -67,21 +69,23 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 	if err != nil {
 		t.Skipf("no loopback UDP: %v", err)
 	}
-	opts := NodeOptions{Seed: 1}
-	opts.IntrospectInterval = 0.1 // wall-clock seconds; keep the test fast
-	a, err := NewUDPNode(addrA, plan, opts)
+	d, err := p2.NewDeployment(p2.UDP, p2.WithSeed(1),
+		p2.WithNodeDefaults(p2.NodeOptions{IntrospectInterval: 0.1})) // wall-clock; keep the test fast
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer a.Close()
-	b, err := NewUDPNode(addrB, plan, opts)
+	defer d.Close()
+	a, err := d.Spawn(addrA, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer b.Close()
+	b, err := d.Spawn(addrB, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := 0; i < 3; i++ {
-		a.InjectTuple(NewTuple("pingEvent", Str(addrA), Str(addrB), Str(fmt.Sprintf("e%d", i))))
+		a.Inject(p2.NewTuple("pingEvent", p2.Str(addrA), p2.Str(addrB), p2.Str(fmt.Sprintf("e%d", i))))
 	}
 
 	if err := a.Install(monitorRules); err != nil {
@@ -100,12 +104,10 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 	}
 
 	var watched atomic.Int64
-	a.Do(func(n *Node) {
-		n.Watch("totalTuples", func(ev WatchEvent) {
-			if ev.Dir == DirInserted {
-				watched.Add(1)
-			}
-		})
+	a.Watch("totalTuples", func(ev p2.WatchEvent) {
+		if ev.Dir == p2.DirInserted {
+			watched.Add(1)
+		}
 	})
 
 	// Poll until the installed aggregate reflects the ping-pong state:
@@ -116,27 +118,22 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 		var total int64
 		var sent, recvd int64
 		var cwnd, fill float64
-		done := make(chan struct{})
-		a.Do(func(n *Node) {
-			if rows := n.Table("totalTuples").Scan(); len(rows) == 1 {
-				total = rows[0].Field(1).AsInt()
+		if rows := a.Scan("totalTuples"); len(rows) == 1 {
+			total = rows[0].Field(1).AsInt()
+		}
+		for _, st := range a.NetStats() {
+			if st.Dest == addrB {
+				sent, recvd = st.Sent, st.Recvd
 			}
-			for _, st := range n.NetStats() {
-				if st.Dest == addrB {
-					sent, recvd = st.Sent, st.Recvd
-				}
+		}
+		// The installed rule must materialize sysNet's control-state
+		// columns for the peer.
+		for _, row := range a.Scan("peerNet") {
+			if row.Field(1).AsStr() == addrB {
+				cwnd = row.Field(2).AsFloat()
+				fill = row.Field(4).AsFloat()
 			}
-			// The installed rule must materialize sysNet's control-state
-			// columns for the peer.
-			for _, row := range n.Table("peerNet").Scan() {
-				if row.Field(1).AsStr() == addrB {
-					cwnd = row.Field(2).AsFloat()
-					fill = row.Field(4).AsFloat()
-				}
-			}
-			close(done)
-		})
-		<-done
+		}
 		if total >= 4 && sent > 0 && recvd > 0 && cwnd >= 1 && fill >= 1 {
 			break
 		}
@@ -150,9 +147,13 @@ func TestUDPInstallAggregatesSystemTable(t *testing.T) {
 		t.Fatal("installed relation produced no watch events over UDP")
 	}
 
-	// Install after Close must error, not hang on a dead loop.
-	b.Close()
+	// Install after Kill must error promptly, not hang on a dead loop
+	// (the Close/Install TOCTOU regression).
+	b.Kill()
 	if err := b.Install(monitorRules); err == nil {
-		t.Fatal("install on closed node must fail")
+		t.Fatal("install on killed node must fail")
+	}
+	if err := b.Do(func(*p2.Node) {}); err == nil {
+		t.Fatal("Do on killed node must fail")
 	}
 }

@@ -11,16 +11,27 @@
 // # Quick start
 //
 //	plan, err := p2.Compile(p2.ChordSource, nil)
-//	sim := p2.NewSim(nil, 1)
-//	n, err := sim.SpawnNode("n0:p2", plan)
+//	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(1))
+//	defer d.Close()
+//	n, err := d.Spawn("n0:p2", plan)
 //	n.AddFact("landmark", p2.Str("n0:p2"), p2.Str("-"))
 //	n.AddFact("join", p2.Str("n0:p2"), p2.Str("boot"))
-//	sim.Run(60) // advance 60 s of virtual time
+//	d.Run(60) // advance 60 s of virtual time
 //
-// Nodes run either on a shared virtual-time loop over a simulated
-// network (NewSim) — deterministic, thousands of protocol-seconds per
-// wall second — or over real UDP sockets (NewUDPNode), with identical
-// semantics.
+// A Deployment is the single, runtime-agnostic surface over every
+// execution environment: p2.Simulated runs nodes in virtual time over
+// a simulated network, partitioned across the shards of a parallel
+// conservative-lookahead simulator (p2.WithShards; bit-identical
+// results at every shard count), and p2.UDP runs each node over real
+// UDP sockets on its own wall-clock loop. The same Spawn / AddFact /
+// Install / Watch / Kill call sequence builds the same overlay on
+// either. Nodes are reached exclusively through the *Handle values
+// Spawn returns, whose methods serialize onto the node's owning
+// shard or loop — the simulator's shard-ownership rule, enforced by
+// the API. Deployments also carry the structural dynamics first-class:
+// Kill and Replace route through the epoch-barrier control lane, At
+// schedules driver actions on it, and EnableChurn runs Bamboo-style
+// session churn with deterministic per-address session lengths.
 //
 // # Introspection
 //
@@ -69,11 +80,7 @@
 package p2
 
 import (
-	"fmt"
-	"sync/atomic"
-
 	"p2/internal/engine"
-	"p2/internal/eventloop"
 	"p2/internal/id"
 	"p2/internal/introspect"
 	"p2/internal/overlays"
@@ -82,7 +89,6 @@ import (
 	"p2/internal/simnet"
 	"p2/internal/transport"
 	"p2/internal/tuple"
-	"p2/internal/udpnet"
 	"p2/internal/val"
 )
 
@@ -112,6 +118,8 @@ type (
 	StackSpec = transport.StackSpec
 	// WatchEvent is delivered to Watch callbacks.
 	WatchEvent = engine.WatchEvent
+	// WatchFunc observes watch events (see Handle.Watch).
+	WatchFunc = engine.WatchFunc
 	// NetConfig describes the simulated network topology.
 	NetConfig = simnet.Config
 	// SysTableDef describes one system table's schema.
@@ -233,101 +241,8 @@ func CompileMulti(defines map[string]Value, srcs ...string) (*Plan, error) {
 	return planner.Compile(merged, defines)
 }
 
-// Sim is a simulated P2 deployment: any number of nodes sharing one
-// virtual-time event loop and one simulated network.
-type Sim struct {
-	Loop *eventloop.Sim
-	Net  *simnet.Net
-
-	seed  int64
-	nodes []*Node
-}
-
-// NewSim creates a simulation. cfg nil uses the paper's Emulab-style
-// transit-stub topology (10 domains, 2 ms intra / 100 ms inter-domain,
-// 10 Mbps access links).
-func NewSim(cfg *NetConfig, seed int64) *Sim {
-	loop := eventloop.NewSim()
-	c := simnet.DefaultConfig()
-	if cfg != nil {
-		c = *cfg
-	}
-	c.Seed = seed
-	return &Sim{Loop: loop, Net: simnet.New(loop, c), seed: seed}
-}
-
-// SpawnNode creates and starts a node executing plan at addr.
-func (s *Sim) SpawnNode(addr string, plan *Plan) (*Node, error) {
-	return s.SpawnNodeOpts(addr, plan, NodeOptions{Seed: s.seed + int64(len(s.nodes)) + 1})
-}
-
-// SpawnNodeOpts is SpawnNode with explicit options.
-func (s *Sim) SpawnNodeOpts(addr string, plan *Plan, opts NodeOptions) (*Node, error) {
-	n := engine.NewNode(addr, s.Loop, s.Net, plan, opts)
-	if err := n.Start(); err != nil {
-		return nil, fmt.Errorf("p2: spawn %s: %w", addr, err)
-	}
-	s.nodes = append(s.nodes, n)
-	return n, nil
-}
-
-// Nodes returns every node spawned so far.
-func (s *Sim) Nodes() []*Node { return s.nodes }
-
-// Run advances the simulation by d seconds of virtual time.
-func (s *Sim) Run(d float64) { s.Loop.RunFor(d) }
-
-// Now returns the current virtual time in seconds.
-func (s *Sim) Now() float64 { return s.Loop.Now() }
-
-// UDPNode is a P2 node deployed over real UDP sockets with its own
-// wall-clock event loop.
-type UDPNode struct {
-	*Node
-	loop   *eventloop.Real
-	closed atomic.Bool
-}
-
-// NewUDPNode starts a node executing plan, bound to the UDP address
-// addr ("host:port"). The node's event loop runs on its own goroutine;
-// use Do to interact with the node safely and Close to shut down.
-func NewUDPNode(addr string, plan *Plan, opts NodeOptions) (*UDPNode, error) {
-	loop := eventloop.NewReal()
-	n := engine.NewNode(addr, loop, udpnet.New(loop), plan, opts)
-	errc := make(chan error, 1)
-	loop.Post(func() { errc <- n.Start() })
-	go loop.Run()
-	if err := <-errc; err != nil {
-		loop.Stop()
-		return nil, err
-	}
-	return &UDPNode{Node: n, loop: loop}, nil
-}
-
-// Do runs fn on the node's event loop — the only safe way to touch
-// node state from other goroutines.
-func (u *UDPNode) Do(fn func(n *Node)) {
-	u.loop.Post(func() { fn(u.Node) })
-}
-
-// Install compiles OverLog source and grafts it into the running
-// node's dataflow (see Node.Install), serialized onto the node's event
-// loop; it returns once installation has completed. Installing on a
-// closed node returns an error.
-func (u *UDPNode) Install(src string) error {
-	if u.closed.Load() {
-		return fmt.Errorf("p2: install on closed node %s", u.Addr())
-	}
-	errc := make(chan error, 1)
-	u.loop.Post(func() { errc <- u.Node.Install(src) })
-	return <-errc
-}
-
-// Close stops the node and its loop. Idempotent.
-func (u *UDPNode) Close() {
-	if u.closed.Swap(true) {
-		return
-	}
-	u.loop.Post(func() { u.Node.Stop() })
-	u.loop.Stop()
-}
+// Deployments — the runtime-agnostic execution surface — live in
+// deployment.go: NewDeployment, Runtime (Simulated, UDP), the
+// functional options (WithSeed, WithShards, WithTopology,
+// WithTransport, WithDefines, WithNodeDefaults), Deployment, and
+// Handle.

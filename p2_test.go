@@ -1,22 +1,24 @@
-package p2
+package p2_test
 
 import (
 	"testing"
+
+	"p2"
 )
 
 func TestCompileShippedOverlays(t *testing.T) {
-	for _, src := range []string{ChordSource, NaradaSource, GossipSource, LinkStateSource, PingPongSource} {
-		if _, err := Compile(src, nil); err != nil {
+	for _, src := range []string{p2.ChordSource, p2.NaradaSource, p2.GossipSource, p2.LinkStateSource, p2.PingPongSource} {
+		if _, err := p2.Compile(src, nil); err != nil {
 			t.Fatalf("compile: %v", err)
 		}
 	}
 }
 
 func TestParseErrorsSurface(t *testing.T) {
-	if _, err := Parse("bogus !!"); err == nil {
+	if _, err := p2.Parse("bogus !!"); err == nil {
 		t.Fatal("expected parse error")
 	}
-	if _, err := Compile("r out@X(X, Z) :- in@X(X).", nil); err == nil {
+	if _, err := p2.Compile("r out@X(X, Z) :- in@X(X).", nil); err == nil {
 		t.Fatal("expected compile error")
 	}
 }
@@ -27,89 +29,191 @@ func TestMustCompilePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	MustCompile("r out@X(X, Z) :- in@X(X).", nil)
+	p2.MustCompile("r out@X(X, Z) :- in@X(X).", nil)
 }
 
 func TestValueConstructors(t *testing.T) {
-	if Str("x").AsStr() != "x" || Int(3).AsInt() != 3 || Float(2.5).AsFloat() != 2.5 {
+	if p2.Str("x").AsStr() != "x" || p2.Int(3).AsInt() != 3 || p2.Float(2.5).AsFloat() != 2.5 {
 		t.Fatal("constructors wrong")
 	}
-	if !Bool(true).AsBool() {
+	if !p2.Bool(true).AsBool() {
 		t.Fatal("bool wrong")
 	}
-	if IDValue(Hash("a")).AsID() != Hash("a") {
+	if p2.IDValue(p2.Hash("a")).AsID() != p2.Hash("a") {
 		t.Fatal("id wrong")
 	}
-	tp := NewTuple("t", Str("n1"), Int(1))
+	tp := p2.NewTuple("t", p2.Str("n1"), p2.Int(1))
 	if tp.Loc() != "n1" || tp.Arity() != 2 {
 		t.Fatal("tuple wrong")
 	}
 }
 
 // TestPublicAPIQuickstart runs the doc-comment scenario end to end: a
-// two-node Chord ring through nothing but the public API.
+// two-node Chord ring through nothing but the public Deployment API.
 func TestPublicAPIQuickstart(t *testing.T) {
-	plan := MustCompile(ChordSource, nil)
-	sim := NewSim(nil, 42)
-
-	a, err := sim.SpawnNode("a:p2", plan)
+	plan := p2.MustCompile(p2.ChordSource, nil)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.AddFact("landmark", Str("a:p2"), Str("-"))
-	a.AddFact("join", Str("a:p2"), Str("boot-a"))
+	defer d.Close()
 
-	b, err := sim.SpawnNode("b:p2", plan)
+	a, err := d.Spawn("a:p2", plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.AddFact("landmark", Str("b:p2"), Str("a:p2"))
-	b.AddFact("join", Str("b:p2"), Str("boot-b"))
+	a.AddFact("landmark", p2.Str("a:p2"), p2.Str("-"))
+	a.AddFact("join", p2.Str("a:p2"), p2.Str("boot-a"))
 
-	sim.Run(60)
+	b, err := d.Spawn("b:p2", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddFact("landmark", p2.Str("b:p2"), p2.Str("a:p2"))
+	b.AddFact("join", p2.Str("b:p2"), p2.Str("boot-b"))
+
+	d.Run(60)
 
 	// Each node's best successor must be the other.
-	for _, pair := range [][2]*Node{{a, b}, {b, a}} {
-		rows := pair[0].Table("bestSucc").Scan()
+	for _, pair := range [][2]*p2.Handle{{a, b}, {b, a}} {
+		rows := pair[0].Scan("bestSucc")
 		if len(rows) != 1 || rows[0].Field(2).AsStr() != pair[1].Addr() {
 			t.Fatalf("%s bestSucc = %v, want %s", pair[0].Addr(), rows, pair[1].Addr())
 		}
 	}
-	if len(sim.Nodes()) != 2 {
+	if len(d.Nodes()) != 2 {
 		t.Fatal("node bookkeeping wrong")
 	}
-	if sim.Now() < 60 {
+	if d.Now() < 60 {
 		t.Fatal("clock did not advance")
 	}
 
 	// A lookup issued via the public API resolves.
 	var owner string
-	a.Watch("lookupResults", func(ev WatchEvent) {
-		if ev.Dir == DirReceived || ev.Dir == DirDerived {
+	a.Watch("lookupResults", func(ev p2.WatchEvent) {
+		if ev.Dir == p2.DirReceived || ev.Dir == p2.DirDerived {
 			owner = ev.Tuple.Field(3).AsStr()
 		}
 	})
-	key := Hash("some key")
-	a.InjectTuple(NewTuple("lookup", Str("a:p2"), IDValue(key), Str("a:p2"), Str("q1")))
-	sim.Run(10)
+	key := p2.Hash("some key")
+	a.Inject(p2.NewTuple("lookup", p2.Str("a:p2"), p2.IDValue(key), p2.Str("a:p2"), p2.Str("q1")))
+	d.Run(10)
 	if owner == "" {
 		t.Fatal("lookup never resolved")
 	}
 }
 
 func TestSpawnDuplicateAddrFails(t *testing.T) {
-	plan := MustCompile(PingPongSource, nil)
-	sim := NewSim(nil, 1)
-	if _, err := sim.SpawnNode("dup:1", plan); err != nil {
+	plan := p2.MustCompile(p2.PingPongSource, nil)
+	d, err := p2.NewDeployment(p2.Simulated)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sim.SpawnNode("dup:1", plan); err == nil {
+	defer d.Close()
+	if _, err := d.Spawn("dup:1", plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Spawn("dup:1", plan); err == nil {
 		t.Fatal("duplicate spawn must fail")
 	}
 }
 
+// TestDeploymentTracksOnlyLiveNodes pins the lifecycle bookkeeping: a
+// killed node leaves Nodes/Addrs/Node, its handle turns inert, and a
+// Replace brings the address back as a fresh node.
+func TestDeploymentTracksOnlyLiveNodes(t *testing.T) {
+	plan := p2.MustCompile(p2.PingPongSource, nil)
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var hs []*p2.Handle
+	for _, addr := range []string{"x:1", "x:2", "x:3"} {
+		h, err := d.Spawn(addr, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	d.Run(2)
+	d.Kill("x:2")
+	if got := d.Addrs(); len(got) != 2 || got[0] != "x:1" || got[1] != "x:3" {
+		t.Fatalf("live addrs after kill = %v", got)
+	}
+	if d.Node("x:2") != nil {
+		t.Fatal("killed node still reachable")
+	}
+	if hs[1].Running() {
+		t.Fatal("killed handle reports running")
+	}
+	if err := hs[1].AddFact("pingPeer", p2.Str("x:2"), p2.Str("x:1")); err == nil {
+		t.Fatal("AddFact on killed handle must error")
+	}
+	// Replace restarts the address as a fresh node.
+	h2, err := d.Replace("x:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == nil || d.Node("x:1") != h2 {
+		t.Fatal("replace did not track the fresh node")
+	}
+	d.Run(2)
+	if !h2.Running() {
+		t.Fatal("replacement not running")
+	}
+}
+
+// TestPerNodeSeedsAreAddressDerived pins the (Seed, addr) seed scheme:
+// the engine randomness a node sees must not depend on how many nodes
+// spawned before it or on spawn order — only on the master seed and
+// its own address.
+func TestPerNodeSeedsAreAddressDerived(t *testing.T) {
+	plan := p2.MustCompile(p2.PingPongSource, nil)
+	// periodic jitter is the first draw from a node's stream; two
+	// deployments spawning the same address after different histories
+	// must still produce identical event timing for that node.
+	trace := func(prior []string) []float64 {
+		d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		for _, a := range prior {
+			if _, err := d.Spawn(a, plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h, err := d.Spawn("probe:p2", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var times []float64
+		h.Watch("pingEvent", func(ev p2.WatchEvent) {
+			if ev.Dir == p2.DirDerived {
+				times = append(times, ev.Time)
+			}
+		})
+		d.Run(5)
+		return times
+	}
+	a := trace(nil)
+	b := trace([]string{"other:1", "other:2", "other:3"})
+	if len(a) == 0 {
+		t.Fatal("probe node fired no periodics")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("periodic counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d at %v vs %v: node seed depends on spawn history", i, a[i], b[i])
+		}
+	}
+}
+
 func TestCompileMultiSharesTables(t *testing.T) {
-	plan, err := CompileMulti(nil, NaradaSource, MeshMulticastSource)
+	plan, err := p2.CompileMulti(nil, p2.NaradaSource, p2.MeshMulticastSource)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,13 +221,13 @@ func TestCompileMultiSharesTables(t *testing.T) {
 		t.Fatal("merged plan missing tables")
 	}
 	// Conflicting table declarations across specs must fail loudly.
-	if _, err := CompileMulti(nil,
+	if _, err := p2.CompileMulti(nil,
 		"materialize(t, 10, 10, keys(1)).",
 		"materialize(t, 99, 10, keys(1))."); err == nil {
 		t.Fatal("conflicting merge must fail")
 	}
 	// Parse errors in any spec surface.
-	if _, err := CompileMulti(nil, NaradaSource, "!!"); err == nil {
+	if _, err := p2.CompileMulti(nil, p2.NaradaSource, "!!"); err == nil {
 		t.Fatal("parse error must surface")
 	}
 }

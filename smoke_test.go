@@ -1,4 +1,4 @@
-package p2
+package p2_test
 
 // Build-and-run smoke coverage for everything `go build ./...`
 // produces: the cmd/ binaries must compile, and each example main must

@@ -55,6 +55,7 @@ func main() {
 	noBatch := flag.Bool("nobatch", false, "disable tuple batching: one tuple per datagram")
 	ackDelay := flag.Duration("ack-delay", 20*time.Millisecond, "how long to wait for reverse-path data to piggyback acks on")
 	monitor := flag.String("monitor", "", "OverLog file to Install into the running node (monitoring rules)")
+	metrics := flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
 	top := flag.Bool("top", false, "render a live p2top view of the sys* system tables")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "refresh period of the -top view")
 	var facts factList
@@ -80,7 +81,11 @@ func main() {
 	tcfg.Unreliable = *unreliable
 	tcfg.NoBatch = *noBatch
 	tcfg.AckDelay = ackDelay.Seconds()
-	dep, err := p2.NewDeployment(p2.UDP, p2.WithSeed(*seed), p2.WithTransport(tcfg))
+	opts := []p2.Option{p2.WithSeed(*seed), p2.WithTransport(tcfg)}
+	if *metrics != "" {
+		opts = append(opts, p2.WithMetrics(*metrics))
+	}
+	dep, err := p2.NewDeployment(p2.UDP, opts...)
 	if err != nil {
 		fatal("deployment: %v", err)
 	}
@@ -90,6 +95,9 @@ func main() {
 		fatal("starting node: %v", err)
 	}
 	fmt.Printf("p2: node %s running %s (%d rules)\n", *addr, *spec, plan.RuleCount())
+	if ma := dep.MetricsAddr(); ma != "" {
+		fmt.Printf("p2: metrics at http://%s/metrics\n", ma)
+	}
 
 	node.Do(func(n *p2.Node) {
 		for _, w := range watches {
@@ -155,10 +163,11 @@ func renderTop(node *p2.Handle) string {
 		tables []p2.TableStat
 		rules  []p2.RuleStat
 		nets   []p2.NetStat
+		conds  []p2.Condition
 	}
 	var s snap
 	node.Do(func(n *p2.Node) {
-		s = snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats()}
+		s = snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats(), n.Conditions()}
 	})
 
 	var sb strings.Builder
@@ -177,11 +186,19 @@ func renderTop(node *p2.Handle) string {
 	for _, r := range s.rules {
 		fmt.Fprintf(&sb, "%-24s %8d\n", r.ID, r.Fires)
 	}
-	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s %6s %7s %7s %6s\n",
-		"PEER", "SENT", "RECVD", "BYTES", "RETRY", "CWND", "RTO", "BACKLOG", "FILL")
+	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s %6s %7s %7s %6s %6s\n",
+		"PEER", "SENT", "RECVD", "BYTES", "RETRY", "CWND", "RTO", "BACKLOG", "FILL", "DROPS")
 	for _, d := range s.nets {
-		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %8d %6.1f %7.3f %7d %6.1f\n",
-			d.Dest, d.Sent, d.Recvd, d.Bytes, d.Retries, d.Cwnd, d.RTO, d.Backlog, d.BatchFill)
+		var drops int64
+		for _, v := range d.Drops {
+			drops += v
+		}
+		fmt.Fprintf(&sb, "%-24s %8d %8d %10d %8d %6.1f %7.3f %7d %6.1f %6d\n",
+			d.Dest, d.Sent, d.Recvd, d.Bytes, d.Retries, d.Cwnd, d.RTO, d.Backlog, d.BatchFill, drops)
+	}
+	fmt.Fprintf(&sb, "\n%-24s %-8s %s\n", "CONDITION", "STATUS", "REASON")
+	for _, c := range s.conds {
+		fmt.Fprintf(&sb, "%-24s %-8s %s\n", c.Type, c.Status, c.Reason)
 	}
 	return sb.String()
 }

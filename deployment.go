@@ -35,6 +35,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +102,7 @@ type config struct {
 	transport *TransportConfig
 	defines   map[string]Value
 	nodeOpts  NodeOptions
+	metrics   string // Prometheus listen address; "" disables
 }
 
 // Option configures a Deployment.
@@ -145,6 +148,15 @@ func WithNodeDefaults(o NodeOptions) Option {
 	return func(c *config) { c.nodeOpts = o }
 }
 
+// WithMetrics serves Prometheus text metrics for every live node at
+// http://addr/metrics (e.g. ":9090"; pass ":0" to pick a free port and
+// read it back from MetricsAddr). UDP deployments only — a simulated
+// deployment runs in virtual time, where a wall-clock scraper has no
+// consistent moment to observe; use HealthSnapshot there instead.
+func WithMetrics(addr string) Option {
+	return func(c *config) { c.metrics = addr }
+}
+
 // Deployment is a set of P2 nodes sharing one execution environment —
 // the runtime-agnostic surface over the sharded virtual-time simulator
 // and real UDP. Build one with NewDeployment, populate it with Spawn,
@@ -161,6 +173,9 @@ type Deployment struct {
 	// UDP runtime: a wall-clock control loop for scheduled structural
 	// actions (churn deaths, At callbacks); each node owns its own loop.
 	ctl *eventloop.Real
+	// Prometheus endpoint (UDP + WithMetrics only).
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 
 	mu      sync.Mutex
 	handles map[string]*Handle // live nodes only
@@ -185,6 +200,9 @@ func NewDeployment(rt Runtime, opts ...Option) (*Deployment, error) {
 	d := &Deployment{rt: rt, cfg: cfg, handles: make(map[string]*Handle)}
 	switch rt {
 	case Simulated:
+		if cfg.metrics != "" {
+			return nil, fmt.Errorf("p2: WithMetrics applies to UDP deployments only (use HealthSnapshot on a simulated one)")
+		}
 		nc := simnet.DefaultConfig()
 		if cfg.topology != nil {
 			nc = *cfg.topology
@@ -205,6 +223,12 @@ func NewDeployment(rt Runtime, opts ...Option) (*Deployment, error) {
 		}
 		d.ctl = eventloop.NewReal()
 		go d.ctl.Run()
+		if cfg.metrics != "" {
+			if err := d.startMetrics(cfg.metrics); err != nil {
+				d.ctl.Stop()
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("p2: unknown runtime %v", rt)
 	}
@@ -574,6 +598,9 @@ func (d *Deployment) Close() {
 	d.closed = true
 	d.mu.Unlock()
 	d.DisableChurn()
+	if d.metricsSrv != nil {
+		d.metricsSrv.Close()
+	}
 	if d.coord != nil {
 		d.coord.Close()
 		return

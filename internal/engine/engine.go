@@ -18,6 +18,7 @@ import (
 
 	"p2/internal/dataflow"
 	"p2/internal/eventloop"
+	"p2/internal/health"
 	"p2/internal/netif"
 	"p2/internal/pel"
 	"p2/internal/planner"
@@ -46,6 +47,11 @@ type Options struct {
 	// refreshed from runtime counters (default 1 s; negative disables
 	// introspection, leaving the system tables empty).
 	IntrospectInterval float64
+	// Health overrides the health evaluator's thresholds; nil uses
+	// health.DefaultConfig(). Conditions are evaluated on every
+	// introspection refresh and delivered as sysHealth rows, so
+	// disabling introspection disables them too.
+	Health *health.Config
 	// TraceWriter, when set, receives one line per event on every
 	// relation the program watch()es — the paper's on-line debugging
 	// facility (§3.5's logging ports, §7 "On-line distributed
@@ -136,7 +142,8 @@ type Node struct {
 	allStrands []*strand    // every strand, in build order, for sysRule
 	aggFires   []*ruleFires // table-aggregate counters for sysRule
 	introTimer *eventloop.Timer
-	sysref     *sysRefresh // incremental system-table refresh cache
+	sysref     *sysRefresh       // incremental system-table refresh cache
+	health     *health.Evaluator // condition engine, fed by the refresh
 }
 
 // strand is one rule's compiled element chain plus its trigger runner:
@@ -263,6 +270,11 @@ func (n *Node) Start() error {
 	n.trans.OnReceive(n.onNetReceive)
 
 	n.startTime = n.loop.Now()
+	hcfg := health.DefaultConfig()
+	if n.opts.Health != nil {
+		hcfg = *n.opts.Health
+	}
+	n.health = health.NewEvaluator(hcfg, n.startTime)
 	// Tables are created and later swept in sorted-name order: map
 	// iteration order is randomized per process, and expiry sweeps can
 	// emit deletion deltas whose relative order would otherwise differ

@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sort"
 
+	"p2/internal/health"
 	"p2/internal/introspect"
 	"p2/internal/overlog"
 	"p2/internal/planner"
@@ -36,16 +37,22 @@ type sysRefresh struct {
 	netLast    map[string]introspect.NetStat
 	netTup     map[string]*tuple.Tuple
 	netBuf     []transport.DestStats
+
+	healthLast  map[health.ConditionType]introspect.HealthStat
+	healthTup   map[health.ConditionType]*tuple.Tuple
+	healthPeers []health.PeerSample // reused sample buffer
 }
 
 func newSysRefresh() *sysRefresh {
 	return &sysRefresh{
-		tableLast: make(map[string]introspect.TableStat),
-		tableTup:  make(map[string]*tuple.Tuple),
-		ruleLast:  make(map[string]int64),
-		ruleTup:   make(map[string]*tuple.Tuple),
-		netLast:   make(map[string]introspect.NetStat),
-		netTup:    make(map[string]*tuple.Tuple),
+		tableLast:  make(map[string]introspect.TableStat),
+		tableTup:   make(map[string]*tuple.Tuple),
+		ruleLast:   make(map[string]int64),
+		ruleTup:    make(map[string]*tuple.Tuple),
+		netLast:    make(map[string]introspect.NetStat),
+		netTup:     make(map[string]*tuple.Tuple),
+		healthLast: make(map[health.ConditionType]introspect.HealthStat),
+		healthTup:  make(map[health.ConditionType]*tuple.Tuple),
 	}
 }
 
@@ -108,12 +115,14 @@ func (n *Node) RefreshSystemTables() {
 	ns := n.NodeStat() // uptime always moves; sysNode rebuilds every pass
 	n.deliverLocal(introspect.NodeTuple(addr, ns), DirDerived)
 
+	var churn int64 // cumulative inserts+deletes across application tables
 	for _, name := range sr.tableNames {
 		tb := n.tables[name]
 		if tb == nil {
 			continue
 		}
 		ts := tableStat(name, tb)
+		churn += ts.Inserts + ts.Deletes
 		t := sr.tableTup[name]
 		if t == nil || ts != sr.tableLast[name] {
 			t = introspect.TableTuple(addr, ts)
@@ -137,8 +146,11 @@ func (n *Node) RefreshSystemTables() {
 		emitRule(rf.id, rf.fires)
 	}
 
+	sample := health.Sample{Now: n.loop.Now(), Churn: churn}
 	if n.trans != nil {
+		sample.QueueCap = n.trans.Config().QueueCap
 		sr.netBuf = n.trans.PerDestInto(sr.netBuf)
+		sr.healthPeers = sr.healthPeers[:0]
 		for i := range sr.netBuf {
 			d := &sr.netBuf[i]
 			st := netStat(d)
@@ -148,8 +160,39 @@ func (n *Node) RefreshSystemTables() {
 				sr.netTup[d.Addr], sr.netLast[d.Addr] = t, st
 			}
 			n.deliverLocal(t, DirDerived)
+			sr.healthPeers = append(sr.healthPeers, health.PeerSample{
+				Addr: d.Addr, Backlog: d.Backlog, Drops: d.Drops,
+			})
 		}
+		sample.Peers = sr.healthPeers
 	}
+
+	// Conditions evaluate from the same counters that fed the rows
+	// above, so sysHealth is consistent with sysNet/sysTable within one
+	// refresh. Rows cache like the others: an unchanged condition
+	// re-delivers its tuple and only renews the TTL.
+	for _, c := range n.health.Eval(sample) {
+		hs := introspect.HealthStat{
+			Type: string(c.Type), Status: string(c.Status),
+			Reason: c.Reason, SinceS: c.LastTransition,
+		}
+		t := sr.healthTup[c.Type]
+		if t == nil || hs != sr.healthLast[c.Type] {
+			t = introspect.HealthTuple(addr, hs)
+			sr.healthTup[c.Type], sr.healthLast[c.Type] = t, hs
+		}
+		n.deliverLocal(t, DirDerived)
+	}
+}
+
+// Conditions returns the node's most recently evaluated health
+// catalogue (a copy, in canonical order). Before the first
+// introspection refresh every condition is Unknown.
+func (n *Node) Conditions() []health.Condition {
+	if n.health == nil {
+		return nil
+	}
+	return slices.Clone(n.health.Conditions())
 }
 
 // The Source implementation below exposes the counters the snapshot is
@@ -185,6 +228,7 @@ func netStat(d *transport.DestStats) introspect.NetStat {
 	return introspect.NetStat{
 		Dest: d.Addr, Sent: d.Sent, Recvd: d.Recvd, Bytes: d.Bytes, Retries: d.Retries,
 		Cwnd: d.Cwnd, RTO: d.RTO, Backlog: d.Backlog, BatchFill: d.BatchFill,
+		Drops: d.Drops,
 	}
 }
 

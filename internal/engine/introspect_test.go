@@ -188,7 +188,7 @@ func TestInstallJoinsSysNetControlState(t *testing.T) {
 	r.loop.Run(2)
 	err := r.nodes["a"].Install(`
 		materialize(peerWindow, infinity, infinity, keys(1,2)).
-		W1 peerWindow@N(N, D, W, T, B) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F).
+		W1 peerWindow@N(N, D, W, T, B) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F, DR, DC, DD, DO).
 	`)
 	if err != nil {
 		t.Fatal(err)

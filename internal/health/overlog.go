@@ -1,0 +1,38 @@
+package health
+
+// The declarative half of the condition engine: an OverLog rule library
+// over the sys* tables, installable on any live node with Install. The
+// Go evaluator judges conditions; these rules make the judgments (and
+// the classified drop counters feeding them) reactive inside the
+// language — alarms are tuples, so user programs can join on them,
+// ship them to a hub, or trigger repair, the paper's introspection
+// story closed into a loop.
+
+// MonitorSource returns the health monitor rule library. Relations it
+// materializes (all soft state, fading when the condition clears and
+// refreshes stop):
+//
+//	healthAlarm(@N, Type, Reason)  — conditions currently True
+//	deadPeer(@N, Dest)             — peers with PeerDead drops
+//	lossyPeer(@N, Dest, Drops)     — peers with RetryExhausted drops
+//	dropTotal(@N, sum<Drops>)      — node-wide abandoned-tuple total
+//
+// Install it next to an application program; the rules only read sys*
+// tables the runtime already maintains.
+func MonitorSource() string { return monitorSource }
+
+const monitorSource = `
+	materialize(healthAlarm, 30, infinity, keys(1, 2)).
+	materialize(deadPeer, 30, infinity, keys(1, 2)).
+	materialize(lossyPeer, 30, infinity, keys(1, 2)).
+	materialize(dropTotal, infinity, 1, keys(1)).
+
+	HM1 healthAlarm@N(N, Ty, R) :-
+		sysHealth@N(N, Ty, St, R, S), St == "True".
+	HM2 deadPeer@N(N, D) :-
+		sysNet@N(N, D, Sn, Rc, By, Rt, W, To, B, F, DR, DC, DD, DO), DD > 0.
+	HM3 lossyPeer@N(N, D, DR) :-
+		sysNet@N(N, D, Sn, Rc, By, Rt, W, To, B, F, DR, DC, DD, DO), DR > 0.
+	HM4 dropTotal@N(N, sum<DR>) :-
+		sysNet@N(N, D, Sn, Rc, By, Rt, W, To, B, F, DR, DC, DD, DO).
+`

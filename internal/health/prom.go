@@ -1,0 +1,118 @@
+package health
+
+// Prometheus text-exposition rendering (stdlib only). The format is
+// simple enough that hand-rolling it beats a client-library dependency:
+// one HELP/TYPE header per family, then one series line per node (and
+// per cause/type label). Families are always emitted — including
+// zero-valued drop causes — so scrapers and alert rules can rely on
+// series existing before the first failure.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"p2/internal/transport"
+)
+
+// NodeMetrics is one node's gauge/counter values at scrape time, as the
+// deployment layer collects them from the node's introspection
+// counters.
+type NodeMetrics struct {
+	Addr        string
+	UptimeS     float64
+	Tuples      int64 // live rows across application tables
+	RuleFires   int64 // cumulative strand executions
+	Sent        int64 // tuples put on the wire (retransmissions included)
+	Recvd       int64 // tuples delivered upward (post-dedup)
+	Retransmits int64
+	Cwnd        float64 // congestion window summed across peers, datagrams
+	Backlog     int64   // tuples queued behind congestion windows, all peers
+	Drops       transport.DropCounts
+	Conditions  []Condition
+}
+
+// family is one metric family's header plus a per-node value.
+type family struct {
+	name, kind, help string
+	value            func(*NodeMetrics) float64
+}
+
+var scalarFamilies = []family{
+	{"p2_uptime_seconds", "gauge", "Node uptime in seconds (virtual time under simulation).",
+		func(m *NodeMetrics) float64 { return m.UptimeS }},
+	{"p2_tuples", "gauge", "Live tuples across the node's application tables.",
+		func(m *NodeMetrics) float64 { return float64(m.Tuples) }},
+	{"p2_rule_fires_total", "counter", "Cumulative rule strand executions.",
+		func(m *NodeMetrics) float64 { return float64(m.RuleFires) }},
+	{"p2_tuples_sent_total", "counter", "Tuples transmitted, retransmissions included.",
+		func(m *NodeMetrics) float64 { return float64(m.Sent) }},
+	{"p2_tuples_received_total", "counter", "Tuples delivered upward after deduplication.",
+		func(m *NodeMetrics) float64 { return float64(m.Recvd) }},
+	{"p2_retransmits_total", "counter", "Tuple retransmissions.",
+		func(m *NodeMetrics) float64 { return float64(m.Retransmits) }},
+	{"p2_cwnd", "gauge", "Congestion window summed across peers, datagrams.",
+		func(m *NodeMetrics) float64 { return m.Cwnd }},
+	{"p2_backlog", "gauge", "Tuples queued behind congestion windows, all peers.",
+		func(m *NodeMetrics) float64 { return float64(m.Backlog) }},
+}
+
+// WriteMetrics renders the nodes in Prometheus text exposition format.
+// Callers pass nodes in a deterministic order (the deployment sorts by
+// address); the renderer preserves it.
+func WriteMetrics(w io.Writer, nodes []NodeMetrics) error {
+	var b strings.Builder
+	for _, f := range scalarFamilies {
+		header(&b, f.name, f.kind, f.help)
+		for i := range nodes {
+			fmt.Fprintf(&b, "%s{node=\"%s\"} %s\n",
+				f.name, escapeLabel(nodes[i].Addr), fnum(f.value(&nodes[i])))
+		}
+	}
+
+	header(&b, "p2_drops_total", "counter",
+		"Tuples abandoned by the transport, classified by cause.")
+	for i := range nodes {
+		for _, cause := range transport.DropCauses() {
+			fmt.Fprintf(&b, "p2_drops_total{node=\"%s\",cause=\"%s\"} %d\n",
+				escapeLabel(nodes[i].Addr), cause, nodes[i].Drops[cause])
+		}
+	}
+
+	header(&b, "p2_condition", "gauge",
+		"Health condition status: 1 true, 0 false, -1 unknown.")
+	for i := range nodes {
+		for _, c := range nodes[i].Conditions {
+			fmt.Fprintf(&b, "p2_condition{node=\"%s\",type=\"%s\"} %s\n",
+				escapeLabel(nodes[i].Addr), c.Type, fnum(c.Status.Gauge()))
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func header(b *strings.Builder, name, kind, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// fnum renders a float the way Prometheus parsers expect (no exponent
+// surprises for the integral values that dominate here).
+func fnum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, double-quote, newline). The plain host:port addresses
+// used here never need it, but addresses are operator input.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

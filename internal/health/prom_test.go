@@ -1,0 +1,115 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"p2/internal/transport"
+)
+
+func sampleMetrics() []NodeMetrics {
+	drops := transport.DropCounts{}
+	drops[transport.RetryExhausted] = 4
+	return []NodeMetrics{
+		{
+			Addr: "127.0.0.1:9001", UptimeS: 12.5, Tuples: 40, RuleFires: 900,
+			Sent: 100, Recvd: 95, Retransmits: 3, Cwnd: 6.5, Backlog: 2,
+			Drops: drops,
+			Conditions: []Condition{
+				{Type: Converged, Status: StatusTrue},
+				{Type: Partitioned, Status: StatusFalse},
+				{Type: ChurnStorm, Status: StatusUnknown},
+			},
+		},
+		{Addr: "127.0.0.1:9002", Conditions: []Condition{{Type: Partitioned, Status: StatusTrue}}},
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMetrics(&b, sampleMetrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP p2_uptime_seconds Node uptime in seconds (virtual time under simulation).",
+		"# TYPE p2_uptime_seconds gauge",
+		`p2_uptime_seconds{node="127.0.0.1:9001"} 12.5`,
+		"# TYPE p2_drops_total counter",
+		`p2_drops_total{node="127.0.0.1:9001",cause="RetryExhausted"} 4`,
+		`p2_drops_total{node="127.0.0.1:9001",cause="PeerDead"} 0`,
+		`p2_drops_total{node="127.0.0.1:9002",cause="SessionClosed"} 0`,
+		"# TYPE p2_condition gauge",
+		`p2_condition{node="127.0.0.1:9001",type="Converged"} 1`,
+		`p2_condition{node="127.0.0.1:9001",type="Partitioned"} 0`,
+		`p2_condition{node="127.0.0.1:9001",type="ChurnStorm"} -1`,
+		`p2_condition{node="127.0.0.1:9002",type="Partitioned"} 1`,
+		`p2_rule_fires_total{node="127.0.0.1:9001"} 900`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// Structural validity: every non-comment line is `name{labels} value`
+	// or `name value`; every series' family has HELP and TYPE above it.
+	assertPrometheusText(t, out)
+}
+
+// assertPrometheusText is a minimal exposition-format parser shared
+// with the smoke test's expectations: HELP/TYPE comments, series lines,
+// balanced quotes, numeric values.
+func assertPrometheusText(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "gauge" && f[3] != "counter") {
+				t.Fatalf("line %d: bad TYPE %q", ln+1, line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		name, rest, val := line, "", ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces %q", ln+1, line)
+			}
+			rest, val = line[i+1:j], strings.TrimSpace(line[j+1:])
+			if strings.Count(rest, `"`)%2 != 0 {
+				t.Fatalf("line %d: unbalanced quotes %q", ln+1, line)
+			}
+		} else {
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				t.Fatalf("line %d: bad series %q", ln+1, line)
+			}
+			name, val = f[0], f[1]
+		}
+		if !typed[name] {
+			t.Fatalf("line %d: series %q before its TYPE", ln+1, name)
+		}
+		if val == "" || strings.ContainsAny(val, " \t") {
+			t.Fatalf("line %d: bad value %q", ln+1, val)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel("plain:9001"); got != "plain:9001" {
+		t.Fatalf("plain = %q", got)
+	}
+	if got := escapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escaped = %q", got)
+	}
+}

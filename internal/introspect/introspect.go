@@ -5,13 +5,15 @@
 // and debugging queries are just more OverLog, installable while the
 // node runs.
 //
-// Four system relations exist on every node, refreshed periodically on
+// Five system relations exist on every node, refreshed periodically on
 // the node's event loop:
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
-//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill,
+//	       DropsRetry, DropsClosed, DropsDead, DropsOverflow)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
+//	sysHealth(@N, Type, Status, Reason, SinceS)
 //
 // The "sys" relation-name prefix is reserved: user programs may join,
 // aggregate, and watch these tables but cannot materialize their own
@@ -35,10 +37,11 @@ import (
 
 // System relation names.
 const (
-	TableRelation = "sysTable"
-	RuleRelation  = "sysRule"
-	NetRelation   = "sysNet"
-	NodeRelation  = "sysNode"
+	TableRelation  = "sysTable"
+	RuleRelation   = "sysRule"
+	NetRelation    = "sysNet"
+	NodeRelation   = "sysNode"
+	HealthRelation = "sysHealth"
 )
 
 // ReservedPrefix is the relation-name prefix claimed by the runtime.
@@ -66,10 +69,12 @@ func Defs() []Def {
 			Doc: "sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes): per-relation row counts and cumulative delta counters"},
 		{Name: RuleRelation, Arity: 3, Keys: []int{0, 1},
 			Doc: "sysRule(@N, Rule, Fires): cumulative strand executions per compiled rule"},
-		{Name: NetRelation, Arity: 10, Keys: []int{0, 1},
-			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill): per-peer transport accounting and live congestion state"},
+		{Name: NetRelation, Arity: 14, Keys: []int{0, 1},
+			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill, DropsRetry, DropsClosed, DropsDead, DropsOverflow): per-peer transport accounting, live congestion state, and classified drop counters"},
 		{Name: NodeRelation, Arity: 4, Keys: []int{0},
 			Doc: "sysNode(@N, UptimeS, EventsProcessed, QueueLen): whole-node liveness"},
+		{Name: HealthRelation, Arity: 5, Keys: []int{0, 1},
+			Doc: "sysHealth(@N, Type, Status, Reason, SinceS): evaluated health conditions — Status is True/False/Unknown, SinceS the node time of the last status transition"},
 	}
 }
 
@@ -103,6 +108,12 @@ type NetStat struct {
 	RTO       float64 // current retransmission timeout, seconds
 	Backlog   int     // tuples queued behind the congestion window
 	BatchFill float64 // mean tuples per data datagram toward Dest
+
+	// Drops counts tuples abandoned toward Dest, indexed by
+	// transport.DropCause (RetryExhausted, SessionClosed, PeerDead,
+	// BacklogOverflow) — a plain array so this package stays free of a
+	// transport dependency; the engine asserts the lengths agree.
+	Drops [4]int64
 }
 
 // NodeStat is whole-node liveness.
@@ -110,6 +121,16 @@ type NodeStat struct {
 	UptimeS float64
 	Events  int64 // strand executions processed since start
 	Queue   int   // pending events on the node's scheduler
+}
+
+// HealthStat is one evaluated condition, as the health subsystem
+// reports it — mirrored here (rather than importing internal/health)
+// so the planner's dependency on this package stays cycle-free.
+type HealthStat struct {
+	Type   string  // condition name, e.g. "Partitioned"
+	Status string  // "True", "False", or "Unknown"
+	Reason string  // human-readable cause for the current status
+	SinceS float64 // node time of the last status transition
 }
 
 // Source supplies the runtime counters a snapshot is built from. The
@@ -151,7 +172,16 @@ func NetTuple(addr val.Value, st NetStat) *tuple.Tuple {
 	return tuple.New(NetRelation,
 		addr, val.Str(st.Dest), val.Int(st.Sent), val.Int(st.Recvd),
 		val.Int(st.Bytes), val.Int(st.Retries), val.Float(st.Cwnd),
-		val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill))
+		val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill),
+		val.Int(st.Drops[0]), val.Int(st.Drops[1]),
+		val.Int(st.Drops[2]), val.Int(st.Drops[3]))
+}
+
+// HealthTuple renders one sysHealth row.
+func HealthTuple(addr val.Value, hs HealthStat) *tuple.Tuple {
+	return tuple.New(HealthRelation,
+		addr, val.Str(hs.Type), val.Str(hs.Status), val.Str(hs.Reason),
+		val.Float(hs.SinceS))
 }
 
 // Snapshot renders src's current state as system-table tuples, in

@@ -2,6 +2,8 @@ package introspect
 
 import (
 	"testing"
+
+	"p2/internal/val"
 )
 
 // fakeSource is a canned counter provider.
@@ -23,6 +25,7 @@ func (fakeSource) NetStats() []NetStat {
 	return []NetStat{{
 		Dest: "n2", Sent: 3, Recvd: 2, Bytes: 99, Retries: 1,
 		Cwnd: 4.5, RTO: 0.2, Backlog: 7, BatchFill: 1.5,
+		Drops: [4]int64{11, 12, 13, 14},
 	}}
 }
 
@@ -57,6 +60,25 @@ func TestSnapshotShapes(t *testing.T) {
 	}
 	if net.Field(6).AsFloat() != 4.5 || net.Field(8).AsInt() != 7 || net.Field(9).AsFloat() != 1.5 {
 		t.Fatalf("sysNet control-state columns wrong: %v", net)
+	}
+	// Classified drop counters trail the row in DropCause order.
+	for i := 0; i < 4; i++ {
+		if got := net.Field(10 + i).AsInt(); got != int64(11+i) {
+			t.Fatalf("sysNet drop column %d = %d, want %d", i, got, 11+i)
+		}
+	}
+}
+
+func TestHealthTuple(t *testing.T) {
+	tp := HealthTuple(val.Str("n1"), HealthStat{
+		Type: "Partitioned", Status: "True", Reason: "2 peers unreachable", SinceS: 12.5,
+	})
+	if tp.Name() != HealthRelation || tp.Arity() != 5 {
+		t.Fatalf("sysHealth row = %v", tp)
+	}
+	if tp.Field(1).AsStr() != "Partitioned" || tp.Field(2).AsStr() != "True" ||
+		tp.Field(3).AsStr() != "2 peers unreachable" || tp.Field(4).AsFloat() != 12.5 {
+		t.Fatalf("sysHealth fields wrong: %v", tp)
 	}
 }
 

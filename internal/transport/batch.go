@@ -58,11 +58,14 @@ func (b *Batch) q(dst string) *sendQueue {
 	return q
 }
 
-// push queues one record and arms the end-of-handler flush.
+// push queues one record and arms the end-of-handler flush. A full
+// backlog refuses the record and reports it dropped with cause
+// BacklogOverflow — admission failure, classified like any other drop.
 func (b *Batch) push(dst string, rec record) {
 	q := b.q(dst)
 	if b.capacity > 0 && len(q.recs) >= b.capacity {
 		b.tr.stats.QueueDrops++
+		b.tr.dropUp(dst, rec.t, BacklogOverflow)
 		return
 	}
 	q.recs = append(q.recs, rec)
@@ -103,11 +106,12 @@ func (b *Batch) flush(dst string) {
 	q.recs = nil // release the drained backing array
 }
 
-// close drops every queued record, reporting each through OnDrop.
+// close drops every queued record, reporting each through OnDrop with
+// cause SessionClosed.
 func (b *Batch) close() {
 	for _, dst := range sortedKeys(b.qs) {
 		for _, rec := range b.qs[dst].recs {
-			b.tr.dropUp(dst, rec.t)
+			b.tr.dropUp(dst, rec.t, SessionClosed)
 		}
 	}
 	b.qs = make(map[string]*sendQueue)

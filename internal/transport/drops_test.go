@@ -1,0 +1,188 @@
+package transport
+
+// Failure-classifier coverage: every abandoned tuple must carry the
+// right DropCause, the per-cause counters (global and per-destination)
+// must agree with the upcalls, and — the Close regression — teardown
+// drops must classify as SessionClosed, never RetryExhausted.
+
+import (
+	"testing"
+
+	"p2/internal/tuple"
+)
+
+// causeRecorder captures every OnDrop upcall by cause.
+type causeRecorder struct {
+	byCause map[DropCause][]int64
+}
+
+func recordDrops(tr *Transport) *causeRecorder {
+	cr := &causeRecorder{byCause: make(map[DropCause][]int64)}
+	tr.OnDrop(func(to string, tu *tuple.Tuple, cause DropCause) {
+		cr.byCause[cause] = append(cr.byCause[cause], tu.Field(1).AsInt())
+	})
+	return cr
+}
+
+func (cr *causeRecorder) count(c DropCause) int { return len(cr.byCause[c]) }
+
+// TestRetryExhaustedThenPeerDead: toward a silent peer, the first
+// DeadStrikes budget exhaustions classify as RetryExhausted and every
+// consecutive one after them as PeerDead.
+func TestRetryExhaustedThenPeerDead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoBatch = true // one tuple per batch: each give-up is one strike
+	cfg.MaxRetries = 1
+	cfg.DeadStrikes = 2
+	r := newRig(t, 0, cfg)
+	cr := recordDrops(r.a)
+
+	// 5 tuples toward a never-attached address. The collapsed window
+	// serializes them: each exhausts its budget in turn.
+	for i := int64(0); i < 5; i++ {
+		r.a.Send("ghost", tp(i))
+	}
+	r.loop.Run(600)
+
+	if got := cr.count(RetryExhausted); got != 2 {
+		t.Fatalf("RetryExhausted drops = %d, want 2 (DeadStrikes)", got)
+	}
+	if got := cr.count(PeerDead); got != 3 {
+		t.Fatalf("PeerDead drops = %d, want 3", got)
+	}
+	st := r.a.Stats()
+	if st.Dropped[RetryExhausted] != 2 || st.Dropped[PeerDead] != 3 {
+		t.Fatalf("Stats.Dropped = %v", st.Dropped)
+	}
+	if st.Dropped.Total() != st.Drops {
+		t.Fatalf("classified total %d != retry-budget drops %d", st.Dropped.Total(), st.Drops)
+	}
+	// The per-destination vector mirrors the global one.
+	for _, d := range r.a.PerDest() {
+		if d.Addr == "ghost" {
+			if d.Drops[RetryExhausted] != 2 || d.Drops[PeerDead] != 3 {
+				t.Fatalf("per-dest drops = %v", d.Drops)
+			}
+		}
+	}
+}
+
+// TestAckResetsDeadStrikes: a partition long enough for one give-up,
+// then a heal and an acknowledged exchange, then another partition —
+// the second episode's first give-ups must classify RetryExhausted
+// again, not PeerDead.
+func TestAckResetsDeadStrikes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoBatch = true
+	cfg.MaxRetries = 1
+	cfg.DeadStrikes = 1
+	r := newRig(t, 0, cfg)
+	cr := recordDrops(r.a)
+
+	r.net.Partition("a", "b", true)
+	r.a.Send("b", tp(0))
+	r.a.Send("b", tp(1))
+	r.loop.Run(300)
+	first := cr.count(RetryExhausted)
+	if first != 1 || cr.count(PeerDead) != 1 {
+		t.Fatalf("episode 1: RetryExhausted=%d PeerDead=%d, want 1/1",
+			first, cr.count(PeerDead))
+	}
+
+	r.net.Partition("a", "b", false)
+	r.a.Send("b", tp(2)) // delivered and acked: strikes reset
+	r.loop.RunFor(30)
+	if len(r.got) == 0 {
+		t.Fatal("healed link delivered nothing")
+	}
+
+	r.net.Partition("a", "b", true)
+	r.a.Send("b", tp(3))
+	r.loop.RunFor(300)
+	if got := cr.count(RetryExhausted); got != first+1 {
+		t.Fatalf("episode 2 first give-up classified as %v, want a fresh RetryExhausted (count %d, was %d)",
+			cr.byCause, got, first)
+	}
+}
+
+// TestCloseDropsAreSessionClosed is the teardown-classification
+// regression: with both backlog and in-flight tuples outstanding,
+// Close must report every one of them as SessionClosed — never
+// RetryExhausted or PeerDead, which would read as network failure.
+func TestCloseDropsAreSessionClosed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoBatch = true // window 4 in flight, the rest backlogged
+	r := newRig(t, 0, cfg)
+	cr := recordDrops(r.a)
+
+	for i := int64(0); i < 10; i++ {
+		r.a.Send("b", tp(i))
+	}
+	r.loop.RunFor(0) // flush: in flight + backlog, nothing acked
+	inflight, backlog := r.a.InFlight("b"), r.a.Backlog("b")
+	if inflight == 0 || backlog == 0 {
+		t.Fatalf("test needs both flight (%d) and backlog (%d)", inflight, backlog)
+	}
+
+	r.a.Close()
+	if got := cr.count(SessionClosed); got != inflight+backlog {
+		t.Fatalf("SessionClosed drops = %d, want %d", got, inflight+backlog)
+	}
+	for _, c := range []DropCause{RetryExhausted, PeerDead, BacklogOverflow} {
+		if cr.count(c) != 0 {
+			t.Fatalf("close reported %d drops as %v", cr.count(c), c)
+		}
+	}
+	st := r.a.Stats()
+	if st.Dropped[SessionClosed] != int64(inflight+backlog) {
+		t.Fatalf("Stats.Dropped = %v", st.Dropped)
+	}
+}
+
+// TestBacklogOverflowClassified: records refused by a full backlog
+// surface through OnDrop with cause BacklogOverflow (they used to be
+// counted but never reported).
+func TestBacklogOverflowClassified(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoBatch = true
+	cfg.QueueCap = 2
+	r := newRig(t, 0, cfg)
+	cr := recordDrops(r.a)
+
+	// One handler, window 4: 4 go in flight, 2 fill the backlog, the
+	// rest overflow.
+	for i := int64(0); i < 10; i++ {
+		r.a.Send("ghost", tp(i))
+	}
+	r.loop.RunFor(0)
+	st := r.a.Stats()
+	if st.QueueDrops == 0 {
+		t.Fatal("backlog never overflowed; widen the burst")
+	}
+	if got := cr.count(BacklogOverflow); int64(got) != st.QueueDrops {
+		t.Fatalf("BacklogOverflow upcalls = %d, QueueDrops = %d", got, st.QueueDrops)
+	}
+	if st.Dropped[BacklogOverflow] != st.QueueDrops {
+		t.Fatalf("Stats.Dropped = %v, QueueDrops = %d", st.Dropped, st.QueueDrops)
+	}
+}
+
+// TestDropCauseStrings pins the label names the metrics exporter and
+// reason strings use.
+func TestDropCauseStrings(t *testing.T) {
+	want := map[DropCause]string{
+		RetryExhausted:  "RetryExhausted",
+		SessionClosed:   "SessionClosed",
+		PeerDead:        "PeerDead",
+		BacklogOverflow: "BacklogOverflow",
+	}
+	causes := DropCauses()
+	if len(causes) != NumDropCauses {
+		t.Fatalf("DropCauses() = %d entries, want %d", len(causes), NumDropCauses)
+	}
+	for _, c := range causes {
+		if c.String() != want[c] {
+			t.Fatalf("cause %d = %q", c, c.String())
+		}
+	}
+}

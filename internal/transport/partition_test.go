@@ -19,7 +19,7 @@ func TestReliableChainsSurvivePartition(t *testing.T) {
 			cfg.NoBatch = noBatch
 			r := newRig(t, 0, cfg)
 			var dropped []int64
-			r.a.OnDrop(func(to string, tu *tuple.Tuple) {
+			r.a.OnDrop(func(to string, tu *tuple.Tuple, _ DropCause) {
 				dropped = append(dropped, tu.Field(1).AsInt())
 			})
 

@@ -28,10 +28,14 @@ func (wb *wireBatch) last() uint64 { return wb.first + uint64(len(wb.recs)) - 1 
 // destRetry is one destination's retransmission state: the outstanding
 // batches and the single timer guarding the oldest of them. timeoutFn
 // is built once per destination so re-arming allocates no closure.
+// strikes counts consecutive batches abandoned after the retry budget
+// with no acknowledgment between — the failure classifier's dead-peer
+// evidence (see Config.DeadStrikes).
 type destRetry struct {
 	pend      map[uint64]*wireBatch
 	timer     *eventloop.Timer
 	timeoutFn func()
+	strikes   int
 }
 
 // Retry is the reliable-transmission element: it remembers every batch
@@ -121,8 +125,16 @@ func (r *Retry) onTimeout(dst string) {
 	if o.retries >= r.tr.cfg.MaxRetries {
 		delete(d.pend, o.first)
 		r.tr.stats.Drops += int64(len(o.recs))
+		// Classify the give-up: the first few exhausted batches read as
+		// loss or congestion; past DeadStrikes consecutive exhaustions
+		// with no ack between, the peer is presumed dead.
+		d.strikes++
+		cause := RetryExhausted
+		if d.strikes > r.tr.cfg.deadStrikes() {
+			cause = PeerDead
+		}
 		for _, rec := range o.recs {
-			r.tr.dropUp(dst, rec.t)
+			r.tr.dropUp(dst, rec.t, cause)
 		}
 		r.tr.cc.onGiveUp(dst)
 		r.arm(dst, d)
@@ -168,13 +180,16 @@ func (r *Retry) clear(dst string, cum uint64) []*wireBatch {
 		}
 	}
 	if len(out) > 0 {
+		d.strikes = 0 // the peer acknowledged — it is alive
 		sort.Slice(out, func(i, j int) bool { return out[i].first < out[j].first })
 		r.arm(dst, d)
 	}
 	return out
 }
 
-// close cancels every timer and reports all in-flight tuples dropped.
+// close cancels every timer and reports all in-flight tuples dropped
+// with cause SessionClosed — teardown is not a retry failure, and must
+// never masquerade as one.
 func (r *Retry) close() {
 	for _, dst := range sortedKeys(r.dests) {
 		d := r.dests[dst]
@@ -188,7 +203,7 @@ func (r *Retry) close() {
 		sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
 		for _, first := range firsts {
 			for _, rec := range d.pend[first].recs {
-				r.tr.dropUp(dst, rec.t)
+				r.tr.dropUp(dst, rec.t, SessionClosed)
 			}
 		}
 	}

@@ -53,9 +53,27 @@ type Config struct {
 	// AckDelay is how long the receiver waits for a reverse-path data
 	// frame to piggyback the cumulative ack before emitting a bare ack
 	// datagram. <= 0 acknowledges at the end of the current handler.
-	AckDelay   float64
-	Unreliable bool // fire-and-forget chain: no acks, no retries, no window
-	NoBatch    bool // one tuple per datagram (the pre-batching framing)
+	AckDelay float64
+	// DeadStrikes is how many consecutive batches toward one peer may
+	// exhaust the retry budget, with no intervening acknowledgment,
+	// before the peer is presumed dead: drops up to the threshold
+	// classify as RetryExhausted, drops past it as PeerDead. 0 uses
+	// DefaultDeadStrikes.
+	DeadStrikes int
+	Unreliable  bool // fire-and-forget chain: no acks, no retries, no window
+	NoBatch     bool // one tuple per datagram (the pre-batching framing)
+}
+
+// DefaultDeadStrikes is the DeadStrikes value a zero Config field
+// resolves to.
+const DefaultDeadStrikes = 2
+
+// deadStrikes resolves the Config field's default.
+func (c Config) deadStrikes() int {
+	if c.DeadStrikes <= 0 {
+		return DefaultDeadStrikes
+	}
+	return c.DeadStrikes
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -96,16 +114,75 @@ func (s StackSpec) String() string {
 	return send + "→Frame / " + recv + "→Deliver"
 }
 
+// DropCause classifies why the transport abandoned a tuple — the
+// structured failure taxonomy the OnDrop upcall and the per-cause drop
+// counters carry. The constant order is the wire order of the sysNet
+// drop columns and the index into DropCounts.
+type DropCause uint8
+
+// Drop causes.
+const (
+	// RetryExhausted: the batch spent its retry budget but the peer is
+	// not (yet) presumed dead — loss or congestion, not a silent peer.
+	RetryExhausted DropCause = iota
+	// SessionClosed: the transport was closed with the tuple still
+	// queued or in flight; it was never refused by the network.
+	SessionClosed
+	// PeerDead: the retry budget was exhausted DeadStrikes consecutive
+	// times toward the peer with no acknowledgment between — the peer
+	// is presumed crashed or unreachable.
+	PeerDead
+	// BacklogOverflow: the per-destination backlog bound (QueueCap) was
+	// full, so the tuple was refused before ever entering the window.
+	BacklogOverflow
+
+	// NumDropCauses is the size of the cause space (for DropCounts).
+	NumDropCauses = 4
+)
+
+// String names the cause the way metrics labels and reasons spell it.
+func (c DropCause) String() string {
+	switch c {
+	case RetryExhausted:
+		return "RetryExhausted"
+	case SessionClosed:
+		return "SessionClosed"
+	case PeerDead:
+		return "PeerDead"
+	case BacklogOverflow:
+		return "BacklogOverflow"
+	}
+	return fmt.Sprintf("DropCause(%d)", uint8(c))
+}
+
+// DropCauses lists every cause in counter order.
+func DropCauses() []DropCause {
+	return []DropCause{RetryExhausted, SessionClosed, PeerDead, BacklogOverflow}
+}
+
+// DropCounts is a per-cause drop counter vector, indexed by DropCause.
+type DropCounts [NumDropCauses]int64
+
+// Total sums the vector.
+func (d DropCounts) Total() int64 {
+	var n int64
+	for _, v := range d {
+		n += v
+	}
+	return n
+}
+
 // Stats counts transport-level activity for the bandwidth figures.
 type Stats struct {
-	TuplesSent      int64 // data records put on the wire (retransmissions included)
-	Frames          int64 // data datagrams sent
-	Retransmits     int64 // records re-sent by the Retry element
-	Drops           int64 // records abandoned after MaxRetries
-	QueueDrops      int64 // backlog overflow
-	AcksSent        int64 // bare ack datagrams
-	AcksPiggybacked int64 // acks that rode in a data-frame header instead
-	DupsSuppressed  int64 // records discarded by the Dedup stage
+	TuplesSent      int64      // data records put on the wire (retransmissions included)
+	Frames          int64      // data datagrams sent
+	Retransmits     int64      // records re-sent by the Retry element
+	Drops           int64      // records abandoned after MaxRetries
+	QueueDrops      int64      // backlog overflow
+	AcksSent        int64      // bare ack datagrams
+	AcksPiggybacked int64      // acks that rode in a data-frame header instead
+	DupsSuppressed  int64      // records discarded by the Dedup stage
+	Dropped         DropCounts // every OnDrop upcall, classified by cause
 }
 
 // poke is the idempotent "capacity freed — try again" continuation the
@@ -120,12 +197,14 @@ type batchSink interface {
 	pushBatch(wb *wireBatch, pk poke) bool
 }
 
-// destAcct is per-peer wire accounting, maintained by the Frame element.
+// destAcct is per-peer wire accounting, maintained by the Frame element
+// (and, for the drop vector, by dropUp).
 type destAcct struct {
 	sent      int64 // records transmitted (including retransmissions)
 	frames    int64 // data datagrams
 	sentBytes int64 // data bytes on the wire
 	retries   int64 // records retransmitted
+	drops     DropCounts
 }
 
 // Transport provides tuple delivery over a netif.Endpoint through a
@@ -138,7 +217,7 @@ type Transport struct {
 
 	onReceive func(from string, t *tuple.Tuple)
 	onSent    func(to string, t *tuple.Tuple, wireBytes int, retransmit bool)
-	onDrop    func(to string, t *tuple.Tuple)
+	onDrop    func(to string, t *tuple.Tuple, cause DropCause)
 
 	// Send chain (top to bottom). cc and rty are nil in unreliable chains.
 	ser *Serialize
@@ -217,12 +296,20 @@ func (tr *Transport) OnSent(fn func(to string, t *tuple.Tuple, wireBytes int, re
 	tr.onSent = fn
 }
 
-// OnDrop sets the upcall for tuples abandoned after the retry budget —
-// and, on Close, for tuples still queued or in flight.
-func (tr *Transport) OnDrop(fn func(to string, t *tuple.Tuple)) { tr.onDrop = fn }
+// OnDrop sets the upcall for tuples the transport gives up on, with a
+// structured cause: RetryExhausted and PeerDead for tuples abandoned
+// after the retry budget (the latter once the peer is presumed dead),
+// BacklogOverflow for tuples refused by a full per-destination queue,
+// and SessionClosed for tuples still queued or in flight at Close.
+func (tr *Transport) OnDrop(fn func(to string, t *tuple.Tuple, cause DropCause)) { tr.onDrop = fn }
 
 // Stats returns a copy of the counters.
 func (tr *Transport) Stats() Stats { return tr.stats }
+
+// Config returns the configuration the transport was built with —
+// consumers like the health evaluator read thresholds (QueueCap) off
+// it.
+func (tr *Transport) Config() Config { return tr.cfg }
 
 // Send queues t for delivery to the given address through the send chain.
 func (tr *Transport) Send(to string, t *tuple.Tuple) {
@@ -262,10 +349,14 @@ func (tr *Transport) Close() {
 	}
 }
 
-// dropUp reports one abandoned tuple to the application.
-func (tr *Transport) dropUp(dst string, t *tuple.Tuple) {
+// dropUp is the failure classifier's choke point: every abandoned tuple
+// passes through here exactly once with its cause, feeding the global
+// and per-destination cause vectors before the application upcall.
+func (tr *Transport) dropUp(dst string, t *tuple.Tuple, cause DropCause) {
+	tr.stats.Dropped[cause]++
+	tr.acct(dst).drops[cause]++
 	if tr.onDrop != nil {
-		tr.onDrop(dst, t)
+		tr.onDrop(dst, t, cause)
 	}
 }
 
@@ -310,15 +401,16 @@ func (tr *Transport) acct(dst string) *destAcct {
 // from it — one row of the sysNet introspection relation.
 type DestStats struct {
 	Addr      string
-	Sent      int64   // data records transmitted toward Addr (retransmissions included)
-	Recvd     int64   // tuples delivered upward from Addr (post-dedup)
-	Bytes     int64   // data bytes put on the wire toward Addr
-	Retries   int64   // records retransmitted toward Addr
-	Frames    int64   // data datagrams sent toward Addr
-	Cwnd      float64 // current congestion window, datagrams
-	RTO       float64 // current retransmission timeout, seconds
-	Backlog   int     // tuples queued behind the window
-	BatchFill float64 // mean records per data datagram (Sent / Frames)
+	Sent      int64      // data records transmitted toward Addr (retransmissions included)
+	Recvd     int64      // tuples delivered upward from Addr (post-dedup)
+	Bytes     int64      // data bytes put on the wire toward Addr
+	Retries   int64      // records retransmitted toward Addr
+	Frames    int64      // data datagrams sent toward Addr
+	Cwnd      float64    // current congestion window, datagrams
+	RTO       float64    // current retransmission timeout, seconds
+	Backlog   int        // tuples queued behind the window
+	BatchFill float64    // mean records per data datagram (Sent / Frames)
+	Drops     DropCounts // classified drops toward Addr, indexed by DropCause
 }
 
 // PerDest returns per-peer accounting for every address this transport
@@ -355,6 +447,7 @@ func (tr *Transport) PerDestInto(out []DestStats) []DestStats {
 		st := DestStats{Addr: addr, Cwnd: tr.cfg.WindowInit, RTO: tr.cfg.InitialRTO}
 		if a, ok := tr.accts[addr]; ok {
 			st.Sent, st.Bytes, st.Retries, st.Frames = a.sent, a.sentBytes, a.retries, a.frames
+			st.Drops = a.drops
 			if a.frames > 0 {
 				st.BatchFill = float64(a.sent) / float64(a.frames)
 			}

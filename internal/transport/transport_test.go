@@ -218,7 +218,7 @@ func TestGiveUpAfterRetries(t *testing.T) {
 	ep, _ := net.Attach("a", func(from string, p []byte) { tr.Deliver(from, p) })
 	tr = New(loop, ep, DefaultConfig())
 	var dropped []*tuple.Tuple
-	tr.OnDrop(func(to string, tu *tuple.Tuple) { dropped = append(dropped, tu) })
+	tr.OnDrop(func(to string, tu *tuple.Tuple, _ DropCause) { dropped = append(dropped, tu) })
 	tr.Send("ghost", tp(9)) // destination never attached
 	loop.Run(300)
 	if len(dropped) != 1 {
@@ -411,7 +411,7 @@ func TestCloseDropsBacklogAndInflight(t *testing.T) {
 	cfg.NoBatch = true // one tuple per datagram: window 4 in flight, rest backlogged
 	r := newRig(t, 0, cfg)
 	var dropped []int64
-	r.a.OnDrop(func(to string, tu *tuple.Tuple) {
+	r.a.OnDrop(func(to string, tu *tuple.Tuple, _ DropCause) {
 		if to != "b" {
 			t.Errorf("drop reported for %q", to)
 		}

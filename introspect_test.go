@@ -32,19 +32,19 @@ const monitorRules = `
 // queryable from OverLog.
 const peerNetRules = `
 	materialize(peerNet, infinity, infinity, keys(1,2)).
-	N1 peerNet@N(N, D, W, B, F) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F).
+	N1 peerNet@N(N, D, W, B, F) :- sysNet@N(N, D, S, R, By, Rt, W, T, B, F, DR, DC, DD, DO).
 `
 
 func TestSystemTableCatalog(t *testing.T) {
 	defs := p2.SystemTables()
-	if len(defs) != 4 {
-		t.Fatalf("system tables = %d, want 4", len(defs))
+	if len(defs) != 5 {
+		t.Fatalf("system tables = %d, want 5", len(defs))
 	}
 	names := map[string]bool{}
 	for _, d := range defs {
 		names[d.Name] = true
 	}
-	for _, want := range []string{p2.SysTable, p2.SysRule, p2.SysNet, p2.SysNode} {
+	for _, want := range []string{p2.SysTable, p2.SysRule, p2.SysNet, p2.SysNode, p2.SysHealth} {
 		if !names[want] {
 			t.Fatalf("catalog missing %s", want)
 		}

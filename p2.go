@@ -40,8 +40,10 @@
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
-//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill)
+//	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill,
+//	       DropsRetry, DropsClosed, DropsDead, DropsOverflow)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
+//	sysHealth(@N, Type, Status, Reason, SinceS)
 //
 // Monitoring queries are just more OverLog: Node.Install compiles
 // rules at runtime and grafts them into the live dataflow, where they
@@ -56,6 +58,21 @@
 // The "sys" relation-name prefix is reserved. The same counters are
 // available from Go via Node.TableStats, RuleStats, NetStats, and
 // NodeStat; cmd/p2's -top flag renders them as a live view.
+//
+// # Observability
+//
+// Layered on the system tables is an operability subsystem: every
+// introspection refresh also evaluates a catalogue of typed health
+// conditions (Converged, Partitioned, ChurnStorm, RetryBudgetExhausted,
+// BacklogSaturated) with status/reason/lastTransition semantics,
+// queryable from OverLog via the sysHealth table, from Go via
+// Handle.Conditions and Deployment.HealthSnapshot, and from the
+// outside via the Prometheus /metrics endpoint a UDP deployment serves
+// under WithMetrics (cmd/p2 -metrics). Abandoned tuples carry a
+// structured DropCause (RetryExhausted, SessionClosed, PeerDead,
+// BacklogOverflow), aggregated per peer in sysNet and per cause in the
+// p2_drops_total metric. HealthMonitorSource is a shipped OverLog rule
+// library over these relations.
 //
 // # The network stack is dataflow too
 //
@@ -134,10 +151,11 @@ type (
 
 // System table names, re-exported for Watch and Table lookups.
 const (
-	SysTable = introspect.TableRelation
-	SysRule  = introspect.RuleRelation
-	SysNet   = introspect.NetRelation
-	SysNode  = introspect.NodeRelation
+	SysTable  = introspect.TableRelation
+	SysRule   = introspect.RuleRelation
+	SysNet    = introspect.NetRelation
+	SysNode   = introspect.NodeRelation
+	SysHealth = introspect.HealthRelation
 )
 
 // SystemTables returns the schema catalog of the sys* system tables.

@@ -8,9 +8,14 @@ package p2_test
 // fail CI, not a user.
 
 import (
+	"bufio"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -56,4 +61,120 @@ func TestExamplesRunToCompletion(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestHealthExampleServesMetrics starts examples/health (real UDP
+// nodes plus the WithMetrics endpoint), scrapes /metrics once while it
+// runs, and verifies the response parses as Prometheus text exposition
+// with the per-node condition gauges and per-cause drop counters — the
+// operability subsystem's acceptance path.
+func TestHealthExampleServesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns UDP nodes and sleeps through a scrape cycle")
+	}
+	go_ := goTool(t)
+	exe := filepath.Join(t.TempDir(), "health")
+	if out, err := exec.Command(go_, "build", "-o", exe, "./examples/health").CombinedOutput(); err != nil {
+		t.Fatalf("build health: %v\n%s", err, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// Free ports everywhere: the metrics listener picks its own and
+	// prints it; the UDP base is fixed but uncommon.
+	cmd := exec.CommandContext(ctx, exe,
+		"-metrics", "127.0.0.1:0", "-base", "9661", "-nodes", "3", "-run", "12s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()
+	defer cmd.Process.Kill()
+
+	// First line announces the endpoint.
+	sc := bufio.NewScanner(stdout)
+	var url string
+	for sc.Scan() {
+		if _, ok := strings.CutPrefix(sc.Text(), "health: metrics at "); ok {
+			url = strings.TrimPrefix(sc.Text(), "health: metrics at ")
+			break
+		}
+	}
+	if url == "" {
+		t.Fatalf("example never announced its metrics endpoint")
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	time.Sleep(2 * time.Second) // let the ring exchange some traffic
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("scrape: status %d, err %v", resp.StatusCode, err)
+	}
+	out := string(body)
+
+	for _, want := range []string{
+		`p2_condition{node="127.0.0.1:9661",type="Converged"}`,
+		`p2_condition{node="127.0.0.1:9661",type="Partitioned"}`,
+		`p2_drops_total{node="127.0.0.1:9661",cause="RetryExhausted"}`,
+		`p2_drops_total{node="127.0.0.1:9663",cause="SessionClosed"}`,
+		"# TYPE p2_condition gauge",
+		"# TYPE p2_drops_total counter",
+		"# TYPE p2_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := checkPrometheusText(out); err != nil {
+		t.Fatalf("exposition format: %v\n%s", err, out)
+	}
+}
+
+// checkPrometheusText is a minimal exposition-format validator: HELP /
+// TYPE comments, `name{labels} value` series with balanced quotes, and
+// no series before its family's TYPE line.
+func checkPrometheusText(out string) error {
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case line == "":
+			return fmt.Errorf("line %d: empty", ln+1)
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "gauge" && f[3] != "counter") {
+				return fmt.Errorf("line %d: bad TYPE %q", ln+1, line)
+			}
+			typed[f[2]] = true
+		default:
+			name := line
+			if i := strings.IndexByte(line, '{'); i >= 0 {
+				name = line[:i]
+				j := strings.LastIndexByte(line, '}')
+				if j < i {
+					return fmt.Errorf("line %d: unbalanced braces %q", ln+1, line)
+				}
+				if strings.Count(line[i+1:j], `"`)%2 != 0 {
+					return fmt.Errorf("line %d: unbalanced quotes %q", ln+1, line)
+				}
+			} else if f := strings.Fields(line); len(f) != 2 {
+				return fmt.Errorf("line %d: bad series %q", ln+1, line)
+			} else {
+				name = f[0]
+			}
+			if !typed[name] {
+				return fmt.Errorf("line %d: series %q before its TYPE", ln+1, name)
+			}
+		}
+	}
+	return nil
 }

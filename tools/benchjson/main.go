@@ -73,6 +73,7 @@ type Doc struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the document")
+	allowEmpty := flag.Bool("allow-empty", false, "emit a document even when no benchmark lines were parsed")
 	flag.Parse()
 
 	doc := Doc{
@@ -118,6 +119,13 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// An empty document means the bench run silently produced nothing —
+	// a broken pipeline, not a trajectory point. Refuse to archive it so
+	// CI fails loudly instead of accumulating hollow artifacts.
+	if len(doc.Results) == 0 && !*allowEmpty {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed from stdin (use -allow-empty to override)")
 		os.Exit(1)
 	}
 

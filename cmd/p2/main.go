@@ -56,6 +56,7 @@ func main() {
 	ackDelay := flag.Duration("ack-delay", 20*time.Millisecond, "how long to wait for reverse-path data to piggyback acks on")
 	monitor := flag.String("monitor", "", "OverLog file to Install into the running node (monitoring rules)")
 	metrics := flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
+	optimize := flag.Bool("optimize", true, "enable the cost-based query optimizer (sysPlan shows each rule's plan)")
 	top := flag.Bool("top", false, "render a live p2top view of the sys* system tables")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "refresh period of the -top view")
 	var facts factList
@@ -84,6 +85,9 @@ func main() {
 	opts := []p2.Option{p2.WithSeed(*seed), p2.WithTransport(tcfg)}
 	if *metrics != "" {
 		opts = append(opts, p2.WithMetrics(*metrics))
+	}
+	if *optimize {
+		opts = append(opts, p2.WithOptimizer(p2.OptimizerConfig{}))
 	}
 	dep, err := p2.NewDeployment(p2.UDP, opts...)
 	if err != nil {
@@ -162,12 +166,13 @@ func renderTop(node *p2.Handle) string {
 		ns     p2.NodeStat
 		tables []p2.TableStat
 		rules  []p2.RuleStat
+		plans  []p2.PlanStat
 		nets   []p2.NetStat
 		conds  []p2.Condition
 	}
 	var s snap
 	node.Do(func(n *p2.Node) {
-		s = snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.NetStats(), n.Conditions()}
+		s = snap{n.Addr(), n.NodeStat(), n.TableStats(), n.RuleStats(), n.PlanStats(), n.NetStats(), n.Conditions()}
 	})
 
 	var sb strings.Builder
@@ -185,6 +190,20 @@ func renderTop(node *p2.Handle) string {
 	fmt.Fprintf(&sb, "\n%-24s %8s\n", "RULE (top 10)", "FIRES")
 	for _, r := range s.rules {
 		fmt.Fprintf(&sb, "%-24s %8d\n", r.ID, r.Fires)
+	}
+	sort.Slice(s.plans, func(i, j int) bool { return s.plans[i].Rule < s.plans[j].Rule })
+	shown := 0
+	for _, p := range s.plans {
+		if p.Order == "-" && p.Replans == 0 {
+			continue // textual plan, never touched — noise in a dashboard
+		}
+		if shown == 0 {
+			fmt.Fprintf(&sb, "\n%-24s %-12s %10s %8s\n", "PLAN", "ORDER", "COST", "REPLANS")
+		}
+		if shown++; shown > 10 {
+			break
+		}
+		fmt.Fprintf(&sb, "%-24s %-12s %10.4g %8d\n", p.Rule, p.Order, p.CostEst, p.Replans)
 	}
 	fmt.Fprintf(&sb, "\n%-24s %8s %8s %10s %8s %6s %7s %7s %6s %6s\n",
 		"PEER", "SENT", "RECVD", "BYTES", "RETRY", "CWND", "RTO", "BACKLOG", "FILL", "DROPS")

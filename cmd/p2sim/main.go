@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,6 +23,8 @@ import (
 
 	"p2/internal/experiments"
 	"p2/internal/harness"
+	"p2/internal/overlays"
+	"p2/internal/planner"
 	"p2/internal/simnet"
 )
 
@@ -32,9 +35,15 @@ func main() {
 	shards := flag.Int("shards", runtime.NumCPU(),
 		"parallel simulation shards (1 = sharded machinery on one core; metrics are identical at every count)")
 	placement := flag.Bool("placement", false, "dump the node→shard placement map before running")
+	explain := flag.Bool("explain", false, "print the Chord plan as the query optimizer would execute it, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *explain {
+		explainChord(os.Stdout)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -123,6 +132,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// explainChord prints the Chord plan exactly as a node would execute it
+// under the query optimizer at start: each rule annotated with the body
+// term order chosen (indices into the textual body) and the estimated
+// cost under the catalog statistics. Rules without an annotation are
+// frozen (non-deterministic functions pin them to textual order).
+func explainChord(w io.Writer) {
+	plan := overlays.ChordPlan(nil)
+	opt := planner.Optimize(plan, planner.NewCatalogStats(plan), planner.OptimizerConfig{})
+	fmt.Fprintf(w, "== Chord plan, optimized (catalog statistics, start-time plans) ==\n\n")
+	fmt.Fprintln(w, opt.String())
 }
 
 // dumpPlacement prints where every node of the largest configured

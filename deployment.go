@@ -43,6 +43,7 @@ import (
 
 	"p2/internal/engine"
 	"p2/internal/eventloop"
+	"p2/internal/planner"
 	"p2/internal/seed"
 	"p2/internal/simnet"
 	"p2/internal/udpnet"
@@ -102,6 +103,7 @@ type config struct {
 	transport *TransportConfig
 	defines   map[string]Value
 	nodeOpts  NodeOptions
+	optimizer *planner.OptimizerConfig
 	metrics   string // Prometheus listen address; "" disables
 }
 
@@ -142,10 +144,25 @@ func WithDefines(defines map[string]Value) Option {
 // WithNodeDefaults sets the NodeOptions (sweep interval, introspection
 // interval, jitter, tracing) Spawn applies to every node. SpawnOpts
 // ignores these defaults and uses its explicit options instead — with
-// two exceptions that are filled in either way: a zero Seed derives
-// from (Seed, addr), and a nil Transport picks up WithTransport.
+// three exceptions that are filled in either way: a zero Seed derives
+// from (Seed, addr), a nil Transport picks up WithTransport, and a nil
+// Optimizer picks up WithOptimizer.
 func WithNodeDefaults(o NodeOptions) Option {
 	return func(c *config) { c.nodeOpts = o }
+}
+
+// WithOptimizer enables the cost-based query optimizer on every node
+// the deployment spawns: rule bodies are re-ordered and filtered by
+// estimated cost, identical probe prefixes are shared across rules on
+// the same trigger, and each introspection refresh adaptively re-plans
+// rules whose live table statistics drifted from the values their plan
+// was costed with. The zero OptimizerConfig enables everything with
+// default tuning; its No* fields switch individual optimizations off.
+// Per-node SpawnOpts with an explicit NodeOptions.Optimizer override
+// this default. Current plans surface in the sysPlan system table and
+// via Handle.PlanStats.
+func WithOptimizer(cfg OptimizerConfig) Option {
+	return func(c *config) { c.optimizer = &cfg }
 }
 
 // WithMetrics serves Prometheus text metrics for every live node at
@@ -335,6 +352,10 @@ func (d *Deployment) SpawnOpts(addr string, plan *Plan, opts NodeOptions) (*Hand
 	if opts.Transport == nil && d.cfg.transport != nil {
 		tc := *d.cfg.transport
 		opts.Transport = &tc
+	}
+	if opts.Optimizer == nil && d.cfg.optimizer != nil {
+		oc := *d.cfg.optimizer
+		opts.Optimizer = &oc
 	}
 
 	h := &Handle{d: d, addr: addr}
@@ -759,6 +780,15 @@ func (h *Handle) TableStats() []TableStat {
 func (h *Handle) RuleStats() []RuleStat {
 	var out []RuleStat
 	h.Do(func(n *Node) { out = n.RuleStats() })
+	return out
+}
+
+// PlanStats snapshots the optimizer's current plan per rule (sysPlan).
+// Without WithOptimizer every rule reports the textual plan: order "-",
+// cost 0, no replans.
+func (h *Handle) PlanStats() []PlanStat {
+	var out []PlanStat
+	h.Do(func(n *Node) { out = n.PlanStats() })
 	return out
 }
 

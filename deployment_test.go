@@ -150,13 +150,20 @@ func TestDeploymentConformance(t *testing.T) {
 
 	results := make(map[string]confResult)
 	for _, shards := range []int{1, 4} {
-		d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(17), p2.WithShards(shards))
-		if err != nil {
-			t.Fatal(err)
+		for _, optimized := range []bool{false, true} {
+			dopts := []p2.Option{p2.WithSeed(17), p2.WithShards(shards)}
+			name := fmt.Sprintf("sim/shards=%d", shards)
+			if optimized {
+				dopts = append(dopts, p2.WithOptimizer(p2.OptimizerConfig{}))
+				name = fmt.Sprintf("sim+opt/shards=%d", shards)
+			}
+			d, err := p2.NewDeployment(p2.Simulated, dopts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[name] = runConformance(t, d, []string{"c0:p2", "c1:p2", "c2:p2", "c3:p2"})
+			d.Close()
 		}
-		results[fmt.Sprintf("sim/shards=%d", shards)] =
-			runConformance(t, d, []string{"c0:p2", "c1:p2", "c2:p2", "c3:p2"})
-		d.Close()
 	}
 
 	var udpAddrs []string
@@ -184,11 +191,14 @@ func TestDeploymentConformance(t *testing.T) {
 			t.Errorf("%s: installed echoTotal = %d, want 3", name, r.echo)
 		}
 	}
-	// The simulated variants are bit-identical, not merely equivalent.
-	s1, s4 := results["sim/shards=1"], results["sim/shards=4"]
-	if s1.events != s4.events || s1.bytes != s4.bytes || s1.clock != s4.clock {
-		t.Errorf("sim shards=1 vs 4 diverged: events %d vs %d, bytes %d vs %d, clock %v vs %v",
-			s1.events, s4.events, s1.bytes, s4.bytes, s1.clock, s4.clock)
+	// The simulated variants are bit-identical, not merely equivalent —
+	// with and without the query optimizer.
+	for _, prefix := range []string{"sim", "sim+opt"} {
+		s1, s4 := results[prefix+"/shards=1"], results[prefix+"/shards=4"]
+		if s1.events != s4.events || s1.bytes != s4.bytes || s1.clock != s4.clock {
+			t.Errorf("%s shards=1 vs 4 diverged: events %d vs %d, bytes %d vs %d, clock %v vs %v",
+				prefix, s1.events, s4.events, s1.bytes, s4.bytes, s1.clock, s4.clock)
+		}
 	}
 }
 

@@ -161,7 +161,7 @@ func TestAggTableFifoEviction(t *testing.T) {
 	for i, c := range []int64{10, 30, 50} {
 		tb2.Insert(tp("load", val.Str("n1"), val.Str(fmt.Sprintf("k%d", i)), val.Int(c)))
 	}
-	n := len(got2) // emitted 10 once
+	n := len(got2)                                                    // emitted 10 once
 	tb2.Insert(tp("load", val.Str("n1"), val.Str("k9"), val.Int(70))) // evicts the 10
 	if len(got2) != n+1 || got2[n].Field(1).AsInt() != 30 {
 		t.Fatalf("min after evicting extremum = %v", got2)

@@ -1,0 +1,135 @@
+package dataflow
+
+import (
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/pel"
+	"p2/internal/table"
+	"p2/internal/tuple"
+	"p2/internal/val"
+)
+
+// foldFixture builds a dist(X, D) table keyed on X with the given D
+// values for key "n1", plus one row under a different key that must
+// never fold.
+func foldFixture(t *testing.T, ds ...int64) *table.Table {
+	t.Helper()
+	loop := eventloop.NewSim()
+	tbl := table.New("dist", table.Infinity, 0, []int{0, 1}, loop)
+	for _, d := range ds {
+		tbl.Insert(tp("dist", val.Str("n1"), val.Int(d)))
+	}
+	tbl.Insert(tp("dist", val.Str("nX"), val.Int(-999)))
+	return tbl
+}
+
+// fieldProg reads one position of the virtual concatenation.
+func fieldProg(i int) *pel.Program { return pel.NewBuilder().Field(i).Build() }
+
+func runFold(f *FoldJoin, ev *tuple.Tuple) []*tuple.Tuple {
+	var got []*tuple.Tuple
+	f.ConnectOut(0, collect(&got), 0)
+	f.Push(0, ev, nil)
+	f.Flush(ev, nil)
+	return got
+}
+
+func TestFoldJoinMinMatchesJoinPlusAggStream(t *testing.T) {
+	tbl := foldFixture(t, 30, 10, 20)
+	ev := tp("evt", val.Str("n1"), val.Int(7))
+
+	// Unfused reference: join then AggStream over the concat position 3.
+	j := NewJoin("j", tbl, []int{0}, []int{0}, "w")
+	agg := NewAggStream("agg", AggMin, 3)
+	var ref []*tuple.Tuple
+	j.ConnectOut(0, agg, 0)
+	agg.ConnectOut(0, collect(&ref), 0)
+	j.Push(0, ev, nil)
+	agg.Flush(ev, nil)
+
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggMin, fieldProg(3), nil, env(eventloop.NewSim()))
+	got := runFold(f, ev)
+
+	if len(ref) != 1 || len(got) != 1 {
+		t.Fatalf("emitted ref=%d fold=%d tuples, want 1 each", len(ref), len(got))
+	}
+	// The reference exemplar layout differs (working tuple vs
+	// event++agg), but the aggregate value and event fields must agree.
+	if got[0].Arity() != 3 || got[0].Field(2).AsInt() != 10 {
+		t.Fatalf("fold result = %v, want event++10", got[0])
+	}
+	if ref[0].Field(3).AsInt() != got[0].Field(2).AsInt() {
+		t.Fatalf("fold min %v != chain min %v", got[0].Field(2), ref[0].Field(3))
+	}
+	if got[0].Name() != "evt" {
+		t.Fatalf("fold result keeps the event name, got %q", got[0].Name())
+	}
+}
+
+func TestFoldJoinMaxAndFilters(t *testing.T) {
+	tbl := foldFixture(t, 30, 10, 20, 40)
+	ev := tp("evt", val.Str("n1"), val.Int(7))
+	// Filter: concat position 3 (D) < 40, so the largest row is excluded.
+	filt := pel.NewBuilder().Field(3).Const(val.Int(40)).Op(pel.OpLt).Build()
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggMax, fieldProg(3), []*pel.Program{filt}, env(eventloop.NewSim()))
+	got := runFold(f, ev)
+	if len(got) != 1 || got[0].Field(2).AsInt() != 30 {
+		t.Fatalf("filtered max = %v, want 30", got)
+	}
+}
+
+func TestFoldJoinMinNoMatchesEmitsNothing(t *testing.T) {
+	tbl := foldFixture(t) // only the nX row
+	ev := tp("evt", val.Str("n1"), val.Int(7))
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggMin, fieldProg(3), nil, env(eventloop.NewSim()))
+	if got := runFold(f, ev); len(got) != 0 {
+		t.Fatalf("min over zero matches emitted %v", got)
+	}
+}
+
+func TestFoldJoinCountEmitsZero(t *testing.T) {
+	tbl := foldFixture(t) // no matching rows
+	ev := tp("evt", val.Str("n1"), val.Int(7))
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggCount, nil, nil, env(eventloop.NewSim()))
+	got := runFold(f, ev)
+	if len(got) != 1 || got[0].Field(2).AsInt() != 0 {
+		t.Fatalf("count over zero matches = %v, want event++0", got)
+	}
+}
+
+func TestFoldJoinErroringInputDropsRow(t *testing.T) {
+	tbl := foldFixture(t, 4, 7)
+	ev := tp("evt", val.Str("n1"), val.Int(8))
+	// An input program that always errors (stack underflow): the
+	// unfused chain's Assign drops every such row before the aggregate
+	// sees it, so the fold must count nothing — and still emit the
+	// count aggregate's zero.
+	input := pel.NewBuilder().Op(pel.OpAdd).Build()
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggCount, input, nil, env(eventloop.NewSim()))
+	got := runFold(f, ev)
+	if len(got) != 1 || got[0].Field(2).AsInt() != 0 {
+		t.Fatalf("count with all rows erroring = %v, want event++0", got)
+	}
+}
+
+func TestFoldJoinResetsBetweenEvents(t *testing.T) {
+	tbl := foldFixture(t, 5, 9)
+	f := NewFoldJoin("f", tbl, []int{0}, []int{0}, AggMin, fieldProg(3), nil, env(eventloop.NewSim()))
+	var got []*tuple.Tuple
+	f.ConnectOut(0, collect(&got), 0)
+
+	ev1 := tp("evt", val.Str("n1"), val.Int(1))
+	f.Push(0, ev1, nil)
+	f.Flush(ev1, nil)
+	ev2 := tp("evt", val.Str("nNone"), val.Int(2))
+	f.Push(0, ev2, nil)
+	f.Flush(ev2, nil)
+
+	if len(got) != 1 {
+		t.Fatalf("second (matchless) event must emit nothing: %v", got)
+	}
+	if got[0].Field(2).AsInt() != 5 {
+		t.Fatalf("first event min = %v, want 5", got[0])
+	}
+}

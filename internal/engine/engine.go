@@ -57,6 +57,13 @@ type Options struct {
 	// facility (§3.5's logging ports, §7 "On-line distributed
 	// debugging").
 	TraceWriter io.Writer
+	// Optimizer enables the cost-based query optimizer: rule strands
+	// are re-planned at start against the catalog heuristics, identical
+	// probe prefixes are shared across strands, and every introspection
+	// refresh re-plans rules whose live table cardinalities drifted
+	// from the values they were costed with. Nil disables optimization
+	// (the naive textual plans). See planner.OptimizerConfig.
+	Optimizer *planner.OptimizerConfig
 }
 
 // Direction classifies watch events.
@@ -107,6 +114,11 @@ type Stats struct {
 	TuplesSent    int64
 	TuplesRecv    int64
 	TuplesDropped int64 // no table, strand, or watcher wanted them
+	// Probes counts equijoin work: one per index probe plus one per
+	// candidate row examined (antijoins count one per existence check).
+	// Probes answered from a shared cache count nothing — this is the
+	// work the optimizer exists to avoid.
+	Probes int64
 }
 
 // Node is one P2 participant executing a Plan. A node is pinned to the
@@ -150,11 +162,33 @@ type Node struct {
 // a preallocated FIFO of pending events and a single func value handed
 // to the loop's DPC lane, so triggering a strand allocates nothing —
 // no per-tuple closure, no Timer.
+// flusher is the end-of-event hook shared by the two aggregate
+// elements: a plain AggStream stage, or a FoldJoin carrying the fused
+// aggregate. Exactly one (or neither) terminates a strand.
+type flusher interface {
+	Flush(event *tuple.Tuple, poke dataflow.Poke)
+}
+
 type strand struct {
 	rule  *planner.Rule
 	entry dataflow.Pusher
-	agg   *dataflow.AggStream
+	agg   flusher
 	fires int64
+
+	// firstJoin is the strand's leading probe when its prefix is
+	// eligible for cross-strand sharing (see wireShares); shareKey
+	// identifies the (table, key) probe it performs. replans counts
+	// adaptive plan swaps; the strand object itself — its identity,
+	// fire counter, and pending queue — survives every swap.
+	firstJoin *dataflow.Join
+	shareKey  string
+	replans   int64
+
+	// drift is the precompiled form of rule.CostBasis: one entry per
+	// costed relation, resolved to the node's table handle, so the
+	// per-refresh drift scan is a flat slice walk instead of map
+	// iteration and lookups. Rebuilt with the chain on every replan.
+	drift []driftEntry
 
 	node  *Node
 	queue []*tuple.Tuple // pending trigger events; one Defer per entry
@@ -275,6 +309,14 @@ func (n *Node) Start() error {
 		hcfg = *n.opts.Health
 	}
 	n.health = health.NewEvaluator(hcfg, n.startTime)
+	// The optimizer rewrites the plan before any strand is built. At
+	// start there are no live statistics yet, so ordering comes from the
+	// catalog heuristics — deliberately state-independent, so every node
+	// (and every shard count) starts from an identical plan. Live
+	// statistics take over at introspection refreshes (maybeReplan).
+	if n.opts.Optimizer != nil {
+		n.plan = planner.Optimize(n.plan, planner.NewCatalogStats(n.plan), *n.opts.Optimizer)
+	}
 	// Tables are created and later swept in sorted-name order: map
 	// iteration order is randomized per process, and expiry sweeps can
 	// emit deletion deltas whose relative order would otherwise differ
@@ -295,6 +337,7 @@ func (n *Node) Start() error {
 	for _, ta := range n.plan.TableAggs {
 		n.buildTableAgg(ta)
 	}
+	n.wireShares()
 	if n.opts.TraceWriter != nil {
 		for _, name := range n.plan.Watches {
 			n.watchTrace(name)
@@ -407,17 +450,50 @@ func (n *Node) scheduleSweep() {
 
 // buildStrand compiles one rule into a chain of dataflow elements.
 func (n *Node) buildStrand(r *planner.Rule) {
+	s := &strand{rule: r, node: n}
+	s.runFn = s.runNext
+	n.buildChain(s)
+	n.allStrands = append(n.allStrands, s)
+	if r.Trigger.Kind == planner.TrigPeriodic {
+		n.startPeriodic(r, s)
+	} else {
+		n.strands[r.Trigger.Name] = append(n.strands[r.Trigger.Name], s)
+	}
+}
+
+// buildChain (re)builds the dataflow element chain for s.rule and
+// installs it on the strand. It runs once per strand at build time and
+// again on every adaptive replan — the strand keeps its identity, fire
+// counter, and pending queue across swaps, only the elements change.
+func (n *Node) buildChain(s *strand) {
+	r := s.rule
 	var elems []dataflow.Pusher
 	label := func(kind string) string { return fmt.Sprintf("%s.%s.%s", n.addr, r.ID, kind) }
+
+	var flush flusher
+	shareIdx := -1
+	if n.opts.Optimizer != nil && !n.opts.Optimizer.NoShare {
+		if idx, ok := n.plan.ShareableJoin(r); ok {
+			shareIdx = idx
+		}
+	}
+	s.firstJoin, s.shareKey = nil, ""
 
 	for i := 0; i < len(r.Ops); i++ {
 		switch o := r.Ops[i].(type) {
 		case *planner.OpJoin:
 			tbl := n.tables[o.Table]
 			if o.Neg {
-				elems = append(elems, dataflow.NewNotJoin(label(fmt.Sprintf("antijoin%d", i)), tbl, o.StreamKey, o.TableKey))
+				nj := dataflow.NewNotJoin(label(fmt.Sprintf("antijoin%d", i)), tbl, o.StreamKey, o.TableKey)
+				nj.CountProbes(&n.stats.Probes)
+				elems = append(elems, nj)
 			} else {
 				j := dataflow.NewJoin(label(fmt.Sprintf("join%d", i)), tbl, o.StreamKey, o.TableKey, "w")
+				j.CountProbes(&n.stats.Probes)
+				if i == shareIdx {
+					s.firstJoin = j
+					s.shareKey = fmt.Sprintf("%s|%v|%v", o.Table, o.StreamKey, o.TableKey)
+				}
 				// Fuse immediately-following selections into the probe
 				// (filtered matches never materialize a concatenated
 				// tuple), then the assignment run after them into the
@@ -457,13 +533,19 @@ func (n *Node) buildStrand(r *planner.Rule) {
 			elems = append(elems, dataflow.NewMultiAssign(label(fmt.Sprintf("assign%d", i)), progs, n.env))
 		case *planner.OpRange:
 			elems = append(elems, dataflow.NewRange(label(fmt.Sprintf("range%d", i)), o.Lo, o.Hi, n.env))
+		case *planner.OpFoldJoin:
+			fj := dataflow.NewFoldJoin(label(fmt.Sprintf("foldjoin%d", i)),
+				n.tables[o.Table], o.StreamKey, o.TableKey, o.Fn, o.Input, o.Filters, n.env)
+			fj.CountProbes(&n.stats.Probes)
+			elems = append(elems, fj)
+			flush = fj
 		}
 	}
 
-	var agg *dataflow.AggStream
 	if r.Agg != nil {
-		agg = dataflow.NewAggStream(label("agg"), r.Agg.Fn, r.Agg.AggPos)
+		agg := dataflow.NewAggStream(label("agg"), r.Agg.Fn, r.Agg.AggPos)
 		elems = append(elems, agg)
+		flush = agg
 	}
 	project := dataflow.NewProject(label("head"), r.HeadName, r.HeadProgs, n.env)
 	elems = append(elems, project)
@@ -475,13 +557,40 @@ func (n *Node) buildStrand(r *planner.Rule) {
 	}
 	connect(elems[len(elems)-1], sink)
 
-	s := &strand{rule: r, entry: elems[0], agg: agg, node: n}
-	s.runFn = s.runNext
-	n.allStrands = append(n.allStrands, s)
-	if r.Trigger.Kind == planner.TrigPeriodic {
-		n.startPeriodic(r, s)
-	} else {
-		n.strands[r.Trigger.Name] = append(n.strands[r.Trigger.Name], s)
+	s.entry, s.agg = elems[0], flush
+	n.buildDrift(s)
+}
+
+// wireShares scans each trigger's strands for identical leading probes
+// and hands every such group one shared dataflow.ProbeCache: when
+// several rules fired by the same event all begin by probing the same
+// table on the same key, the probe runs once and its raw matches are
+// reused by the rest of the group — common-subexpression sharing across
+// rule strands. Eligibility is decided by planner.ShareableJoin at
+// chain-build time. Safe to call repeatedly: each call rebuilds the
+// grouping from scratch, so replans that change a strand's leading
+// probe dissolve or re-form groups as needed.
+func (n *Node) wireShares() {
+	if n.opts.Optimizer == nil || n.opts.Optimizer.NoShare {
+		return
+	}
+	for _, group := range n.strands {
+		byKey := make(map[string][]*dataflow.Join)
+		for _, s := range group {
+			if s.firstJoin != nil {
+				byKey[s.shareKey] = append(byKey[s.shareKey], s.firstJoin)
+			}
+		}
+		for _, joins := range byKey {
+			if len(joins) < 2 {
+				joins[0].Share(nil)
+				continue
+			}
+			c := &dataflow.ProbeCache{}
+			for _, j := range joins {
+				j.Share(c)
+			}
+		}
 	}
 }
 

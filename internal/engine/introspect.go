@@ -34,6 +34,8 @@ type sysRefresh struct {
 	tableTup   map[string]*tuple.Tuple
 	ruleLast   map[string]int64
 	ruleTup    map[string]*tuple.Tuple
+	planLast   map[string]introspect.PlanStat
+	planTup    map[string]*tuple.Tuple
 	netLast    map[string]introspect.NetStat
 	netTup     map[string]*tuple.Tuple
 	netBuf     []transport.DestStats
@@ -49,6 +51,8 @@ func newSysRefresh() *sysRefresh {
 		tableTup:   make(map[string]*tuple.Tuple),
 		ruleLast:   make(map[string]int64),
 		ruleTup:    make(map[string]*tuple.Tuple),
+		planLast:   make(map[string]introspect.PlanStat),
+		planTup:    make(map[string]*tuple.Tuple),
 		netLast:    make(map[string]introspect.NetStat),
 		netTup:     make(map[string]*tuple.Tuple),
 		healthLast: make(map[health.ConditionType]introspect.HealthStat),
@@ -144,6 +148,25 @@ func (n *Node) RefreshSystemTables() {
 	}
 	for _, rf := range n.aggFires {
 		emitRule(rf.id, rf.fires)
+	}
+
+	// Adaptive replanning rides the refresh: drift checks and plan swaps
+	// happen here, then sysPlan reports the (possibly new) plan of every
+	// rule strand. Rows exist whether or not the optimizer is enabled —
+	// an unoptimized rule reports order "-", cost 0, replans 0 — so
+	// monitoring programs can rely on the relation on both runtimes.
+	n.maybeReplan()
+	for _, s := range n.allStrands {
+		ps := introspect.PlanStat{
+			Rule: s.rule.ID, Order: s.rule.OrderString(),
+			CostEst: s.rule.CostEst, Replans: s.replans,
+		}
+		if sr.planTup[ps.Rule] != nil && ps == sr.planLast[ps.Rule] {
+			continue // rows are infinite-TTL; only changes need delivery
+		}
+		t := introspect.PlanTuple(addr, ps)
+		sr.planTup[ps.Rule], sr.planLast[ps.Rule] = t, ps
+		n.deliverLocal(t, DirDerived)
 	}
 
 	sample := health.Sample{Now: n.loop.Now(), Churn: churn}
@@ -257,6 +280,20 @@ func (n *Node) RuleStats() []introspect.RuleStat {
 	return out
 }
 
+// PlanStats reports the optimizer's current plan per rule strand, in
+// build order. Without the optimizer every rule reports the textual
+// plan: order "-", cost 0, no replans.
+func (n *Node) PlanStats() []introspect.PlanStat {
+	out := make([]introspect.PlanStat, 0, len(n.allStrands))
+	for _, s := range n.allStrands {
+		out = append(out, introspect.PlanStat{
+			Rule: s.rule.ID, Order: s.rule.OrderString(),
+			CostEst: s.rule.CostEst, Replans: s.replans,
+		})
+	}
+	return out
+}
+
 // NetStats reports per-peer transport accounting and the live state of
 // the transport element chain (congestion window, RTO, backlog, batch
 // fill), sorted by address.
@@ -306,12 +343,29 @@ func (n *Node) Install(src string) error {
 	// Keep the sweep order sorted so a node that installed its way to a
 	// plan sweeps identically to one that started with it.
 	sort.Strings(n.tableOrder)
+	// Installed rules are optimized against live statistics — by the time
+	// a monitoring query arrives the node's tables hold real data, so its
+	// plan can be right from the first firing instead of waiting for a
+	// drift-triggered replan.
 	for _, r := range delta.Rules {
-		n.buildStrand(r)
+		rr := r
+		if n.opts.Optimizer != nil {
+			if nr := n.plan.OptimizeRule(r, n.liveStats(), *n.opts.Optimizer); nr != nil {
+				for i, pr := range n.plan.Rules {
+					if pr == r {
+						n.plan.Rules[i] = nr
+						break
+					}
+				}
+				rr = nr
+			}
+		}
+		n.buildStrand(rr)
 	}
 	for _, ta := range delta.TableAggs {
 		n.buildTableAgg(ta)
 	}
+	n.wireShares()
 	if n.opts.TraceWriter != nil {
 		for _, name := range delta.Watches {
 			n.watchTrace(name)

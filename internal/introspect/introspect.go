@@ -5,11 +5,12 @@
 // and debugging queries are just more OverLog, installable while the
 // node runs.
 //
-// Five system relations exist on every node, refreshed periodically on
+// Six system relations exist on every node, refreshed periodically on
 // the node's event loop:
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
+//	sysPlan(@N, Rule, Order, CostEst, Replans)
 //	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill,
 //	       DropsRetry, DropsClosed, DropsDead, DropsOverflow)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
@@ -39,6 +40,7 @@ import (
 const (
 	TableRelation  = "sysTable"
 	RuleRelation   = "sysRule"
+	PlanRelation   = "sysPlan"
 	NetRelation    = "sysNet"
 	NodeRelation   = "sysNode"
 	HealthRelation = "sysHealth"
@@ -69,6 +71,8 @@ func Defs() []Def {
 			Doc: "sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes): per-relation row counts and cumulative delta counters"},
 		{Name: RuleRelation, Arity: 3, Keys: []int{0, 1},
 			Doc: "sysRule(@N, Rule, Fires): cumulative strand executions per compiled rule"},
+		{Name: PlanRelation, Arity: 5, Keys: []int{0, 1},
+			Doc: "sysPlan(@N, Rule, Order, CostEst, Replans): the query optimizer's current plan per rule — body term order (\"-\" when textual), estimated cost, and cumulative adaptive replans"},
 		{Name: NetRelation, Arity: 14, Keys: []int{0, 1},
 			Doc: "sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill, DropsRetry, DropsClosed, DropsDead, DropsOverflow): per-peer transport accounting, live congestion state, and classified drop counters"},
 		{Name: NodeRelation, Arity: 4, Keys: []int{0},
@@ -91,6 +95,17 @@ type TableStat struct {
 type RuleStat struct {
 	ID    string
 	Fires int64
+}
+
+// PlanStat is one rule's current optimizer plan: the body term order it
+// executes with ("-" when running the textual plan), the cost the
+// optimizer estimated for that order, and how many times the rule has
+// been adaptively re-planned since start.
+type PlanStat struct {
+	Rule    string
+	Order   string
+	CostEst float64
+	Replans int64
 }
 
 // NetStat is per-peer transport accounting, merged across send and
@@ -140,6 +155,7 @@ type Source interface {
 	NodeStat() NodeStat
 	TableStats() []TableStat
 	RuleStats() []RuleStat
+	PlanStats() []PlanStat
 	NetStats() []NetStat
 }
 
@@ -165,6 +181,13 @@ func TableTuple(addr val.Value, ts TableStat) *tuple.Tuple {
 // RuleTuple renders one sysRule row.
 func RuleTuple(addr val.Value, rs RuleStat) *tuple.Tuple {
 	return tuple.New(RuleRelation, addr, val.Str(rs.ID), val.Int(rs.Fires))
+}
+
+// PlanTuple renders one sysPlan row.
+func PlanTuple(addr val.Value, ps PlanStat) *tuple.Tuple {
+	return tuple.New(PlanRelation,
+		addr, val.Str(ps.Rule), val.Str(ps.Order),
+		val.Float(ps.CostEst), val.Int(ps.Replans))
 }
 
 // NetTuple renders one sysNet row.
@@ -203,6 +226,9 @@ func Snapshot(src Source) []*tuple.Tuple {
 	}
 	for _, rs := range src.RuleStats() {
 		out = append(out, RuleTuple(addr, rs))
+	}
+	for _, ps := range src.PlanStats() {
+		out = append(out, PlanTuple(addr, ps))
 	}
 	nstats := src.NetStats()
 	sort.Slice(nstats, func(i, j int) bool { return nstats[i].Dest < nstats[j].Dest })

@@ -21,6 +21,9 @@ func (fakeSource) TableStats() []TableStat {
 	}
 }
 func (fakeSource) RuleStats() []RuleStat { return []RuleStat{{ID: "R1", Fires: 6}} }
+func (fakeSource) PlanStats() []PlanStat {
+	return []PlanStat{{Rule: "R1", Order: "1,0", CostEst: 42.5, Replans: 2}}
+}
 func (fakeSource) NetStats() []NetStat {
 	return []NetStat{{
 		Dest: "n2", Sent: 3, Recvd: 2, Bytes: 99, Retries: 1,
@@ -31,8 +34,9 @@ func (fakeSource) NetStats() []NetStat {
 
 func TestSnapshotShapes(t *testing.T) {
 	tuples := Snapshot(fakeSource{})
-	// 1 sysNode + 2 sysTable (sys-prefixed filtered) + 1 sysRule + 1 sysNet.
-	if len(tuples) != 5 {
+	// 1 sysNode + 2 sysTable (sys-prefixed filtered) + 1 sysRule +
+	// 1 sysPlan + 1 sysNet.
+	if len(tuples) != 6 {
 		t.Fatalf("snapshot = %d tuples: %v", len(tuples), tuples)
 	}
 	arities := map[string]int{}
@@ -54,7 +58,13 @@ func TestSnapshotShapes(t *testing.T) {
 	if tuples[1].Field(1).AsStr() != "alpha" || tuples[2].Field(1).AsStr() != "zeta" {
 		t.Fatalf("table rows unsorted: %v %v", tuples[1], tuples[2])
 	}
-	net := tuples[4]
+	plan := tuples[4]
+	if plan.Name() != PlanRelation || plan.Field(1).AsStr() != "R1" ||
+		plan.Field(2).AsStr() != "1,0" || plan.Field(3).AsFloat() != 42.5 ||
+		plan.Field(4).AsInt() != 2 {
+		t.Fatalf("sysPlan row = %v", plan)
+	}
+	net := tuples[5]
 	if net.Name() != NetRelation || net.Field(1).AsStr() != "n2" || net.Field(4).AsInt() != 99 {
 		t.Fatalf("sysNet row = %v", net)
 	}

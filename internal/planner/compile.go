@@ -215,6 +215,10 @@ type ruleCtx struct {
 	env   map[string]int
 	width int
 	ops   []Op
+	// folded is set when tryFold rewrote the trailing ops into an
+	// OpFoldJoin; compileHead then uses the event++aggregate layout for
+	// min/max heads (the accumulator path count/sum/avg always use).
+	folded bool
 }
 
 func (c *ruleCtx) errf(format string, args ...any) error {
@@ -226,34 +230,66 @@ func (c *ruleCtx) errf(format string, args ...any) error {
 }
 
 func (p *Plan) compileRule(r *overlog.Rule) error {
+	rule, isTableAgg, err := p.compileRuleWith(r, nil, false)
+	if err != nil {
+		return err
+	}
+	if isTableAgg {
+		return nil // compileTableAgg already appended it
+	}
+	p.Rules = append(p.Rules, rule)
+	return nil
+}
+
+// compileRuleWith compiles one rule, visiting the non-event body terms
+// in the given order (indices into their textual sequence; nil means
+// textual). The optimizer re-enters here to realize a reordered plan:
+// the variable-environment machinery lays out working-tuple positions
+// for whatever order it is handed, so join keys, selections, and head
+// projections stay consistent by construction. Rules that classify as
+// continuous table aggregates are appended to p.TableAggs and reported
+// via the second return value.
+//
+// fold asks for the aggregate-into-join fusion (see OpFoldJoin): the
+// optimizer sets it only for rules whose equivalence class permits it,
+// and the structural pattern check in tryFold may still decline — the
+// rule then compiles through the ordinary chain.
+func (p *Plan) compileRuleWith(r *overlog.Rule, order []int, fold bool) (*Rule, bool, error) {
 	c := &ruleCtx{plan: p, rule: r, env: make(map[string]int)}
 
 	// Rules may join and aggregate the sys* system tables but never
 	// write them: the runtime owns their contents, and a spoofed or
 	// deleted row would silently corrupt every monitor built on them.
 	if introspect.IsReserved(r.Head.Name) {
-		return c.errf("head %s writes into the reserved system-table namespace (%q prefix); system tables are read-only from OverLog", r.Head.Name, introspect.ReservedPrefix)
+		return nil, false, c.errf("head %s writes into the reserved system-table namespace (%q prefix); system tables are read-only from OverLog", r.Head.Name, introspect.ReservedPrefix)
 	}
 
 	if err := c.checkCollocation(); err != nil {
-		return err
+		return nil, false, err
 	}
 
 	event, rest, kind, isTableAgg, err := c.classify()
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	if isTableAgg {
-		return p.compileTableAgg(r, event)
+		return nil, true, p.compileTableAgg(r, event)
+	}
+
+	if order != nil {
+		rest, err = permuteTerms(rest, order)
+		if err != nil {
+			return nil, false, c.errf("%v", err)
+		}
 	}
 
 	trig, err := c.compileTrigger(event, kind)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
 	// Bind event atom arguments.
 	if err := c.bindAtomArgs(event, 0, true); err != nil {
-		return err
+		return nil, false, err
 	}
 	c.width = len(event.Args)
 
@@ -261,15 +297,15 @@ func (p *Plan) compileRule(r *overlog.Rule) error {
 		switch term := t.(type) {
 		case *overlog.Atom:
 			if err := c.compileBodyAtom(term); err != nil {
-				return err
+				return nil, false, err
 			}
 		case *overlog.Assign:
 			if _, dup := c.env[term.Var]; dup {
-				return c.errf("variable %s assigned twice", term.Var)
+				return nil, false, c.errf("variable %s assigned twice", term.Var)
 			}
 			prog, err := c.compileExpr(term.Expr)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			c.ops = append(c.ops, &OpAssign{Prog: prog})
 			c.env[term.Var] = c.width
@@ -277,10 +313,14 @@ func (p *Plan) compileRule(r *overlog.Rule) error {
 		case *overlog.Cond:
 			prog, err := c.compileExpr(term.Expr)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			c.ops = append(c.ops, &OpSelect{Prog: prog})
 		}
+	}
+
+	if fold {
+		c.tryFold(len(event.Args))
 	}
 
 	rule := &Rule{
@@ -290,15 +330,38 @@ func (p *Plan) compileRule(r *overlog.Rule) error {
 		Trigger:      trig,
 		Ops:          c.ops,
 		Materialized: p.IsTable(r.Head.Name),
+		Src:          r,
+		Order:        append([]int(nil), order...),
 	}
 	if r.Delete && !rule.Materialized {
-		return c.errf("delete head %s is not a materialized table", r.Head.Name)
+		return nil, false, c.errf("delete head %s is not a materialized table", r.Head.Name)
 	}
 	if err := c.compileHead(rule, len(event.Args)); err != nil {
-		return err
+		return nil, false, err
 	}
-	p.Rules = append(p.Rules, rule)
-	return nil
+	if c.folded {
+		// The fused op carries the aggregate; no AggStream stage runs.
+		rule.Agg = nil
+	}
+	return rule, false, nil
+}
+
+// permuteTerms applies the optimizer-chosen visit order to the
+// non-event body terms, validating that order is a permutation.
+func permuteTerms(rest []overlog.Term, order []int) ([]overlog.Term, error) {
+	if len(order) != len(rest) {
+		return nil, fmt.Errorf("body order has %d entries for %d terms", len(order), len(rest))
+	}
+	out := make([]overlog.Term, len(rest))
+	seen := make([]bool, len(rest))
+	for i, idx := range order {
+		if idx < 0 || idx >= len(rest) || seen[idx] {
+			return nil, fmt.Errorf("body order %v is not a permutation", order)
+		}
+		seen[idx] = true
+		out[i] = rest[idx]
+	}
+	return out, nil
 }
 
 // checkCollocation enforces the single-location-variable restriction on
@@ -608,6 +671,96 @@ func (c *ruleCtx) compileRange(a *overlog.Atom) error {
 	return nil
 }
 
+// tryFold rewrites the rule's trailing [join, selections..., assign?]
+// ops into a single OpFoldJoin — the aggregate-into-join fusion — when
+// the head carries one min/max/count aggregate and every non-aggregate
+// head field is event-bound, so the per-match working tuples the fusion
+// skips were never observable. Structural requirements: the rule's last
+// join is a plain equijoin; after it come only selections, plus at most
+// one trailing assignment which must define the aggregate's value (it
+// becomes the fold input, evaluated over the virtual concatenation —
+// an erroring input drops the match exactly as the Assign would). Any
+// other shape declines silently and the rule compiles unfused.
+func (c *ruleCtx) tryFold(eventArity int) {
+	var aggArg *overlog.AggRef
+	for _, a := range c.rule.Head.Args {
+		if ar, ok := a.(*overlog.AggRef); ok {
+			if aggArg != nil {
+				return
+			}
+			aggArg = ar
+		}
+	}
+	if aggArg == nil {
+		return
+	}
+	fn, err := aggFunc(aggArg.Fn)
+	if err != nil || (fn != dataflow.AggMin && fn != dataflow.AggMax && fn != dataflow.AggCount) {
+		return
+	}
+	for _, a := range c.rule.Head.Args {
+		if _, ok := a.(*overlog.AggRef); ok {
+			continue
+		}
+		if firstVarBeyond(a, c.env, eventArity) != "" {
+			return
+		}
+	}
+	aggPos := -1
+	if aggArg.Var != "*" {
+		pos, bound := c.env[aggArg.Var]
+		if !bound {
+			return // compileHead will report the unbound variable
+		}
+		aggPos = pos
+	}
+	last := -1
+	for i, op := range c.ops {
+		if j, ok := op.(*OpJoin); ok && !j.Neg {
+			last = i
+		}
+	}
+	if last < 0 {
+		return
+	}
+	join := c.ops[last].(*OpJoin)
+	var filters []*pel.Program
+	var input *pel.Program
+	tail := c.ops[last+1:]
+	if len(tail) > 0 {
+		if asn, ok := tail[len(tail)-1].(*OpAssign); ok {
+			if aggPos != c.width-1 {
+				return // trailing assign is not the aggregate input
+			}
+			input = asn.Prog
+			tail = tail[:len(tail)-1]
+		}
+	}
+	for _, op := range tail {
+		sel, ok := op.(*OpSelect)
+		if !ok {
+			return // antijoin, range, or non-input assign after the last join
+		}
+		filters = append(filters, sel.Prog)
+	}
+	if input == nil && aggPos >= 0 {
+		concat := c.width
+		if aggPos >= concat {
+			return
+		}
+		input = pel.NewBuilder().Field(aggPos).Build()
+	}
+	c.ops = append(c.ops[:last], &OpFoldJoin{
+		Table:     join.Table,
+		StreamKey: join.StreamKey,
+		TableKey:  join.TableKey,
+		Filters:   filters,
+		Input:     input,
+		Fn:        fn,
+	})
+	c.folded = true
+}
+
 // compileHead builds the head projection and aggregate specification.
 func (c *ruleCtx) compileHead(rule *Rule, eventArity int) error {
 	head := c.rule.Head
@@ -653,8 +806,8 @@ func (c *ruleCtx) compileHead(rule *Rule, eventArity int) error {
 	}
 	rule.Agg = agg
 
-	switch fn {
-	case dataflow.AggMin, dataflow.AggMax:
+	switch {
+	case (fn == dataflow.AggMin || fn == dataflow.AggMax) && !c.folded:
 		// Exemplar semantics: head programs run against the winning
 		// working tuple; the aggregate argument reads its own position.
 		for i, a := range head.Args {

@@ -1,0 +1,508 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"p2/internal/pel"
+)
+
+// stubStats is a hand-set statistics source for steering the greedy
+// planner in tests. Unlisted relations report cardinality 1; every key
+// is fully selective (distinct = 1 → fanout = cardinality).
+type stubStats struct{ card map[string]float64 }
+
+func (s stubStats) Cardinality(t string) float64 {
+	if c, ok := s.card[t]; ok {
+		return c
+	}
+	return 1
+}
+func (s stubStats) DistinctKeys(t string, key []int) float64 { return 1 }
+
+// opCounts summarizes a rule's compiled ops for multiset comparison:
+// joins and antijoins per table, and counts of the remaining op kinds.
+func opCounts(r *Rule) map[string]int {
+	out := make(map[string]int)
+	for _, op := range r.Ops {
+		switch o := op.(type) {
+		case *OpJoin:
+			k := "join:" + o.Table
+			if o.Neg {
+				k = "antijoin:" + o.Table
+			}
+			out[k]++
+		case *OpSelect:
+			out["select"]++
+		case *OpAssign:
+			out["assign"]++
+		case *OpRange:
+			out["range"]++
+		case *OpFoldJoin:
+			// A fold is the final join plus its fused selections and (when
+			// the aggregate input came from a trailing assignment) that
+			// assignment — count the constituents so a folded plan has the
+			// same op multiset as its unfused original.
+			out["join:"+o.Table]++
+			out["select"] += len(o.Filters)
+			if o.Input != nil && !isFieldRead(o.Input) {
+				out["assign"]++
+			}
+		}
+	}
+	return out
+}
+
+// isFieldRead reports whether p is the planner-synthesized single-field
+// read used when the aggregate input already exists in the working
+// tuple (as opposed to a folded trailing assignment).
+func isFieldRead(p *pel.Program) bool {
+	return strings.HasPrefix(p.String(), "$") && !strings.ContainsAny(p.String(), " ")
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEquivalent asserts the structural invariants every optimized
+// rule must satisfy relative to its textual original: same identity,
+// head, and trigger; Order a valid permutation of the body terms; and
+// the same multiset of compiled operators.
+func checkEquivalent(t *testing.T, orig, opt *Rule) {
+	t.Helper()
+	if opt.ID != orig.ID || opt.HeadName != orig.HeadName || opt.Delete != orig.Delete {
+		t.Fatalf("rule identity changed: %+v vs %+v", orig, opt)
+	}
+	if opt.Trigger.Kind != orig.Trigger.Kind || opt.Trigger.Name != orig.Trigger.Name {
+		t.Fatalf("%s: trigger changed: %+v vs %+v", orig.ID, orig.Trigger, opt.Trigger)
+	}
+	if opt.CostBasis != nil {
+		seen := make(map[int]bool)
+		for _, i := range opt.Order {
+			if i < 0 || i >= len(opt.Order) || seen[i] {
+				t.Fatalf("%s: order %v is not a permutation", orig.ID, opt.Order)
+			}
+			seen[i] = true
+		}
+	}
+	if !sameCounts(opCounts(orig), opCounts(opt)) {
+		t.Fatalf("%s: op multiset changed:\n  orig %v\n  opt  %v",
+			orig.ID, opCounts(orig), opCounts(opt))
+	}
+	if len(opt.HeadProgs) != len(orig.HeadProgs) {
+		t.Fatalf("%s: head arity changed", orig.ID)
+	}
+}
+
+const chordLookupSrc = `
+	materialize(node, infinity, 1, keys(1)).
+	materialize(finger, 180, 160, keys(2)).
+	materialize(bestSucc, infinity, 1, keys(1)).
+	L1 lookupResults@R(R,K,S,SI,E) :- node@NI(NI,N), lookup@NI(NI,K,R,E),
+		bestSucc@NI(NI,S,SI), K in (N,S].
+	L2 bestLookupDist@NI(NI,K,R,E,min<D>) :- node@NI(NI,N),
+		lookup@NI(NI,K,R,E), finger@NI(NI,I,B,BI), D := K - B - 1, B in (N,K).
+	L3 lookup@BI(min<BI>,K,R,E) :- node@NI(NI,N),
+		bestLookupDist@NI(NI,K,R,E,D), finger@NI(NI,I,B,BI),
+		D == K - B - 1, B in (N,K).
+`
+
+func TestOptimizePreservesRuleStructure(t *testing.T) {
+	p := compile(t, chordLookupSrc)
+	opt := Optimize(p, nil, OptimizerConfig{})
+	if len(opt.Rules) != len(p.Rules) {
+		t.Fatalf("rule count changed: %d vs %d", len(opt.Rules), len(p.Rules))
+	}
+	optimized := 0
+	for i, orig := range p.Rules {
+		checkEquivalent(t, orig, opt.Rules[i])
+		if opt.Rules[i].CostBasis != nil {
+			optimized++
+			if opt.Rules[i] == orig {
+				t.Fatalf("%s: optimized rule must be a private copy", orig.ID)
+			}
+			if opt.Rules[i].CostEst <= 0 {
+				t.Fatalf("%s: cost estimate = %v", orig.ID, opt.Rules[i].CostEst)
+			}
+		}
+	}
+	if optimized == 0 {
+		t.Fatal("no rule was optimized")
+	}
+	// The input plan is untouched.
+	for _, orig := range p.Rules {
+		if orig.CostBasis != nil {
+			t.Fatal("Optimize mutated its input plan")
+		}
+	}
+}
+
+// TestOptimizeRandomRulesProperty is the plan-equivalence property
+// test: randomly generated (compilable) rule bodies, optimized under
+// randomly skewed statistics, must always yield a valid permutation of
+// the same operator multiset with identity and trigger intact.
+func TestOptimizeRandomRulesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tables := []string{"ta", "tb", "tc"}
+	for trial := 0; trial < 200; trial++ {
+		var b strings.Builder
+		b.WriteString(`
+			materialize(ta, infinity, infinity, keys(1,2)).
+			materialize(tb, 30, 50, keys(2)).
+			materialize(tc, infinity, 1, keys(1)).
+		`)
+		// Body: the event, then 1-3 table atoms, plus optional
+		// conds/assigns in random textual positions.
+		var terms []string
+		vars := []string{"A"}
+		for i, tab := range tables {
+			if rng.Intn(2) == 0 && i > 0 {
+				continue
+			}
+			v := fmt.Sprintf("V%d", i)
+			neg := ""
+			if rng.Intn(4) == 0 {
+				// Negated atoms may only use bound variables.
+				neg = "not "
+				terms = append(terms, fmt.Sprintf("%s%s@X(X, A)", neg, tab))
+				continue
+			}
+			terms = append(terms, fmt.Sprintf("%s@X(X, %s)", tab, v))
+			vars = append(vars, v)
+		}
+		// Conds/assigns reference only the event variable so the shuffle
+		// can never move them before their binding (the compiler checks
+		// bindings left-to-right).
+		if rng.Intn(2) == 0 {
+			terms = append(terms, "A > 0")
+		}
+		if rng.Intn(2) == 0 {
+			terms = append(terms, "W := A + 1")
+			vars = append(vars, "W")
+		}
+		rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+		head := vars[rng.Intn(len(vars))]
+		fmt.Fprintf(&b, "R1 out@X(X, %s) :- evt@X(X, A), %s.\n",
+			head, strings.Join(terms, ", "))
+
+		p := compile(t, b.String())
+		st := stubStats{card: map[string]float64{
+			"ta": float64(1 + rng.Intn(1000)),
+			"tb": float64(1 + rng.Intn(1000)),
+			"tc": float64(1 + rng.Intn(1000)),
+		}}
+		opt := Optimize(p, st, OptimizerConfig{})
+		for i, orig := range p.Rules {
+			checkEquivalent(t, orig, opt.Rules[i])
+		}
+	}
+}
+
+func TestPushdownMovesFilterBeforeJoin(t *testing.T) {
+	p := compile(t, `
+		materialize(m, 30, 100, keys(2)).
+		R1 out@X(X, Y) :- evt@X(X, A), m@X(X, Y), A > 5.
+	`)
+	// Textually the filter sits after the join; its only variable is
+	// bound by the event, so both the pushdown-only and the full planner
+	// must float it ahead of the probe.
+	for _, cfg := range []OptimizerConfig{{}, {NoReorder: true}} {
+		opt := Optimize(p, nil, cfg)
+		r := opt.Rules[0]
+		if r.CostBasis == nil {
+			t.Fatalf("cfg %+v: rule not optimized", cfg)
+		}
+		if _, ok := r.Ops[0].(*OpSelect); !ok {
+			t.Fatalf("cfg %+v: first op = %T, want pushed-down select", cfg, r.Ops[0])
+		}
+	}
+	// With pushdown disabled the textual shape survives.
+	opt := Optimize(p, nil, OptimizerConfig{NoReorder: true, NoPushdown: true})
+	if _, ok := opt.Rules[0].Ops[0].(*OpJoin); !ok {
+		t.Fatalf("NoPushdown violated: first op = %T", opt.Rules[0].Ops[0])
+	}
+}
+
+func TestGreedyPicksSmallerFanoutFirst(t *testing.T) {
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 out@X(X, B, S) :- evt@X(X), big@X(X, B), small@X(X, S).
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "small": 2}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	r := opt.Rules[0]
+	j, ok := r.Ops[0].(*OpJoin)
+	if !ok || j.Table != "small" {
+		t.Fatalf("first op = %+v, want join on small", r.Ops[0])
+	}
+	if r.OrderString() != "1,0" {
+		t.Fatalf("order = %q, want 1,0", r.OrderString())
+	}
+	// Flipped statistics flip the choice.
+	st = stubStats{card: map[string]float64{"big": 2, "small": 1000}}
+	opt = Optimize(p, st, OptimizerConfig{})
+	if j := opt.Rules[0].Ops[0].(*OpJoin); j.Table != "big" {
+		t.Fatalf("flipped stats: first join on %s, want big", j.Table)
+	}
+}
+
+func TestFrozenRandomRuleUntouched(t *testing.T) {
+	p := compile(t, `
+		materialize(m, 30, 100, keys(2)).
+		R1 out@X(X, Y, C) :- evt@X(X), m@X(X, Y), C := f_rand(), Y > 2.
+	`)
+	opt := Optimize(p, nil, OptimizerConfig{})
+	if opt.Rules[0] != p.Rules[0] {
+		t.Fatal("rule drawing randomness must be shared untouched")
+	}
+	if opt.Rules[0].CostBasis != nil {
+		t.Fatal("frozen rule must carry no cost basis")
+	}
+}
+
+func TestEventBoundAggregateReorders(t *testing.T) {
+	// min<B> whose other head fields are all event-bound: the aggregate
+	// value is a pure function of the binding multiset and ties project
+	// identically, so the join order may move — this is the Chord
+	// maxSuccDist/bestLookupDist shape, where it matters most.
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 out@X(X, min<B>) :- evt@X(X, A), big@X(X, B), small@X(X, S), A > 0.
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "small": 2}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	r := opt.Rules[0]
+	if r.CostBasis == nil {
+		t.Fatal("aggregate rule should be re-planned")
+	}
+	if _, ok := r.Ops[0].(*OpSelect); !ok {
+		t.Fatalf("first op = %T, want pushed-down select", r.Ops[0])
+	}
+	j, ok := r.Ops[1].(*OpJoin)
+	if !ok || j.Table != "small" {
+		t.Fatalf("event-bound min<> should reorder small first: %+v", r.Ops)
+	}
+}
+
+func TestExemplarAggregateWithBodyHeadVarIsPushdownOnly(t *testing.T) {
+	// Here the head also projects S from the small join: a tie on B
+	// between rows with different S picks whichever was visited first,
+	// so atoms must stay textual — but the event-bound filter still
+	// floats up.
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 out@X(X, S, min<B>) :- evt@X(X, A), big@X(X, B), small@X(X, S), A > 0.
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "small": 2}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	r := opt.Rules[0]
+	if r.CostBasis == nil {
+		t.Fatal("pushdown-only rule should still be re-planned")
+	}
+	if _, ok := r.Ops[0].(*OpSelect); !ok {
+		t.Fatalf("first op = %T, want pushed-down select", r.Ops[0])
+	}
+	j, ok := r.Ops[1].(*OpJoin)
+	if !ok || j.Table != "big" {
+		t.Fatalf("atom order changed under an exemplar aggregate: %+v", r.Ops)
+	}
+}
+
+func TestSumAggregateIsPushdownOnly(t *testing.T) {
+	// sum<> accumulates floats in visit order, so even an event-bound
+	// head pins the atom order.
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 out@X(X, sum<B>) :- evt@X(X), big@X(X, B), small@X(X, S).
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "small": 2}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	j, ok := opt.Rules[0].Ops[0].(*OpJoin)
+	if !ok || j.Table != "big" {
+		t.Fatalf("atom order changed under sum<>: %+v", opt.Rules[0].Ops)
+	}
+}
+
+func TestDeleteHeadReordersUnlessSelfReading(t *testing.T) {
+	// Deletes commute with each other, so a delete rule reorders like
+	// any other — unless its body reads the very table it deletes from,
+	// where removals land mid-probe-walk (the Chord S4 shape).
+	p := compile(t, `
+		materialize(victim, 30, infinity, keys(2)).
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 delete victim@X(X, B) :- evt@X(X), big@X(X, B), small@X(X, S), B == S.
+		R2 delete victim@X(X, S) :- evt@X(X), victim@X(X, B), small@X(X, S), B == S.
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "small": 2, "victim": 500}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	if j := opt.Rules[0].Ops[0].(*OpJoin); j.Table != "small" {
+		t.Fatalf("non-self-reading delete should reorder small first: %+v", opt.Rules[0].Ops)
+	}
+	if j := opt.Rules[1].Ops[0].(*OpJoin); j.Table != "victim" {
+		t.Fatalf("self-reading delete must keep atom order: %+v", opt.Rules[1].Ops)
+	}
+}
+
+func TestNegatedRuleKeepsAtomOrder(t *testing.T) {
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(seen, 30, infinity, keys(1,2)).
+		R1 out@X(X, B) :- evt@X(X), big@X(X, B), not seen@X(X, B).
+	`)
+	st := stubStats{card: map[string]float64{"big": 1000, "seen": 2}}
+	opt := Optimize(p, st, OptimizerConfig{})
+	r := opt.Rules[0]
+	j, ok := r.Ops[0].(*OpJoin)
+	if !ok || j.Table != "big" || j.Neg {
+		t.Fatalf("negation must pin atom order; ops = %+v", r.Ops)
+	}
+}
+
+func TestReoptimizeKeepsIDAndDetectsChange(t *testing.T) {
+	p := compile(t, `
+		materialize(big, 30, infinity, keys(2)).
+		materialize(small, 30, infinity, keys(2)).
+		R1 out@X(X, B, S) :- evt@X(X), big@X(X, B), small@X(X, S).
+	`)
+	opt := Optimize(p, stubStats{card: map[string]float64{"big": 1000, "small": 2}}, OptimizerConfig{})
+	r := opt.Rules[0]
+
+	// Same statistics: no swap, basis refreshed in place.
+	nr, changed := opt.Reoptimize(r, stubStats{card: map[string]float64{"big": 1000, "small": 2}}, OptimizerConfig{})
+	if changed || nr != r {
+		t.Fatal("stable statistics must not produce a swap")
+	}
+
+	// Inverted statistics: a new rule under the same ID.
+	nr, changed = opt.Reoptimize(r, stubStats{card: map[string]float64{"big": 2, "small": 1000}}, OptimizerConfig{})
+	if !changed || nr == r {
+		t.Fatal("inverted statistics must produce a swap")
+	}
+	if nr.ID != r.ID {
+		t.Fatalf("replan changed the rule ID: %q vs %q", nr.ID, r.ID)
+	}
+	if j := nr.Ops[0].(*OpJoin); j.Table != "big" {
+		t.Fatalf("replanned first join on %s, want big", j.Table)
+	}
+	checkEquivalent(t, r, nr)
+}
+
+func TestDrifted(t *testing.T) {
+	cfg := OptimizerConfig{} // default factor 2
+	cases := []struct {
+		costed, cur float64
+		want        bool
+	}{
+		{10, 10, false},
+		{10, 15, false}, // ratio 16/11 < 2
+		{10, 30, true},  // grew past 2x
+		{50, 30, false}, // 31/51 > 1/2
+		{50, 15, true},  // shrank past 2x
+		{1, 4, true},    // small-table capture: 5/2 >= 2
+		{0, 0, false},   // smoothing: empty stays put
+		{0, 10, true},   // 11/1 >= 2
+		{1000, 0, true}, // collapse
+		{1000, 700, false},
+	}
+	for _, c := range cases {
+		if got := cfg.Drifted(c.costed, c.cur); got != c.want {
+			t.Errorf("Drifted(%v, %v) = %v, want %v", c.costed, c.cur, got, c.want)
+		}
+	}
+	off := OptimizerConfig{DriftFactor: 1}
+	if off.Drifted(1, 1e9) {
+		t.Error("DriftFactor <= 1 must disable drift")
+	}
+}
+
+func TestShareableJoin(t *testing.T) {
+	p := compile(t, `
+		materialize(m, 30, 100, keys(2)).
+		materialize(seen, 30, 100, keys(1,2)).
+		materialize(out3, infinity, infinity, keys(1,2)).
+		R1 out1@X(X, Y) :- evt@X(X, A), m@X(X, Y), A > 5.
+		R2 out2@X(X, Y) :- evt@X(X, A), W := A + 1, m@X(X, Y).
+		R3 out3@X(X, Y) :- evt@X(X, A), m@X(X, Y).
+		R4 m@X(X, Y) :- evt@X(X, A), m@X(X, Y).
+		R5 out5@X(X, A) :- evt@X(X, A), not seen@X(X, A).
+	`)
+	byID := make(map[string]*Rule)
+	for _, r := range p.Rules {
+		byID[r.ID] = r
+	}
+	// R1's leading probe follows only the (pushed-down) selects in the
+	// textual plan — here the select is compiled after the join, so the
+	// join is op 0 and shareable.
+	if i, ok := p.ShareableJoin(byID["R1"]); !ok || i != 0 {
+		t.Fatalf("R1 = (%d, %v), want shareable at 0", i, ok)
+	}
+	// R2's assign rebuilds the working tuple before the probe: the cache
+	// would never see the original event pointer.
+	if _, ok := p.ShareableJoin(byID["R2"]); ok {
+		t.Fatal("R2's post-assign join must not be shareable")
+	}
+	// R3 stores into out3 — a different table than it probes: fine.
+	if _, ok := p.ShareableJoin(byID["R3"]); !ok {
+		t.Fatal("R3 should be shareable")
+	}
+	// R4 writes the very table it probes, synchronously.
+	if _, ok := p.ShareableJoin(byID["R4"]); ok {
+		t.Fatal("R4 probes a table its own head writes; must not share")
+	}
+	// R5 is an antijoin.
+	if _, ok := p.ShareableJoin(byID["R5"]); ok {
+		t.Fatal("antijoins must not share")
+	}
+}
+
+func TestCatalogStatsHeuristics(t *testing.T) {
+	p := compile(t, `
+		materialize(one, infinity, 1, keys(1)).
+		materialize(capped, 30, 16, keys(2)).
+		materialize(huge, 30, 100000, keys(2)).
+		materialize(open, 30, infinity, keys(2)).
+	`)
+	cs := NewCatalogStats(p)
+	if cs.Cardinality("one") != 1 || cs.Cardinality("capped") != 16 {
+		t.Fatalf("bounded tables: %v %v", cs.Cardinality("one"), cs.Cardinality("capped"))
+	}
+	if cs.Cardinality("huge") != catalogMaxSizeCap {
+		t.Fatalf("huge = %v, want cap %d", cs.Cardinality("huge"), catalogMaxSizeCap)
+	}
+	if cs.Cardinality("open") != catalogDefaultRows {
+		t.Fatalf("open = %v", cs.Cardinality("open"))
+	}
+	if cs.Cardinality("someStream") != 1 {
+		t.Fatalf("stream = %v", cs.Cardinality("someStream"))
+	}
+	if cs.Cardinality("sysTable") != catalogSystemRows {
+		t.Fatalf("system = %v", cs.Cardinality("sysTable"))
+	}
+	// Key covering the PK → unique per row.
+	if cs.DistinctKeys("capped", []int{0, 1}) != 16 {
+		t.Fatalf("pk distinct = %v", cs.DistinctKeys("capped", []int{0, 1}))
+	}
+	// Location-only key: one value per node.
+	if cs.DistinctKeys("capped", []int{0}) != 1 {
+		t.Fatalf("loc distinct = %v", cs.DistinctKeys("capped", []int{0}))
+	}
+	// Anything else: mildly skewed.
+	if got := cs.DistinctKeys("open", []int{2}); got != catalogDefaultRows/defaultKeySkew {
+		t.Fatalf("skew distinct = %v", got)
+	}
+}

@@ -122,10 +122,28 @@ type OpRange struct {
 	Lo, Hi *pel.Program
 }
 
-func (*OpJoin) op()   {}
-func (*OpSelect) op() {}
-func (*OpAssign) op() {}
-func (*OpRange) op()  {}
+// OpFoldJoin is the rule's final join fused with its per-event
+// aggregate — produced only by the optimizer, and only when the fusion
+// is invisible in the derived tuples (see dataflow.FoldJoin). Filters
+// and the aggregate Input evaluate over the virtual concatenation
+// stream++match; no working tuple is materialized per match. A rule
+// whose Ops end in an OpFoldJoin emits through the fold's Flush, and
+// its HeadProgs use the event++aggregate layout (as count/sum/avg
+// always do).
+type OpFoldJoin struct {
+	Table     string
+	StreamKey []int
+	TableKey  []int
+	Filters   []*pel.Program
+	Input     *pel.Program // nil for count<*>
+	Fn        dataflow.AggFunc
+}
+
+func (*OpJoin) op()     {}
+func (*OpSelect) op()   {}
+func (*OpAssign) op()   {}
+func (*OpRange) op()    {}
+func (*OpFoldJoin) op() {}
 
 // StreamAgg describes a per-event head aggregate.
 type StreamAgg struct {
@@ -147,6 +165,49 @@ type Rule struct {
 	HeadProgs []*pel.Program
 	// Materialized reports whether the head relation is a table.
 	Materialized bool
+
+	// Src is the parsed rule this strand was compiled from. The
+	// optimizer recompiles it under different body orders; nil (rules
+	// constructed programmatically) disables optimization.
+	Src *overlog.Rule
+	// Order is the optimizer-chosen visit order of the non-event body
+	// terms, as indices into their textual sequence. Nil means the
+	// naive textual order.
+	Order []int
+	// CostEst is the cost-model estimate of the chosen order (abstract
+	// tuple-touch units; comparable only within one rule).
+	CostEst float64
+	// CostBasis records the per-relation cardinality each joined table
+	// was costed with, so the adaptive re-planner can detect drift.
+	// Non-nil exactly when the rule went through the optimizer — such
+	// rules are private to one node and safe to re-plan in place.
+	CostBasis map[string]float64
+
+	// orderStr memoizes OrderString. Order is immutable once set, and
+	// rules with a non-nil Order are node-private, so the lazy fill is
+	// single-threaded.
+	orderStr string
+}
+
+// OrderString renders the optimizer-chosen body order ("0,2,1"), or
+// "-" for the naive textual order. This is the sysPlan Order column;
+// the introspection refresh calls it per strand per tick, hence the
+// memo.
+func (r *Rule) OrderString() string {
+	if len(r.Order) == 0 {
+		return "-"
+	}
+	if r.orderStr == "" {
+		var sb strings.Builder
+		for i, o := range r.Order {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", o)
+		}
+		r.orderStr = sb.String()
+	}
+	return r.orderStr
 }
 
 // TableAggRule is a continuous aggregate over a single table.
@@ -223,6 +284,12 @@ func (p *Plan) String() string {
 				fmt.Fprintf(&sb, " -> assign[%s]", o.Prog)
 			case *OpRange:
 				fmt.Fprintf(&sb, " -> range[%s..%s]", o.Lo, o.Hi)
+			case *OpFoldJoin:
+				fmt.Fprintf(&sb, " -> foldjoin %s%v=%v", o.Table, o.StreamKey, o.TableKey)
+				for _, f := range o.Filters {
+					fmt.Fprintf(&sb, " where[%s]", f)
+				}
+				fmt.Fprintf(&sb, " %s", o.Fn)
 			}
 		}
 		if r.Agg != nil {
@@ -234,7 +301,11 @@ func (p *Plan) String() string {
 		} else if r.Materialized {
 			verb = "store"
 		}
-		fmt.Fprintf(&sb, " -> %s %s/%d\n", verb, r.HeadName, len(r.HeadProgs))
+		fmt.Fprintf(&sb, " -> %s %s/%d", verb, r.HeadName, len(r.HeadProgs))
+		if r.CostBasis != nil {
+			fmt.Fprintf(&sb, "  [order=%s cost=%.4g]", r.OrderString(), r.CostEst)
+		}
+		sb.WriteString("\n")
 	}
 	for _, ta := range p.TableAggs {
 		fmt.Fprintf(&sb, "tableagg %s: %s over %s groups=%v agg@%d -> %s\n",

@@ -104,7 +104,7 @@ type Stats struct {
 // Partition / the Stats family are coordinator-only (between epochs),
 // while Send on an endpoint runs on the owning node's shard.
 type Net struct {
-	loop *eventloop.Sim       // single-loop mode (nil when sharded)
+	loop *eventloop.Sim        // single-loop mode (nil when sharded)
 	ss   *eventloop.ShardedSim // sharded mode (nil when single-loop)
 	cfg  Config
 

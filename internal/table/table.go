@@ -61,6 +61,12 @@ type Table struct {
 
 	scratch []byte // probe/insert key render buffer
 
+	// version counts content mutations (row added or removed). Pure
+	// refreshes do not bump it: they change no bucket, so a probe
+	// result cached at version v is still exact after any number of
+	// refreshes. Shared probe caches key on this.
+	version uint64
+
 	stats Stats
 }
 
@@ -133,6 +139,31 @@ func (tb *Table) Stats() Stats { return tb.stats }
 func (tb *Table) Len() int {
 	tb.Expire()
 	return len(tb.rows)
+}
+
+// LenRaw returns the resident row count without an expiry pass — rows
+// past their TTL but not yet swept are included. For hot paths that
+// only need an approximate cardinality (the optimizer's per-refresh
+// drift checks) and must not pay an expiry walk per call.
+func (tb *Table) LenRaw() int { return len(tb.rows) }
+
+// Version returns the content-mutation counter: it advances whenever a
+// row is added or removed and never on pure refreshes. Two reads that
+// observe the same version are guaranteed to see identical contents.
+func (tb *Table) Version() uint64 { return tb.version }
+
+// DistinctKeys returns the number of distinct values the given field
+// positions currently take — the bucket count of the matching
+// secondary index. It returns 0 (unknown) when no such index exists;
+// it never creates one, so the optimizer can ask about arbitrary keys
+// without growing per-insert maintenance work.
+func (tb *Table) DistinctKeys(positions []int) int {
+	ix, ok := tb.bySig[indexSig(positions)]
+	if !ok {
+		return 0
+	}
+	tb.Expire()
+	return len(ix.m)
 }
 
 // OnInsert registers fn to run whenever a genuinely new or changed
@@ -239,6 +270,7 @@ func (tb *Table) expiry(now float64) float64 {
 // the bucket already holds a row, its cached string is reused instead
 // of materializing a fresh one.
 func (tb *Table) addRow(t *tuple.Tuple, now float64, pk string) {
+	tb.version++
 	r := &row{t: t, expires: tb.expiry(now), pk: pk}
 	r.elem = tb.order.PushBack(r)
 	tb.rows[pk] = r
@@ -273,6 +305,7 @@ func internKey(bucket []*row, ord int) (string, bool) {
 // probe is visiting buckets, slots are tombstoned in place (and
 // compacted when the probe finishes) so no probe sees a row twice.
 func (tb *Table) removeRow(r *row, notify bool) {
+	tb.version++
 	delete(tb.rows, r.pk)
 	tb.order.Remove(r.elem)
 	for i, ix := range tb.indices {

@@ -40,6 +40,7 @@
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
+//	sysPlan(@N, Rule, Order, CostEst, Replans)
 //	sysNet(@N, Dest, Sent, Recvd, Bytes, Retries, Cwnd, RTO, Backlog, BatchFill,
 //	       DropsRetry, DropsClosed, DropsDead, DropsOverflow)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
@@ -56,8 +57,27 @@
 //	`)
 //
 // The "sys" relation-name prefix is reserved. The same counters are
-// available from Go via Node.TableStats, RuleStats, NetStats, and
-// NodeStat; cmd/p2's -top flag renders them as a live view.
+// available from Go via Node.TableStats, RuleStats, PlanStats,
+// NetStats, and NodeStat; cmd/p2's -top flag renders them as a live
+// view.
+//
+// # Query optimizer
+//
+// WithOptimizer enables a cost-based query optimizer: rule bodies are
+// re-ordered (cheapest join first), selections are pushed past joins,
+// rules on the same trigger that begin with the same table probe share
+// it through one cached lookup, and fully-reorderable min/max/count
+// rules fuse their final join with the aggregate into a fold that
+// never materializes a per-match tuple. At spawn time plans are costed
+// from catalog heuristics; thereafter the introspection refresh doubles
+// as an adaptive feedback loop — rules whose live table cardinalities
+// drift past OptimizerConfig.DriftFactor from the values their plan was
+// costed with are re-planned in place, preserving rule identity.
+// Current plans are queryable per rule via the sysPlan system table
+// ("@N, Rule, Order, CostEst, Replans"). Optimized and textual plans
+// are tuple-equivalent; on a simulated deployment replans are
+// deterministic, so bit-identical results at every shard count extend
+// to optimized runs.
 //
 // # Observability
 //
@@ -141,18 +161,25 @@ type (
 	NetConfig = simnet.Config
 	// SysTableDef describes one system table's schema.
 	SysTableDef = introspect.Def
-	// TableStat, RuleStat, NetStat, and NodeStat are the Go-level forms
-	// of the sys* system-table rows (see Node.TableStats etc.).
+	// TableStat, RuleStat, PlanStat, NetStat, and NodeStat are the
+	// Go-level forms of the sys* system-table rows (see Node.TableStats
+	// etc.).
 	TableStat = introspect.TableStat
 	RuleStat  = introspect.RuleStat
+	PlanStat  = introspect.PlanStat
 	NetStat   = introspect.NetStat
 	NodeStat  = introspect.NodeStat
+	// OptimizerConfig tunes the cost-based query optimizer (see
+	// WithOptimizer); its zero value enables every optimization with
+	// the default replanning drift factor.
+	OptimizerConfig = planner.OptimizerConfig
 )
 
 // System table names, re-exported for Watch and Table lookups.
 const (
 	SysTable  = introspect.TableRelation
 	SysRule   = introspect.RuleRelation
+	SysPlan   = introspect.PlanRelation
 	SysNet    = introspect.NetRelation
 	SysNode   = introspect.NodeRelation
 	SysHealth = introspect.HealthRelation

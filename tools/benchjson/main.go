@@ -10,6 +10,13 @@
 // Every benchmark line is parsed into its name, iteration count, and
 // the full set of reported metrics (ns/op, B/op, and any custom
 // b.ReportMetric units).
+//
+// With -baseline the run is additionally compared against an archived
+// document: any benchmark present in both whose events/sec falls more
+// than -regress (default 10%) below the baseline fails the invocation,
+// which is how CI turns the trajectory artifact into a regression gate:
+//
+//	go test -run '^$' -bench . -benchtime 2x . | go run ./tools/benchjson -baseline BENCH_seed.json
 package main
 
 import (
@@ -74,6 +81,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit SHA to stamp into the document")
 	allowEmpty := flag.Bool("allow-empty", false, "emit a document even when no benchmark lines were parsed")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json: fail when any matching benchmark's events/sec regresses more than -regress")
+	regress := flag.Float64("regress", 0.10, "fractional events/sec regression tolerated against -baseline")
 	flag.Parse()
 
 	doc := Doc{
@@ -137,10 +146,79 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if !compareBaseline(&doc, *baseline, *regress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline checks the parsed run against an archived document:
+// for every benchmark name present in both, events/sec may not fall
+// more than the tolerated fraction below the baseline value. Names
+// present on only one side are warned about and skipped — baselines
+// age, and a renamed or newly added benchmark must not mask the
+// comparison of the ones that still match. Returns false on any
+// regression beyond tolerance.
+func compareBaseline(doc *Doc, path string, tol float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return false
+	}
+	cur := make(map[string]float64)
+	for _, r := range doc.Results {
+		if ev, ok := r.Metrics["events/sec"]; ok {
+			cur[r.Name] = ev
+		}
+	}
+	ok, compared := true, 0
+	for _, b := range base.Results {
+		bev, has := b.Metrics["events/sec"]
+		if !has {
+			continue
+		}
+		cev, present := cur[b.Name]
+		if !present {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s in baseline but not in this run; skipped\n", b.Name)
+			continue
+		}
+		compared++
+		delta := cev/bev - 1
+		status := "ok"
+		if delta < -tol {
+			status = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-50s %12.0f -> %12.0f events/sec (%+.1f%%) %s\n",
+			b.Name, bev, cev, delta*100, status)
+	}
+	for _, r := range doc.Results {
+		if _, has := r.Metrics["events/sec"]; !has {
+			continue
+		}
+		found := false
+		for _, b := range base.Results {
+			if b.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s has no baseline entry; skipped\n", r.Name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: warning: no benchmark matched the baseline; nothing compared")
+	}
+	return ok
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	doc := Doc{Results: results}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func res(name string, eventsSec float64) Result {
+	return Result{Name: name, Iters: 1, Metrics: map[string]float64{"events/sec": eventsSec}}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base := writeBaseline(t, []Result{res("BenchmarkA", 1000), res("BenchmarkB", 500)})
+	doc := &Doc{Results: []Result{res("BenchmarkA", 950), res("BenchmarkB", 600)}}
+	if !compareBaseline(doc, base, 0.10) {
+		t.Fatal("a 5% dip and an improvement must pass a 10% gate")
+	}
+}
+
+func TestCompareBaselineFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, []Result{res("BenchmarkA", 1000)})
+	doc := &Doc{Results: []Result{res("BenchmarkA", 850)}}
+	if compareBaseline(doc, base, 0.10) {
+		t.Fatal("a 15% events/sec regression must fail a 10% gate")
+	}
+}
+
+func TestCompareBaselineSkipsUnmatchedNames(t *testing.T) {
+	// Renamed/new benchmarks warn and skip — only matching names gate.
+	base := writeBaseline(t, []Result{res("BenchmarkGone", 1000), res("BenchmarkA", 100)})
+	doc := &Doc{Results: []Result{res("BenchmarkNew", 1), res("BenchmarkA", 99)}}
+	if !compareBaseline(doc, base, 0.10) {
+		t.Fatal("unmatched names must not fail the comparison")
+	}
+}
+
+func TestCompareBaselineMissingFile(t *testing.T) {
+	doc := &Doc{Results: []Result{res("BenchmarkA", 1)}}
+	if compareBaseline(doc, filepath.Join(t.TempDir(), "nope.json"), 0.10) {
+		t.Fatal("unreadable baseline must fail, not silently pass")
+	}
+}
+
+func TestCompareBaselineIgnoresNonEventMetrics(t *testing.T) {
+	base := writeBaseline(t, []Result{{Name: "BenchmarkC", Iters: 1,
+		Metrics: map[string]float64{"ns/op": 100}}})
+	doc := &Doc{Results: []Result{{Name: "BenchmarkC", Iters: 1,
+		Metrics: map[string]float64{"ns/op": 900}}}}
+	if !compareBaseline(doc, base, 0.10) {
+		t.Fatal("benchmarks without events/sec are outside the gate")
+	}
+}

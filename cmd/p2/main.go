@@ -56,6 +56,10 @@ func main() {
 	ackDelay := flag.Duration("ack-delay", 20*time.Millisecond, "how long to wait for reverse-path data to piggyback acks on")
 	monitor := flag.String("monitor", "", "OverLog file to Install into the running node (monitoring rules)")
 	metrics := flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090)")
+	record := flag.String("record", "", "record this node's wire traffic to a trace file (replayable with p2sim -replay)")
+	faultDrop := flag.Float64("fault-drop", 0, "inject seeded datagram loss at this probability (enables the fault layer)")
+	faultDup := flag.Float64("fault-dup", 0, "inject seeded datagram duplication at this probability")
+	faultReorder := flag.Float64("fault-reorder", 0, "inject seeded datagram reordering at this probability")
 	optimize := flag.Bool("optimize", true, "enable the cost-based query optimizer (sysPlan shows each rule's plan)")
 	top := flag.Bool("top", false, "render a live p2top view of the sys* system tables")
 	topEvery := flag.Duration("top-interval", 2*time.Second, "refresh period of the -top view")
@@ -85,6 +89,17 @@ func main() {
 	opts := []p2.Option{p2.WithSeed(*seed), p2.WithTransport(tcfg)}
 	if *metrics != "" {
 		opts = append(opts, p2.WithMetrics(*metrics))
+	}
+	if *record != "" {
+		opts = append(opts, p2.WithRecord(*record))
+	}
+	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 {
+		opts = append(opts, p2.WithFaults(p2.FaultConfig{
+			Seed:        *seed,
+			DropRate:    *faultDrop,
+			DupRate:     *faultDup,
+			ReorderRate: *faultReorder,
+		}))
 	}
 	if *optimize {
 		opts = append(opts, p2.WithOptimizer(p2.OptimizerConfig{}))

@@ -25,7 +25,9 @@ import (
 	"p2/internal/harness"
 	"p2/internal/overlays"
 	"p2/internal/planner"
+	"p2/internal/scenario"
 	"p2/internal/simnet"
+	"p2/internal/trace"
 )
 
 func main() {
@@ -36,12 +38,21 @@ func main() {
 		"parallel simulation shards (1 = sharded machinery on one core; metrics are identical at every count)")
 	placement := flag.Bool("placement", false, "dump the node→shard placement map before running")
 	explain := flag.Bool("explain", false, "print the Chord plan as the query optimizer would execute it, then exit")
+	replay := flag.String("replay", "", "replay a recorded wire trace (p2 -record) through the simulator and print the ring digest, then exit")
+	replayUntil := flag.Float64("replay-until", 0, "virtual seconds to run the replay for (default: the trace's own end)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *explain {
 		explainChord(os.Stdout)
+		return
+	}
+	if *replay != "" {
+		if err := replayTrace(os.Stdout, *replay, *seed, *replayUntil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -132,6 +143,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// replayTrace re-executes a recorded UDP wire trace (p2 -record)
+// offline through the virtual-time simulator and prints each recorded
+// node's final best successor — the fault lab's record/replay recipe.
+// The trace does not store the spawn order, so the landmark is taken
+// to be the first recorded sender; pass the recording run's seed for
+// matching node randomness.
+func replayTrace(w io.Writer, path string, seed int64, until float64) error {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	addrs := tr.Nodes()
+	// Put the first sender first: in a p2-recorded session the landmark
+	// is spawned (and speaks) before its joiners.
+	for _, rec := range tr.Recs {
+		if rec.Dir == trace.Send {
+			for i, a := range addrs {
+				if a == rec.Src {
+					addrs[0], addrs[i] = addrs[i], addrs[0]
+				}
+			}
+			break
+		}
+	}
+	digest, err := scenario.Replay(tr, addrs, seed, until)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== replay of %s (%d datagrams, %d nodes, %.2fs) ==\n",
+		path, len(tr.Recs), len(addrs), tr.End())
+	for i, a := range addrs {
+		fmt.Fprintf(w, "  n%d = %s\n", i, a)
+	}
+	fmt.Fprintf(w, "ring digest: %s\n", digest)
+	return nil
 }
 
 // explainChord prints the Chord plan exactly as a node would execute it

@@ -43,9 +43,11 @@ import (
 
 	"p2/internal/engine"
 	"p2/internal/eventloop"
+	"p2/internal/netif"
 	"p2/internal/planner"
 	"p2/internal/seed"
 	"p2/internal/simnet"
+	"p2/internal/trace"
 	"p2/internal/udpnet"
 )
 
@@ -77,8 +79,14 @@ func (r Runtime) String() string {
 var (
 	// ErrClosed is returned by operations on a closed Deployment.
 	ErrClosed = errors.New("p2: deployment closed")
-	// ErrKilled is returned by Handle operations on a killed node.
-	ErrKilled = errors.New("p2: node killed")
+	// ErrNodeDown is returned by every Handle operation on a killed or
+	// replaced node: methods that return errors wrap it (match with
+	// errors.Is), methods that return data return zero values. A dead
+	// handle never panics or hangs.
+	ErrNodeDown = errors.New("p2: node down")
+	// ErrKilled is the former name of ErrNodeDown, kept as an alias so
+	// existing errors.Is(err, ErrKilled) checks keep matching.
+	ErrKilled = ErrNodeDown
 )
 
 // NetTotals aggregates traffic counters across a simulated deployment's
@@ -105,6 +113,8 @@ type config struct {
 	nodeOpts  NodeOptions
 	optimizer *planner.OptimizerConfig
 	metrics   string // Prometheus listen address; "" disables
+	faults    *netif.FaultConfig
+	record    string // wire-trace file path; "" disables
 }
 
 // Option configures a Deployment.
@@ -174,6 +184,28 @@ func WithMetrics(addr string) Option {
 	return func(c *config) { c.metrics = addr }
 }
 
+// WithFaults arms the datagram-level fault injector on every node of a
+// UDP deployment: seeded drop / duplicate / reorder / corrupt faults
+// below the transport, plus a deployment-wide fault plane that makes
+// Partition, SetLossRate, and SetExtraLatency work on real sockets. A
+// zero FaultConfig injects nothing but still enables partitions. The
+// config's zero Seed derives from WithSeed. UDP deployments only — a
+// simulated deployment has these faults natively (topology loss,
+// Partition, and the same runtime knobs).
+func WithFaults(fc FaultConfig) Option {
+	return func(c *config) { c.faults = &fc }
+}
+
+// WithRecord records every datagram the deployment's nodes send and
+// receive — frame bytes, addresses, per-node timestamps — to a
+// versioned trace file at path, for deterministic offline replay
+// through the simulator (see the README's Fault lab section). The
+// recording tap sits at the wire: what lands in the file is what
+// crossed the network, after any injected faults. UDP deployments only.
+func WithRecord(path string) Option {
+	return func(c *config) { c.record = path }
+}
+
 // Deployment is a set of P2 nodes sharing one execution environment —
 // the runtime-agnostic surface over the sharded virtual-time simulator
 // and real UDP. Build one with NewDeployment, populate it with Spawn,
@@ -190,6 +222,11 @@ type Deployment struct {
 	// UDP runtime: a wall-clock control loop for scheduled structural
 	// actions (churn deaths, At callbacks); each node owns its own loop.
 	ctl *eventloop.Real
+	// Fault plane (UDP + WithFaults only): shared by every node's
+	// endpoint wrapper.
+	faults *netif.FaultPlane
+	// Wire recorder (UDP + WithRecord only).
+	recorder *trace.Writer
 	// Prometheus endpoint (UDP + WithMetrics only).
 	metricsLn  net.Listener
 	metricsSrv *http.Server
@@ -198,6 +235,11 @@ type Deployment struct {
 	handles map[string]*Handle // live nodes only
 	order   []string           // live nodes in spawn order
 	closed  bool
+	// incarn counts spawns per address across the deployment's whole
+	// life (never cleared on Kill): each incarnation at an address gets
+	// a strictly increasing transport epoch, so peers can tell a
+	// replaced node's fresh sequence space from the dead one's.
+	incarn map[string]uint32
 
 	churning     bool
 	churnMean    float64
@@ -214,11 +256,17 @@ func NewDeployment(rt Runtime, opts ...Option) (*Deployment, error) {
 	if cfg.shards < 1 {
 		cfg.shards = 1
 	}
-	d := &Deployment{rt: rt, cfg: cfg, handles: make(map[string]*Handle)}
+	d := &Deployment{rt: rt, cfg: cfg, handles: make(map[string]*Handle), incarn: make(map[string]uint32)}
 	switch rt {
 	case Simulated:
 		if cfg.metrics != "" {
 			return nil, fmt.Errorf("p2: WithMetrics applies to UDP deployments only (use HealthSnapshot on a simulated one)")
+		}
+		if cfg.faults != nil {
+			return nil, fmt.Errorf("p2: WithFaults applies to UDP deployments only (a simulated topology has native loss, partitions, and latency knobs)")
+		}
+		if cfg.record != "" {
+			return nil, fmt.Errorf("p2: WithRecord applies to UDP deployments only (a simulated run is already reproducible from its seed)")
 		}
 		nc := simnet.DefaultConfig()
 		if cfg.topology != nil {
@@ -240,9 +288,27 @@ func NewDeployment(rt Runtime, opts ...Option) (*Deployment, error) {
 		}
 		d.ctl = eventloop.NewReal()
 		go d.ctl.Run()
+		if cfg.faults != nil {
+			fc := *cfg.faults
+			if fc.Seed == 0 {
+				fc.Seed = cfg.seed
+			}
+			d.faults = netif.NewFaultPlane(fc)
+		}
+		if cfg.record != "" {
+			w, err := trace.Create(cfg.record)
+			if err != nil {
+				d.ctl.Stop()
+				return nil, fmt.Errorf("p2: WithRecord: %w", err)
+			}
+			d.recorder = w
+		}
 		if cfg.metrics != "" {
 			if err := d.startMetrics(cfg.metrics); err != nil {
 				d.ctl.Stop()
+				if d.recorder != nil {
+					d.recorder.Close()
+				}
 				return nil, err
 			}
 		}
@@ -357,6 +423,22 @@ func (d *Deployment) SpawnOpts(addr string, plan *Plan, opts NodeOptions) (*Hand
 		oc := *d.cfg.optimizer
 		opts.Optimizer = &oc
 	}
+	// Stamp this incarnation's transport epoch: strictly increasing per
+	// address over the deployment's life, so a replaced node's restarted
+	// sequence space is never confused with its predecessor's (the
+	// counter survives Kill). Spawn order is driver-determined, so the
+	// epochs — and the bytes they put on the wire — are identical at
+	// every shard count.
+	d.mu.Lock()
+	d.incarn[addr]++
+	epoch := d.incarn[addr]
+	d.mu.Unlock()
+	tc := DefaultTransportConfig()
+	if opts.Transport != nil {
+		tc = *opts.Transport
+	}
+	tc.Epoch = epoch
+	opts.Transport = &tc
 
 	h := &Handle{d: d, addr: addr}
 	if d.coord != nil {
@@ -368,7 +450,19 @@ func (d *Deployment) SpawnOpts(addr string, plan *Plan, opts NodeOptions) (*Hand
 	} else {
 		loop := eventloop.NewReal()
 		h.loop = loop
-		h.node = engine.NewNode(addr, loop, udpnet.New(loop), plan, opts)
+		var nif netif.Network = udpnet.New(loop)
+		if d.recorder != nil {
+			// The recording tap sits at the wire, inside the fault
+			// injector: what it records is what actually crossed the
+			// network.
+			nif = trace.WrapNetwork(nif, d.recorder, loop.Now)
+		}
+		if d.faults != nil {
+			nif = netif.WithFaults(nif, d.faults, func(delay float64, fn func()) {
+				loop.After(delay, fn)
+			})
+		}
+		h.node = engine.NewNode(addr, loop, nif, plan, opts)
 		errc := make(chan error, 1)
 		loop.Post(func() { errc <- h.node.Start() })
 		go loop.Run()
@@ -578,14 +672,62 @@ func (d *Deployment) ResetNetStats() {
 }
 
 // Partition cuts or heals bidirectional connectivity between two
-// simulated nodes. Structural action — driver context. Returns an
-// error on UDP deployments, where the network is not ours to cut.
+// nodes. Structural action — driver context on a simulated deployment.
+// On UDP the cut is enforced by the WithFaults datagram layer; without
+// it the real network is not ours to cut and an error is returned.
 func (d *Deployment) Partition(a, b string, cut bool) error {
-	if d.net == nil {
-		return fmt.Errorf("p2: partition requires a Simulated deployment")
+	if d.net != nil {
+		d.net.Partition(a, b, cut)
+		return nil
 	}
-	d.net.Partition(a, b, cut)
-	return nil
+	if d.faults != nil {
+		d.faults.Partition(a, b, cut)
+		return nil
+	}
+	return fmt.Errorf("p2: partition on a UDP deployment requires WithFaults")
+}
+
+// SetLossRate changes the per-datagram loss probability at runtime —
+// the loss-burst fault knob, uniform across the deployment. Structural
+// action — driver context on a simulated deployment (where the change
+// stays bit-identical across shard counts); enforced by the WithFaults
+// layer on UDP.
+func (d *Deployment) SetLossRate(rate float64) error {
+	if d.net != nil {
+		d.net.SetLossRate(rate)
+		return nil
+	}
+	if d.faults != nil {
+		d.faults.SetDropRate(rate)
+		return nil
+	}
+	return fmt.Errorf("p2: loss injection on a UDP deployment requires WithFaults")
+}
+
+// SetExtraLatency delays every datagram by secs on top of the base
+// network — the latency-spike fault knob. Structural action — driver
+// context on a simulated deployment; enforced by the WithFaults layer
+// on UDP.
+func (d *Deployment) SetExtraLatency(secs float64) error {
+	if d.net != nil {
+		d.net.SetExtraLatency(secs)
+		return nil
+	}
+	if d.faults != nil {
+		d.faults.SetExtraLatency(secs)
+		return nil
+	}
+	return fmt.Errorf("p2: latency injection on a UDP deployment requires WithFaults")
+}
+
+// FaultStats returns the WithFaults injector's counters (zero without
+// it — including on simulated deployments, whose native faults are
+// accounted in NetTotals).
+func (d *Deployment) FaultStats() FaultStats {
+	if d.faults == nil {
+		return FaultStats{}
+	}
+	return d.faults.Stats()
 }
 
 // ShardOf returns the shard that owns addr — a pure function of
@@ -630,6 +772,9 @@ func (d *Deployment) Close() {
 		h.Kill()
 	}
 	d.ctl.Stop()
+	if d.recorder != nil {
+		d.recorder.Close()
+	}
 }
 
 // Handle is the application's grip on one deployed node. All methods

@@ -50,6 +50,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// Owner computes the ground-truth owner of key on a Chord ring formed
+// by the live addresses: the live node whose hashed identifier is the
+// first at or clockwise after key ("" if live is empty). This is the
+// oracle every consistent lookup must agree with — shared by the
+// harness's IdealOwner and the fault lab's differential oracle.
+func Owner(key id.ID, live []string) string {
+	var best string
+	var bestDist id.ID
+	found := false
+	for _, a := range live {
+		d := key.Dist(id.Hash(a))
+		if !found || d.Less(bestDist) {
+			best, bestDist, found = a, d, true
+		}
+	}
+	return best
+}
+
 // peer names a node by address and identifier.
 type peer struct {
 	addr string

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"p2"
+	"p2/internal/chordref"
 	"p2/internal/id"
 	"p2/internal/overlays"
 	"p2/internal/simnet"
@@ -310,23 +311,11 @@ func (h *Chord) RandomLiveAddr() string {
 func (h *Chord) RandomKey() id.ID { return id.Random(h.rng) }
 
 // IdealOwner computes the ground-truth successor of key among live
-// nodes — the node every consistent lookup should return.
+// nodes — the node every consistent lookup should return. It delegates
+// to chordref.Owner, the shared oracle, so the harness and the fault
+// lab's differential checks can never drift apart.
 func (h *Chord) IdealOwner(key id.ID) string {
-	type entry struct {
-		nid  id.ID
-		addr string
-	}
-	var ring []entry
-	for _, a := range h.LiveAddrs() {
-		ring = append(ring, entry{id.Hash(a), a})
-	}
-	sort.Slice(ring, func(i, j int) bool { return ring[i].nid.Less(ring[j].nid) })
-	for _, e := range ring {
-		if !e.nid.Less(key) { // first nid >= key
-			return e.addr
-		}
-	}
-	return ring[0].addr // wrap
+	return chordref.Owner(key, h.LiveAddrs())
 }
 
 // RingCorrectness returns the fraction of live nodes whose bestSucc is

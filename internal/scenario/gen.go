@@ -1,0 +1,124 @@
+package scenario
+
+import "math/rand"
+
+// GenConfig bounds the randomized generator.
+type GenConfig struct {
+	Spec  Spec
+	Nodes int // initial population (default 6)
+	Steps int // random steps before the healing tail (default 12)
+}
+
+// Generate derives a random — but fully seed-determined — scenario.
+// The generator tracks a topology model so the script stays
+// meaningful: it only kills nodes that are alive (never node 0, the
+// Chord landmark, and never below a two-node floor), only spawns nodes
+// that are dead, and only cuts live pairs / heals cut pairs. Every
+// generated script ends with a healing tail — all cuts healed, rates
+// zeroed (the runner restores those itself), and a settle wait — so
+// invariant checks run against a calm topology.
+func Generate(seed int64, cfg GenConfig) Script {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 6
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sc := Script{
+		Seed:   seed,
+		Spec:   cfg.Spec,
+		Nodes:  cfg.Nodes,
+		Warmup: 2,
+		Settle: 4,
+	}
+	if cfg.Spec == Chord {
+		sc.Warmup = 12 // periodic stabilization needs time to form a ring
+		sc.Settle = 15
+	}
+
+	live := make([]bool, cfg.Nodes)
+	for i := range live {
+		live[i] = true
+	}
+	liveCount := cfg.Nodes
+	cuts := make(map[[2]int]bool)
+
+	pick := func(want bool, floor int) int {
+		var cand []int
+		for i, ok := range live {
+			if ok == want && (i != 0 || !want) {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 || (want && liveCount <= floor) {
+			return -1
+		}
+		return cand[rng.Intn(len(cand))]
+	}
+
+	for s := 0; s < cfg.Steps; s++ {
+		switch rng.Intn(10) {
+		case 0: // kill
+			if i := pick(true, 2); i >= 0 {
+				sc.Steps = append(sc.Steps, Step{Op: OpKill, Node: i})
+				live[i] = false
+				liveCount--
+			}
+		case 1: // spawn something dead back
+			if i := pick(false, 0); i >= 0 {
+				sc.Steps = append(sc.Steps, Step{Op: OpSpawn, Node: i})
+				live[i] = true
+				liveCount++
+			}
+		case 2: // replace a live node in place
+			if i := pick(true, 2); i >= 0 {
+				sc.Steps = append(sc.Steps, Step{Op: OpReplace, Node: i})
+			}
+		case 3: // partition a live pair
+			a, b := pick(true, 0), pick(true, 0)
+			if a >= 0 && b >= 0 && a != b && !cuts[cutKey(a, b)] {
+				sc.Steps = append(sc.Steps, Step{Op: OpPartition, Node: a, Peer: b})
+				cuts[cutKey(a, b)] = true
+			}
+		case 4: // heal one existing cut
+			for k := range cuts {
+				sc.Steps = append(sc.Steps, Step{Op: OpHeal, Node: k[0], Peer: k[1]})
+				delete(cuts, k)
+				break
+			}
+		case 5: // loss burst
+			sc.Steps = append(sc.Steps, Step{Op: OpLoss,
+				Rate: 0.05 + 0.3*rng.Float64(), Dur: 0.5 + rng.Float64()})
+		case 6: // latency spike
+			sc.Steps = append(sc.Steps, Step{Op: OpLatency,
+				Rate: 0.01 + 0.09*rng.Float64(), Dur: 0.5 + rng.Float64()})
+		case 7: // lookup batch
+			sc.Steps = append(sc.Steps, Step{Op: OpLookups,
+				Node: rng.Intn(cfg.Nodes), Count: 1 + rng.Intn(3)})
+		case 8: // churn window
+			sc.Steps = append(sc.Steps, Step{Op: OpChurn,
+				Rate: 4 + 6*rng.Float64(), Dur: 1 + 2*rng.Float64()})
+		case 9: // wait
+			sc.Steps = append(sc.Steps, Step{Op: OpWait, Dur: 0.5 + 1.5*rng.Float64()})
+		}
+	}
+
+	// Healing tail: leave the topology calm for the settle phase.
+	for k := range cuts {
+		sc.Steps = append(sc.Steps, Step{Op: OpHeal, Node: k[0], Peer: k[1]})
+	}
+	for i, ok := range live {
+		if !ok {
+			sc.Steps = append(sc.Steps, Step{Op: OpSpawn, Node: i})
+		}
+	}
+	return sc
+}
+
+func cutKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence describes the first difference the oracle found between
+// two runs of the same script. Nil means the runs agree.
+type Divergence struct {
+	Field string // which observation diverged
+	A, B  string // the two runtimes' renderings, labeled
+}
+
+// Error renders the divergence report.
+func (dv *Divergence) Error() string {
+	return fmt.Sprintf("scenario divergence in %s:\n  %s\n  %s", dv.Field, dv.A, dv.B)
+}
+
+func label(r Result, s string) string { return r.Runtime + ": " + s }
+
+func ints(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// DiffEquivalent checks runtime-independent agreement: the live set,
+// the derived-tuple multiset, the ring digest, and every lookup
+// outcome must match. It ignores Events/Bytes/Clock, which only
+// simulated runs report — this is the cross-runtime (sim vs UDP)
+// oracle.
+func DiffEquivalent(a, b Result) *Divergence {
+	if ints(a.Live) != ints(b.Live) {
+		return &Divergence{Field: "live set", A: label(a, ints(a.Live)), B: label(b, ints(b.Live))}
+	}
+	if sa, sb := strings.Join(a.Rows, " "), strings.Join(b.Rows, " "); sa != sb {
+		return &Divergence{Field: "derived-tuple multiset", A: label(a, sa), B: label(b, sb)}
+	}
+	if a.Digest != b.Digest {
+		return &Divergence{Field: "ring digest", A: label(a, a.Digest), B: label(b, b.Digest)}
+	}
+	if sa, sb := strings.Join(a.Lookups, " "), strings.Join(b.Lookups, " "); sa != sb {
+		return &Divergence{Field: "lookup outcomes", A: label(a, sa), B: label(b, sb)}
+	}
+	return nil
+}
+
+// DiffBitIdentical checks everything DiffEquivalent does plus the
+// simulator's exact gauges — event count, wire bytes, final clock.
+// This is the shards=1 vs shards=P oracle: the two runs must be
+// indistinguishable, bit for bit.
+func DiffBitIdentical(a, b Result) *Divergence {
+	if dv := DiffEquivalent(a, b); dv != nil {
+		return dv
+	}
+	if a.Events != b.Events {
+		return &Divergence{Field: "event count",
+			A: label(a, fmt.Sprintf("%d", a.Events)), B: label(b, fmt.Sprintf("%d", b.Events))}
+	}
+	if a.Bytes != b.Bytes {
+		return &Divergence{Field: "wire bytes",
+			A: label(a, fmt.Sprintf("%d", a.Bytes)), B: label(b, fmt.Sprintf("%d", b.Bytes))}
+	}
+	if a.Clock != b.Clock {
+		return &Divergence{Field: "final clock",
+			A: label(a, fmt.Sprintf("%v", a.Clock)), B: label(b, fmt.Sprintf("%v", b.Clock))}
+	}
+	return nil
+}
+
+// CheckLookups verifies every completed lookup against the chordref
+// ground truth captured at issue time — the consistency half of the
+// differential oracle. Call it only on runs whose lookups were issued
+// on a converged, fault-quiet ring; under active churn or partitions a
+// correct implementation may legitimately answer with a stale owner.
+func CheckLookups(r Result) error {
+	for _, l := range r.Lookups {
+		var eid, got, want string
+		if _, err := fmt.Sscanf(l, "%s got=%s want=%s", &eid, &got, &want); err != nil {
+			return fmt.Errorf("scenario: malformed lookup outcome %q", l)
+		}
+		if got != want {
+			return fmt.Errorf("scenario: %s lookup %s resolved to n%s, ground truth n%s",
+				r.Runtime, eid, got, want)
+		}
+	}
+	return nil
+}
+
+// CheckRing verifies the ring invariant on a Chord result: every live
+// node has a best successor and it is a live node. Call it only on
+// runs that ended with a calm, converged tail.
+func CheckRing(r Result) error {
+	live := make(map[string]bool, len(r.Live))
+	for _, i := range r.Live {
+		live[fmt.Sprintf("%d", i)] = true
+	}
+	for _, ent := range strings.Split(strings.TrimSuffix(r.Digest, ";"), ";") {
+		if ent == "" {
+			continue
+		}
+		parts := strings.Split(ent, "->")
+		if len(parts) != 2 || !live[parts[1]] {
+			return fmt.Errorf("scenario: %s ring entry %q does not point at a live node", r.Runtime, ent)
+		}
+	}
+	return nil
+}

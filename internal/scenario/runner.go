@@ -1,0 +1,426 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2"
+	"p2/internal/chordref"
+	"p2/internal/id"
+	"p2/internal/tuple"
+	"p2/internal/udpnet"
+	"p2/internal/val"
+)
+
+// Result is everything a scenario run observes, normalized to node
+// indices so runs with different address spaces (simulated names,
+// UDP host:port) compare directly.
+type Result struct {
+	Runtime string   // "sim/1", "sim/4", "udp" — for reports
+	Addrs   []string // index -> address used by this run (spawn basis)
+	Live    []int    // node indices live at collection time, ascending
+	Rows    []string // sorted derived-tuple multiset (Echo: seen rows)
+	Digest  string   // ring digest (Chord: "i->j;" per live node)
+	Lookups []string // per-lookup outcomes "eid got=<idx> want=<idx>"
+	Events  int      // simulated only: events fired
+	Bytes   int64    // simulated only: wire bytes sent
+	Clock   float64  // simulated only: final virtual time
+}
+
+// echoSpec is the reactive ping/pong overlay (no periodics): injected
+// pingEvent rows echo back as seen rows on the requester.
+const echoSpec = `
+	materialize(seen, infinity, infinity, keys(1,2,3)).
+	P1 ping@Y(Y, X, E) :- pingEvent@X(X, Y, E).
+	P2 pong@X(X, Y, E) :- ping@Y(Y, X, E).
+	P3 seen@X(X, Y, E) :- pong@X(X, Y, E).
+`
+
+// runner executes one script against one deployment. All fields are
+// guarded by mu where churn callbacks (control-lane goroutine on UDP)
+// can touch them.
+type runner struct {
+	sc    Script
+	d     *p2.Deployment
+	plan  *p2.Plan
+	addrs []string
+	idx   map[string]int
+
+	events int // simulated: events fired across every Run call
+
+	mu    sync.Mutex
+	nodes []*p2.Handle
+	live  []bool
+	looks []*lookupRec
+}
+
+// run advances the deployment and accumulates the event count (the
+// bit-identity gauge on simulated runs). Driver context.
+func (r *runner) run(seconds float64) { r.events += r.d.Run(seconds) }
+
+type lookupRec struct {
+	eid  string
+	got  string // owner address reported by the overlay ("" if never)
+	want string // chordref ground truth at issue time
+}
+
+// RunSim executes sc on a Simulated deployment with the given shard
+// count. Fully deterministic: same script, same Result, at any shard
+// count (bit-identical, including Events/Bytes/Clock).
+func RunSim(sc Script, shards int) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	addrs := make([]string, sc.Nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("f%d:p2", i)
+	}
+	d, err := p2.NewDeployment(p2.Simulated,
+		p2.WithSeed(sc.Seed), p2.WithShards(shards),
+		p2.WithNodeDefaults(p2.NodeOptions{IntrospectInterval: -1}))
+	if err != nil {
+		return Result{}, err
+	}
+	defer d.Close()
+	return runOn(sc, d, addrs, fmt.Sprintf("sim/%d", shards))
+}
+
+// UDPConfig tunes a UDP scenario run.
+type UDPConfig struct {
+	// Record, when non-empty, records the run's wire traffic to this
+	// trace file (see internal/trace and Replay).
+	Record string
+}
+
+// RunUDP executes sc over real UDP loopback sockets. The deployment
+// always carries the seeded WithFaults layer (zero ambient rates) so
+// partitions, loss bursts, and latency spikes work; durations are wall
+// clock. Returns the reserved addresses in the Result so a recorded
+// run can be replayed.
+func RunUDP(sc Script, cfg UDPConfig) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	addrs := make([]string, sc.Nodes)
+	for i := range addrs {
+		a, err := udpnet.ReserveAddr()
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: reserving UDP addr: %w", err)
+		}
+		addrs[i] = a
+	}
+	opts := []p2.Option{
+		p2.WithSeed(sc.Seed),
+		p2.WithNodeDefaults(p2.NodeOptions{IntrospectInterval: -1}),
+		p2.WithFaults(p2.FaultConfig{Seed: sc.Seed}),
+	}
+	if cfg.Record != "" {
+		opts = append(opts, p2.WithRecord(cfg.Record))
+	}
+	d, err := p2.NewDeployment(p2.UDP, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	defer d.Close()
+	return runOn(sc, d, addrs, "udp")
+}
+
+// runOn drives the identical Deployment call sequence regardless of
+// runtime — the point of the fault lab.
+func runOn(sc Script, d *p2.Deployment, addrs []string, label string) (Result, error) {
+	r := &runner{
+		sc:    sc,
+		d:     d,
+		addrs: addrs,
+		idx:   make(map[string]int, len(addrs)),
+		nodes: make([]*p2.Handle, sc.Nodes),
+		live:  make([]bool, sc.Nodes),
+	}
+	for i, a := range addrs {
+		r.idx[a] = i
+	}
+	var err error
+	if sc.Spec == Chord {
+		r.plan, err = p2.Compile(p2.ChordSource, nil)
+	} else {
+		r.plan, err = p2.Compile(echoSpec, nil)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	for i := 0; i < sc.Nodes; i++ {
+		if err := r.boot(i, false); err != nil {
+			return Result{}, err
+		}
+	}
+	r.run(sc.Warmup)
+
+	for si, st := range sc.Steps {
+		if err := r.exec(si, st); err != nil {
+			return Result{}, err
+		}
+	}
+	r.run(sc.Settle)
+	return r.collect(label)
+}
+
+// boot spawns (or, when replace is set and the node is live, replaces)
+// node i and installs the spec's boot facts and measurement taps.
+// Driver or control-lane context.
+func (r *runner) boot(i int, replace bool) error {
+	addr := r.addrs[i]
+	var h *p2.Handle
+	var err error
+	if replace {
+		h, err = r.d.Replace(addr, r.plan)
+	} else {
+		h, err = r.d.Spawn(addr, r.plan)
+	}
+	if err != nil {
+		return fmt.Errorf("scenario: boot n%d (%s): %w", i, addr, err)
+	}
+	if r.sc.Spec == Chord {
+		lm := "-"
+		if i != 0 {
+			lm = r.addrs[0]
+		}
+		h.AddFact("landmark", val.Str(addr), val.Str(lm))
+		h.AddFact("join", val.Str(addr), val.Str(addr+"!boot"))
+		h.Watch("lookupResults", func(ev p2.WatchEvent) {
+			if ev.Dir != p2.DirReceived && ev.Dir != p2.DirDerived {
+				return
+			}
+			// lookupResults(R, K, S, SI, E): only the requester counts
+			// it, and only the first answer.
+			if ev.Node != ev.Tuple.Field(0).AsStr() {
+				return
+			}
+			eid := ev.Tuple.Field(4).AsStr()
+			owner := ev.Tuple.Field(3).AsStr()
+			r.mu.Lock()
+			for _, lr := range r.looks {
+				if lr.eid == eid && lr.got == "" {
+					lr.got = owner
+					break
+				}
+			}
+			r.mu.Unlock()
+		})
+	}
+	r.mu.Lock()
+	r.nodes[i] = h
+	r.live[i] = true
+	r.mu.Unlock()
+	return nil
+}
+
+// liveAddrs snapshots the model's live addresses in index order.
+func (r *runner) liveAddrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for i, ok := range r.live {
+		if ok {
+			out = append(out, r.addrs[i])
+		}
+	}
+	return out
+}
+
+// nextLive returns the first live index at or clockwise after i on the
+// index ring (-1 if none).
+func (r *runner) nextLive(i int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := 0; k < r.sc.Nodes; k++ {
+		j := (i + k) % r.sc.Nodes
+		if r.live[j] {
+			return j
+		}
+	}
+	return -1
+}
+
+// exec runs one step. Every step is total: a step that does not apply
+// to the current topology is a no-op, so shrunk scripts always execute.
+func (r *runner) exec(si int, st Step) error {
+	switch st.Op {
+	case OpSpawn:
+		if r.nextIs(st.Node, false) {
+			return r.boot(st.Node, false)
+		}
+	case OpKill:
+		if r.nextIs(st.Node, true) {
+			r.d.Kill(r.addrs[st.Node])
+			r.mu.Lock()
+			r.nodes[st.Node], r.live[st.Node] = nil, false
+			r.mu.Unlock()
+		}
+	case OpReplace:
+		return r.boot(st.Node, r.nextIs(st.Node, true))
+	case OpPartition:
+		if st.Node != st.Peer {
+			return r.d.Partition(r.addrs[st.Node], r.addrs[st.Peer], true)
+		}
+	case OpHeal:
+		if st.Node != st.Peer {
+			return r.d.Partition(r.addrs[st.Node], r.addrs[st.Peer], false)
+		}
+	case OpLoss:
+		if err := r.d.SetLossRate(st.Rate); err != nil {
+			return err
+		}
+		r.run(st.Dur)
+		return r.d.SetLossRate(0)
+	case OpLatency:
+		if err := r.d.SetExtraLatency(st.Rate); err != nil {
+			return err
+		}
+		r.run(st.Dur)
+		return r.d.SetExtraLatency(0)
+	case OpLookups:
+		r.lookups(si, st)
+	case OpChurn:
+		r.d.EnableChurn(st.Rate, func(dep *p2.Deployment, died string) *p2.Handle {
+			// Churned nodes restart at their own address; the model's
+			// live set is unchanged, only the handle is new.
+			i := r.idx[died]
+			if err := r.boot(i, false); err != nil {
+				return nil
+			}
+			r.mu.Lock()
+			h := r.nodes[i]
+			r.mu.Unlock()
+			return h
+		}, r.addrs[0])
+		r.run(st.Dur)
+		r.d.DisableChurn()
+	case OpWait:
+		r.run(st.Dur)
+	}
+	return nil
+}
+
+// nextIs reports whether node i's model liveness equals want.
+func (r *runner) nextIs(i int, want bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live[i] == want
+}
+
+// lookups issues st.Count lookups (Chord) or pings (Echo) from the
+// first live node at or after st.Node. Keys and event IDs derive from
+// (Seed, step index, k) alone, so every runtime issues the identical
+// workload.
+func (r *runner) lookups(si int, st Step) {
+	from := r.nextLive(st.Node)
+	if from < 0 {
+		return
+	}
+	for k := 0; k < st.Count; k++ {
+		eid := fmt.Sprintf("s%d.%d", si, k)
+		if r.sc.Spec == Chord {
+			key := id.Hash(fmt.Sprintf("key/%d/%d/%d", r.sc.Seed, si, k))
+			rec := &lookupRec{eid: eid, want: chordref.Owner(key, r.liveAddrs())}
+			r.mu.Lock()
+			r.looks = append(r.looks, rec)
+			h := r.nodes[from]
+			r.mu.Unlock()
+			h.Inject(tuple.New("lookup",
+				val.Str(r.addrs[from]), val.MakeID(key), val.Str(r.addrs[from]), val.Str(eid)))
+		} else {
+			to := r.nextLive(from + 1 + k)
+			if to < 0 {
+				to = from
+			}
+			r.mu.Lock()
+			h := r.nodes[from]
+			r.mu.Unlock()
+			h.Inject(tuple.New("pingEvent",
+				val.Str(r.addrs[from]), val.Str(r.addrs[to]), val.Str(eid)))
+		}
+	}
+}
+
+// collect gathers the normalized Result from the survivors.
+func (r *runner) collect(label string) (Result, error) {
+	res := Result{Runtime: label, Addrs: r.addrs}
+	r.mu.Lock()
+	nodes := append([]*p2.Handle(nil), r.nodes...)
+	live := append([]bool(nil), r.live...)
+	looks := append([]*lookupRec(nil), r.looks...)
+	r.mu.Unlock()
+
+	// The model's live set must agree with the deployment's — the
+	// runner-level sanity invariant.
+	deployed := make(map[string]bool)
+	for _, a := range r.d.Addrs() {
+		deployed[a] = true
+	}
+	for i, ok := range live {
+		if ok != deployed[r.addrs[i]] {
+			return res, fmt.Errorf("scenario: model/deployment liveness mismatch at n%d (model=%v)", i, ok)
+		}
+		if ok {
+			res.Live = append(res.Live, i)
+		}
+	}
+
+	ownerIdx := func(addr string) string {
+		if j, ok := r.idx[addr]; ok {
+			return fmt.Sprintf("%d", j)
+		}
+		return "?"
+	}
+	if r.sc.Spec == Chord {
+		var sb []string
+		for i, ok := range live {
+			if !ok {
+				continue
+			}
+			succ := "?"
+			if rows := nodes[i].Scan("bestSucc"); len(rows) == 1 {
+				succ = ownerIdx(rows[0].Field(2).AsStr())
+			}
+			sb = append(sb, fmt.Sprintf("%d->%s", i, succ))
+		}
+		res.Digest = join(sb)
+		for _, lr := range looks {
+			got := "?"
+			if lr.got != "" {
+				got = ownerIdx(lr.got)
+			}
+			res.Lookups = append(res.Lookups,
+				fmt.Sprintf("%s got=%s want=%s", lr.eid, got, ownerIdx(lr.want)))
+		}
+	} else {
+		for i, ok := range live {
+			if !ok {
+				continue
+			}
+			for _, row := range nodes[i].Scan("seen") {
+				res.Rows = append(res.Rows, fmt.Sprintf("%d<-%s:%s",
+					i, ownerIdx(row.Field(1).AsStr()), row.Field(2).AsStr()))
+			}
+		}
+		sort.Strings(res.Rows)
+	}
+
+	if r.d.Runtime() == p2.Simulated {
+		res.Events = r.events
+		res.Bytes = r.d.NetTotals().BytesSent
+		res.Clock = r.d.Now()
+	}
+	return res, nil
+}
+
+func join(parts []string) string {
+	var b []byte
+	for _, p := range parts {
+		b = append(b, p...)
+		b = append(b, ';')
+	}
+	return string(b)
+}

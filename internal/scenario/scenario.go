@@ -1,0 +1,151 @@
+// Package scenario is the fault lab's deterministic scenario engine: a
+// typed, seed-driven script language for fault workloads, a runner that
+// executes a script through the public p2.Deployment API identically on
+// every runtime (Simulated at any shard count, real UDP loopback), a
+// randomized generator with automatic shrinking, and a differential
+// oracle that diffs what the runtimes derived.
+//
+// A Script is data, not code: a seed, an overlay spec, an initial node
+// count, and a list of Steps (spawn/kill/replace, partition/heal,
+// loss bursts, latency spikes, lookup batches, churn windows, timed
+// waits). Scripts render to a stable textual form (String) so a
+// divergence report is copy-pasteable into a regression test, and every
+// step is total — a step that does not apply to the current topology
+// (killing a dead node, healing an uncut pair) is a no-op — so any
+// subsequence of a script is itself a valid script, which is what makes
+// automatic shrinking sound.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec selects the overlay a scenario drives.
+type Spec int
+
+// Overlay specs.
+const (
+	// Echo is a fully reactive ping/pong overlay: no periodics, so the
+	// derived-tuple multiset is a pure function of the injected events
+	// and the fault schedule — comparable across every runtime.
+	Echo Spec = iota
+	// Chord is the paper's full Chord DHT: periodic stabilization,
+	// ground-truth-checkable lookups, and a ring digest.
+	Chord
+)
+
+// String names the spec.
+func (s Spec) String() string {
+	if s == Chord {
+		return "chord"
+	}
+	return "echo"
+}
+
+// Op enumerates the typed step kinds.
+type Op int
+
+// Step kinds.
+const (
+	OpSpawn    Op = iota // start node Node (no-op if live)
+	OpKill               // crash-stop node Node (no-op if dead)
+	OpReplace            // restart node Node at the same address
+	OpPartition          // cut Node <-> Peer (no-op if same or already cut)
+	OpHeal               // heal Node <-> Peer (no-op if not cut)
+	OpLoss               // loss burst: drop rate Rate for Dur seconds
+	OpLatency            // latency spike: +Rate seconds per datagram for Dur
+	OpLookups            // issue Count lookups (Chord) or pings (Echo) from Node
+	OpChurn              // churn window: mean session Rate for Dur seconds
+	OpWait               // advance Dur seconds
+)
+
+var opNames = map[Op]string{
+	OpSpawn: "spawn", OpKill: "kill", OpReplace: "replace",
+	OpPartition: "partition", OpHeal: "heal", OpLoss: "loss",
+	OpLatency: "latency", OpLookups: "lookups", OpChurn: "churn",
+	OpWait: "wait",
+}
+
+// String names the op.
+func (o Op) String() string { return opNames[o] }
+
+// Step is one scripted action. Which fields matter depends on Op; the
+// rest are zero and ignored.
+type Step struct {
+	Op    Op
+	Node  int     // subject node index
+	Peer  int     // partition/heal peer index
+	Count int     // lookup batch size
+	Rate  float64 // loss probability, added latency, or churn mean session
+	Dur   float64 // burst / window / wait duration in seconds
+}
+
+// String renders the step in the script's textual form.
+func (st Step) String() string {
+	switch st.Op {
+	case OpSpawn, OpKill, OpReplace:
+		return fmt.Sprintf("%s n%d", st.Op, st.Node)
+	case OpPartition, OpHeal:
+		return fmt.Sprintf("%s n%d n%d", st.Op, st.Node, st.Peer)
+	case OpLoss, OpLatency:
+		return fmt.Sprintf("%s %.3g for %.3gs", st.Op, st.Rate, st.Dur)
+	case OpLookups:
+		return fmt.Sprintf("lookups %d from n%d", st.Count, st.Node)
+	case OpChurn:
+		return fmt.Sprintf("churn mean=%.3gs for %.3gs", st.Rate, st.Dur)
+	case OpWait:
+		return fmt.Sprintf("wait %.3gs", st.Dur)
+	}
+	return fmt.Sprintf("op(%d)", int(st.Op))
+}
+
+// Script is one complete scenario: everything a run needs to be
+// reproduced, on any runtime, from this value alone.
+type Script struct {
+	Seed   int64   // master seed: deployment seed, fault streams, keys
+	Spec   Spec    // overlay under test
+	Nodes  int     // nodes spawned before step 0 (indices 0..Nodes-1)
+	Warmup float64 // seconds to run after the initial spawns
+	Settle float64 // seconds to run after the last step, before collection
+	Steps  []Step
+}
+
+// String renders the script as the divergence reports print it.
+func (sc Script) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario seed=%d spec=%s nodes=%d warmup=%.3gs settle=%.3gs\n",
+		sc.Seed, sc.Spec, sc.Nodes, sc.Warmup, sc.Settle)
+	for i, st := range sc.Steps {
+		fmt.Fprintf(&b, "  %2d: %s\n", i, st)
+	}
+	return b.String()
+}
+
+// WithSteps returns a copy of sc holding exactly the given steps —
+// the shrinker's building block.
+func (sc Script) WithSteps(steps []Step) Script {
+	out := sc
+	out.Steps = append([]Step(nil), steps...)
+	return out
+}
+
+// Validate rejects scripts the runner cannot execute: node indices out
+// of range, non-positive initial population, negative durations.
+func (sc Script) Validate() error {
+	if sc.Nodes < 1 {
+		return fmt.Errorf("scenario: Nodes = %d, need >= 1", sc.Nodes)
+	}
+	if sc.Warmup < 0 || sc.Settle < 0 {
+		return fmt.Errorf("scenario: negative warmup/settle")
+	}
+	for i, st := range sc.Steps {
+		if st.Node < 0 || st.Node >= sc.Nodes || st.Peer < 0 || st.Peer >= sc.Nodes {
+			return fmt.Errorf("scenario: step %d (%s): node index out of range [0,%d)", i, st, sc.Nodes)
+		}
+		if st.Dur < 0 || st.Rate < 0 || st.Count < 0 {
+			return fmt.Errorf("scenario: step %d (%s): negative field", i, st)
+		}
+	}
+	return nil
+}

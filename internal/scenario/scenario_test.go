@@ -1,0 +1,257 @@
+package scenario
+
+// The fault lab's standing tests:
+//
+//   - TestSeededScenarioConformance: one crafted seeded scenario runs
+//     bit-identically on Simulated shards=1 vs shards=4 AND
+//     multiset-equal on real UDP loopback (the acceptance scenario).
+//   - TestRandomizedScenariosBitIdentical: N generated scenarios (seed
+//     printed on failure; N and base seed via P2_SCENARIOS /
+//     P2_SCENARIO_SEED for the CI fault-lab job) are bit-identical
+//     across shard counts.
+//   - TestDivergenceCaughtAndShrunk: an intentionally injected
+//     divergence (perturbed seed on one side) is caught by the oracle
+//     and shrunk to a minimal failing script.
+//   - TestReplaceAndChurnDuringPartition: Replace and EnableChurn keep
+//     working while a partition is active and after it heals, on both
+//     runtimes.
+//   - TestRecordedTraceReplaysToSameRingDigest: a wire trace recorded
+//     from a live UDP Chord run replays through the virtual-time
+//     simulator to the same final ring digest.
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"p2/internal/trace"
+	"p2/internal/udpnet"
+)
+
+// acceptanceScript is the crafted conformance scenario. Every fault it
+// injects resolves deterministically on every runtime: pings either
+// complete (live, uncut route — the transport's retries absorb the
+// loss burst and latency spike) or can never complete (the n0|n1 cut
+// stays up through collection).
+func acceptanceScript() Script {
+	return Script{
+		Seed: 23, Spec: Echo, Nodes: 4, Warmup: 0.5, Settle: 3,
+		Steps: []Step{
+			{Op: OpLookups, Node: 0, Count: 2}, // s0.0: 0->1, s0.1: 0->2
+			{Op: OpWait, Dur: 1.5},
+			{Op: OpKill, Node: 2},
+			{Op: OpLookups, Node: 2, Count: 1}, // from skips to n3: s3.0: 3->0
+			{Op: OpWait, Dur: 1.5},
+			{Op: OpPartition, Node: 0, Peer: 1},
+			{Op: OpLookups, Node: 0, Count: 1}, // s6.0: 0->1, cut: never completes
+			{Op: OpWait, Dur: 1.5},
+			{Op: OpLoss, Rate: 0.25, Dur: 1},
+			{Op: OpLookups, Node: 1, Count: 1}, // s9.0: 1->3, uncut
+			{Op: OpWait, Dur: 1.5},
+			{Op: OpLatency, Rate: 0.05, Dur: 1},
+			{Op: OpLookups, Node: 3, Count: 1}, // s12.0: 3->0
+		},
+	}
+}
+
+func TestSeededScenarioConformance(t *testing.T) {
+	sc := acceptanceScript()
+	want := []string{"0<-1:s0.0", "0<-2:s0.1", "1<-3:s9.0", "3<-0:s12.0", "3<-0:s3.0"}
+
+	s1, err := RunSim(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := RunSim(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(s1.Rows, " "); got != strings.Join(want, " ") {
+		t.Fatalf("sim/1 multiset = %v, want %v", s1.Rows, want)
+	}
+	if dv := DiffBitIdentical(s1, s4); dv != nil {
+		t.Fatalf("sim shards=1 vs 4:\n%s\n%v", sc, dv)
+	}
+	if s1.Events == 0 || s1.Bytes == 0 {
+		t.Fatalf("scenario too trivial: events=%d bytes=%d", s1.Events, s1.Bytes)
+	}
+
+	if _, err := udpnet.ReserveAddr(); err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	u, err := RunUDP(sc, UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv := DiffEquivalent(s1, u); dv != nil {
+		t.Fatalf("sim vs udp:\n%s\n%v", sc, dv)
+	}
+}
+
+// envInt reads a positive integer knob for the CI fault-lab job.
+func envInt(name string, def int64) int64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func TestRandomizedScenariosBitIdentical(t *testing.T) {
+	n := envInt("P2_SCENARIOS", 3)
+	base := envInt("P2_SCENARIO_SEED", 1)
+	for i := int64(0); i < n; i++ {
+		seed := base + i
+		spec := Echo
+		if i%3 == 2 {
+			spec = Chord
+		}
+		sc := Generate(seed, GenConfig{Spec: spec})
+		a, err := RunSim(sc, 1)
+		if err != nil {
+			t.Fatalf("seed %d: shards=1: %v\n%s", seed, err, sc)
+		}
+		b, err := RunSim(sc, 4)
+		if err != nil {
+			t.Fatalf("seed %d: shards=4: %v\n%s", seed, err, sc)
+		}
+		if dv := DiffBitIdentical(a, b); dv != nil {
+			t.Fatalf("seed %d diverged across shard counts:\n%s\n%v", seed, sc, dv)
+		}
+	}
+}
+
+func TestDivergenceCaughtAndShrunk(t *testing.T) {
+	// A scenario whose outcome depends on the seed: pings injected into
+	// a loss burst heavy and long enough to outlast the transport's
+	// whole retry budget, so which pings survive is decided by the loss
+	// draws alone. The irrelevant topology steps around it are there
+	// for the shrinker to strip.
+	sc := Script{
+		Seed: 40, Spec: Echo, Nodes: 3, Warmup: 0.5, Settle: 2,
+		Steps: []Step{
+			{Op: OpWait, Dur: 0.5},
+			{Op: OpPartition, Node: 1, Peer: 2},
+			{Op: OpHeal, Node: 1, Peer: 2},
+			{Op: OpLookups, Node: 0, Count: 2},
+			{Op: OpLoss, Rate: 0.9, Dur: 25},
+			{Op: OpWait, Dur: 1},
+		},
+	}
+	// The injected fault: one side runs the script's seed, the other a
+	// perturbed seed — different loss draws, so the runs must diverge.
+	fails := func(s Script) bool {
+		a, err := RunSim(s, 1)
+		if err != nil {
+			t.Fatalf("shrink candidate errored: %v\n%s", err, s)
+		}
+		p := s
+		p.Seed++
+		b, err := RunSim(p, 1)
+		if err != nil {
+			t.Fatalf("shrink candidate errored: %v\n%s", err, p)
+		}
+		return DiffBitIdentical(a, b) != nil
+	}
+	if !fails(sc) {
+		t.Fatalf("perturbed seed not caught by the oracle:\n%s", sc)
+	}
+	shrunk, runs := Shrink(sc, fails)
+	if !fails(shrunk) {
+		t.Fatalf("shrunk script no longer fails:\n%s", shrunk)
+	}
+	if len(shrunk.Steps) >= len(sc.Steps) {
+		t.Fatalf("shrinker removed nothing (%d steps, %d candidate runs):\n%s",
+			len(shrunk.Steps), runs, shrunk)
+	}
+	// The failure needs the loss burst and the traffic under it;
+	// everything else should be gone.
+	if len(shrunk.Steps) > 2 {
+		t.Errorf("expected a <=2-step minimal script, got %d:\n%s", len(shrunk.Steps), shrunk)
+	}
+	for _, st := range shrunk.Steps {
+		if st.Op != OpLoss && st.Op != OpLookups {
+			t.Errorf("irrelevant step survived shrinking: %s", st)
+		}
+	}
+}
+
+// replaceChurnScript exercises satellite coverage: Replace while a
+// partition is active, a churn window across the heal, on a calm tail.
+func replaceChurnScript() Script {
+	return Script{
+		Seed: 77, Spec: Echo, Nodes: 4, Warmup: 0.5, Settle: 2,
+		Steps: []Step{
+			{Op: OpPartition, Node: 1, Peer: 2},
+			{Op: OpLookups, Node: 0, Count: 2},
+			{Op: OpWait, Dur: 1},
+			{Op: OpReplace, Node: 1}, // replace mid-partition
+			{Op: OpChurn, Rate: 2, Dur: 2}, // churn window spans the heal
+			{Op: OpHeal, Node: 1, Peer: 2},
+			{Op: OpLookups, Node: 2, Count: 1},
+			{Op: OpWait, Dur: 1},
+		},
+	}
+}
+
+func TestReplaceAndChurnDuringPartition(t *testing.T) {
+	sc := replaceChurnScript()
+	s1, err := RunSim(sc, 1)
+	if err != nil {
+		t.Fatalf("sim: %v\n%s", err, sc)
+	}
+	s4, err := RunSim(sc, 4)
+	if err != nil {
+		t.Fatalf("sim/4: %v\n%s", err, sc)
+	}
+	if dv := DiffBitIdentical(s1, s4); dv != nil {
+		t.Fatalf("replace+churn under partition diverged across shards:\n%s\n%v", sc, dv)
+	}
+	if len(s1.Live) != 4 {
+		t.Fatalf("live set after churned replacements = %v, want all 4", s1.Live)
+	}
+
+	if _, err := udpnet.ReserveAddr(); err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	u, err := RunUDP(sc, UDPConfig{})
+	if err != nil {
+		t.Fatalf("udp: %v\n%s", err, sc)
+	}
+	if len(u.Live) != 4 {
+		t.Fatalf("udp live set after churned replacements = %v, want all 4", u.Live)
+	}
+}
+
+func TestRecordedTraceReplaysToSameRingDigest(t *testing.T) {
+	if _, err := udpnet.ReserveAddr(); err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	sc := Script{Seed: 11, Spec: Chord, Nodes: 3, Warmup: 6, Settle: 2}
+	path := filepath.Join(t.TempDir(), "chord.p2trace")
+	live, err := RunUDP(sc, UDPConfig{Record: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(live.Digest, "?") || live.Digest == "" {
+		t.Fatalf("live ring did not converge: digest %q", live.Digest)
+	}
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Recs) == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	replayed, err := Replay(tr, live.Addrs, sc.Seed, sc.Warmup+sc.Settle+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != live.Digest {
+		t.Fatalf("replay digest %q != live digest %q (%d recorded datagrams)",
+			replayed, live.Digest, len(tr.Recs))
+	}
+}

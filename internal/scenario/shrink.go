@@ -1,0 +1,36 @@
+package scenario
+
+// Shrink minimizes a failing script: given sc for which fails(sc) is
+// true, it returns the shortest failing prefix of sc's steps, then
+// greedily removes interior steps that are not needed to reproduce the
+// failure. fails is re-invoked on each candidate (each invocation is a
+// full scenario run, so expect Shrink to cost O(steps) runs). Because
+// every step is total, any subsequence of a valid script is valid, so
+// the candidates always execute. Also returns how many candidate runs
+// were spent.
+func Shrink(sc Script, fails func(Script) bool) (Script, int) {
+	runs := 0
+	try := func(cand Script) bool { runs++; return fails(cand) }
+
+	// Shortest failing prefix: scan lengths from the empty script up.
+	best := sc
+	for n := 0; n <= len(sc.Steps); n++ {
+		cand := sc.WithSteps(sc.Steps[:n])
+		if try(cand) {
+			best = cand
+			break
+		}
+	}
+
+	// Greedy interior removal, scanning from the back so index shifts
+	// never skip a candidate.
+	for i := len(best.Steps) - 1; i >= 0; i-- {
+		steps := append([]Step(nil), best.Steps[:i]...)
+		steps = append(steps, best.Steps[i+1:]...)
+		cand := best.WithSteps(steps)
+		if try(cand) {
+			best = cand
+		}
+	}
+	return best, runs
+}

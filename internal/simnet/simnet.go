@@ -112,6 +112,11 @@ type Net struct {
 	// partitioned pairs; key "a|b" with a < b lexically. Mutated by the
 	// driver only (coordinator/simulation goroutine); read at send time.
 	cuts map[string]bool
+	// extraLatency is added to every datagram's propagation delay — the
+	// latency-spike fault knob. Mutated by the driver only; read at send
+	// time. Always >= 0, so a sharded run stays sound: added delay only
+	// pushes arrivals further past the barrier, never inside the epoch.
+	extraLatency float64
 }
 
 // shardNet is the slice of the network owned by one shard: its node
@@ -276,6 +281,29 @@ func (n *Net) Partition(a, b string, cut bool) {
 	}
 }
 
+// SetLossRate changes the uniform datagram loss probability at runtime —
+// the loss-burst fault knob. Coordinator-only in sharded mode. The
+// change is deterministic across shard counts: loss draws come from
+// per-node rng streams and are only consumed while the rate is positive,
+// so every node sees the same draw sequence whatever the placement.
+func (n *Net) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	n.cfg.LossRate = rate
+}
+
+// SetExtraLatency adds secs (clamped at 0) to every datagram's one-way
+// delay — the latency-spike fault knob. Coordinator-only in sharded
+// mode. Extra delay is always additive, so the conservative lookahead
+// derived from the base topology stays sound.
+func (n *Net) SetExtraLatency(secs float64) {
+	if secs < 0 {
+		secs = 0
+	}
+	n.extraLatency = secs
+}
+
 func pairKey(a, b string) string {
 	if a > b {
 		a, b = b, a
@@ -365,7 +393,7 @@ func (n *Net) send(src *node, to string, payload []byte) {
 		start = src.linkFree
 	}
 	src.linkFree = start + txTime
-	arrive := src.linkFree + n.Latency(src.addr, to)
+	arrive := src.linkFree + n.Latency(src.addr, to) + n.extraLatency
 
 	if n.ss == nil {
 		// Single-loop: the sender may inspect the destination directly

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2/internal/netif"
+)
+
+// closeBuf adapts bytes.Buffer to io.WriteCloser.
+type closeBuf struct{ bytes.Buffer }
+
+func (c *closeBuf) Close() error { return nil }
+
+func TestRoundTrip(t *testing.T) {
+	var buf closeBuf
+	w := NewWriter(&buf)
+	w.Record(Send, 0.5, "a", "b", []byte{1, 2, 3})
+	w.Record(Recv, 0.75, "a", "b", []byte{1, 2, 3})
+	w.Record(Recv, 1.25, "b", "a", nil)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != Version || len(tr.Recs) != 3 {
+		t.Fatalf("version=%d recs=%d", tr.Version, len(tr.Recs))
+	}
+	r := tr.Recs[1]
+	if r.Dir != Recv || r.T != 0.75 || r.Src != "a" || r.Dst != "b" || !bytes.Equal(r.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+	if got := tr.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if tr.End() != 1.25 {
+		t.Fatalf("End = %v", tr.End())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.p2trace")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Recv, 2, "x", "y", []byte("payload"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Recs) != 1 || string(tr.Recs[0].Payload) != "payload" {
+		t.Fatalf("recs = %+v", tr.Recs)
+	}
+}
+
+func TestRejectsBadHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTP2X\x00\x01"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf closeBuf
+	buf.WriteString(Magic)
+	buf.Write([]byte{0x00, 0x63}) // version 99
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestRejectsTruncatedRecord(t *testing.T) {
+	var buf closeBuf
+	w := NewWriter(&buf)
+	w.Record(Send, 1, "a", "b", []byte{9, 9})
+	w.Close()
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-1])); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+// memNet is a minimal synchronous Network for the wrapper test.
+type memNet struct{ eps map[string]netif.DeliverFunc }
+
+type memEp struct {
+	net  *memNet
+	addr string
+}
+
+func (m *memNet) Attach(addr string, d netif.DeliverFunc) (netif.Endpoint, error) {
+	m.eps[addr] = d
+	return &memEp{net: m, addr: addr}, nil
+}
+func (e *memEp) Send(to string, p []byte) {
+	if d, ok := e.net.eps[to]; ok {
+		d(e.addr, p)
+	}
+}
+func (e *memEp) LocalAddr() string { return e.addr }
+func (e *memEp) MTU() int          { return netif.DefaultMTU }
+func (e *memEp) Close()            {}
+
+func TestWrapNetworkRecordsBothDirections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wire.p2trace")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	inner := &memNet{eps: make(map[string]netif.DeliverFunc)}
+	net := WrapNetwork(inner, w, func() float64 { return now })
+
+	var delivered int
+	if _, err := net.Attach("b", func(string, []byte) { delivered++ }); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Attach("a", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 3.5
+	a.Send("b", []byte{7})
+	if delivered != 1 {
+		t.Fatal("wrapper broke delivery")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Recs) != 2 {
+		t.Fatalf("recs = %d, want send+recv", len(tr.Recs))
+	}
+	s, r := tr.Recs[0], tr.Recs[1]
+	if s.Dir != Send || s.Src != "a" || s.Dst != "b" || s.T != 3.5 {
+		t.Fatalf("send rec: %+v", s)
+	}
+	if r.Dir != Recv || r.Src != "a" || r.Dst != "b" || len(r.Payload) != 1 || r.Payload[0] != 7 {
+		t.Fatalf("recv rec: %+v", r)
+	}
+	_ = os.Remove(path)
+}

@@ -6,6 +6,7 @@ package transport
 // drops must classify as SessionClosed, never RetryExhausted.
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"p2/internal/tuple"
@@ -164,6 +165,69 @@ func TestBacklogOverflowClassified(t *testing.T) {
 	}
 	if st.Dropped[BacklogOverflow] != st.QueueDrops {
 		t.Fatalf("Stats.Dropped = %v, QueueDrops = %d", st.Dropped, st.QueueDrops)
+	}
+}
+
+// TestCloseMidBurstUnderDupReorder is the teardown-robustness
+// regression: Close lands in the middle of a retransmission burst, with
+// duplicated and reordered datagrams still arriving afterwards. The
+// closed side must hold no receiver or sender state, emit no further
+// acknowledgments, and never resurrect per-peer state from late
+// traffic; the surviving side must drain its flight state through the
+// retry budget rather than wedge.
+func TestCloseMidBurstUnderDupReorder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoBatch = true
+	cfg.MaxRetries = 2
+	r := newRig(t, 0.5, cfg) // heavy loss: retransmissions guaranteed
+	cr := recordDrops(r.a)
+
+	for i := int64(0); i < 12; i++ {
+		r.a.Send("b", tp(i))
+	}
+	// Let the first exchanges and retransmissions happen, then tear b
+	// down mid-burst.
+	r.loop.RunFor(1.5)
+	if r.a.Stats().Retransmits == 0 {
+		t.Fatal("test needs an active retransmission burst at close time")
+	}
+	r.b.Close()
+	acksAtClose := r.b.Stats().AcksSent
+
+	// Duplicated and reordered frames of the dying burst keep arriving.
+	dup := mkDataFrame(0, 0, 0, 0, 3, tp(2))
+	r.b.Deliver("a", dup)
+	r.b.Deliver("a", dup)
+	r.b.Deliver("a", mkDataFrame(0, 0, 0, 0, 1, tp(0)))
+	r.loop.RunFor(60)
+
+	if n := len(r.b.srcs); n != 0 {
+		t.Fatalf("closed transport resurrected receiver state for %d peers", n)
+	}
+	if got := r.b.Stats().AcksSent; got != acksAtClose {
+		t.Fatalf("closed transport sent %d acks after Close", got-acksAtClose)
+	}
+	// a gave up on everything b never acknowledged — classified as
+	// network failure (RetryExhausted then PeerDead), never wedged.
+	if r.a.InFlight("b") != 0 || r.a.Backlog("b") != 0 {
+		t.Fatalf("survivor wedged: inflight=%d backlog=%d",
+			r.a.InFlight("b"), r.a.Backlog("b"))
+	}
+	delivered := int64(len(r.got))
+	gaveUp := int64(cr.count(RetryExhausted) + cr.count(PeerDead))
+	if delivered+gaveUp < 12 {
+		t.Fatalf("tuples unaccounted for: %d delivered + %d dropped of 12", delivered, gaveUp)
+	}
+
+	// The closed side torn down the other way: a closes with reordered
+	// acks still in flight toward it.
+	r.a.Close()
+	late := make([]byte, ackFrameLen)
+	late[0] = frameAck
+	binary.BigEndian.PutUint64(late[5:13], 5)
+	r.a.Deliver("b", late)
+	if len(r.a.srcs) != 0 || len(r.a.cc.dests) != 0 || len(r.a.rty.dests) != 0 {
+		t.Fatal("late traffic resurrected sender state after Close")
 	}
 }
 

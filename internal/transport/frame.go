@@ -8,8 +8,23 @@ import (
 
 // Wire format (all integers big-endian):
 //
-//	data frame: | 0x00 | cumAck u64 | skip u64 | firstSeq u64 | count u16 | records... |
-//	ack frame:  | 0x01 | cumAck u64 |
+//	data frame: | 0x00 | epoch u32 | ackEpoch u32 | cumAck u64 | skip u64 | firstSeq u64 | count u16 | records... |
+//	ack frame:  | 0x01 | ackEpoch u32 | cumAck u64 |
+//
+// epoch identifies the sender's session incarnation (Config.Epoch). A
+// node restarted at the same address begins a fresh sequence space, so
+// the receiver keys its Dedup/Ack state to the epoch: a frame carrying
+// a *newer* epoch resets that peer's receive state, and a frame from a
+// *stale* epoch (a datagram of the previous incarnation still in
+// flight) is discarded. Without this, a replaced node's restarted
+// sequence numbers fall below the peer's cumulative counter: every
+// frame is suppressed as a duplicate while the cumulative ack keeps
+// (falsely) confirming delivery — a silent blackhole.
+//
+// ackEpoch names the incarnation whose sequence space the acknowledgment
+// (cumAck) counts. The sender ignores acknowledgments stamped with an
+// epoch other than its own: they describe a dead incarnation's stream
+// and must not clear the new one's flight state.
 //
 // Every data frame toward a peer carries cumAck — the highest contiguous
 // sequence number this node has delivered *from* that peer — so steady
@@ -24,14 +39,14 @@ import (
 //
 // firstSeq numbers the first record; the count records that follow are
 // consecutively numbered and each is a self-delimiting tuple.Marshal
-// encoding. Unreliable chains send zeros for all three sequence fields
-// and the receiver ignores them.
+// encoding. Unreliable chains send zeros for the sequence fields and
+// the receiver ignores them.
 const (
 	frameData = 0x00
 	frameAck  = 0x01
 
-	dataHeaderLen = 1 + 8 + 8 + 8 + 2
-	ackFrameLen   = 1 + 8
+	dataHeaderLen = 1 + 4 + 4 + 8 + 8 + 8 + 2
+	ackFrameLen   = 1 + 4 + 8
 )
 
 // Frame is the bottom send-path element — §3.4's socket handling: it
@@ -46,14 +61,16 @@ func (f *Frame) pushBatch(wb *wireBatch, _ poke) bool {
 	tr := f.tr
 	buf := make([]byte, dataHeaderLen, dataHeaderLen+wb.bytes)
 	buf[0] = frameData
+	binary.BigEndian.PutUint32(buf[1:5], tr.cfg.Epoch)
+	binary.BigEndian.PutUint32(buf[5:9], tr.peerEpoch(wb.dst))
 	if tr.ack != nil {
-		binary.BigEndian.PutUint64(buf[1:9], tr.ack.piggyback(wb.dst))
+		binary.BigEndian.PutUint64(buf[9:17], tr.ack.piggyback(wb.dst))
 	}
 	if tr.rty != nil {
-		binary.BigEndian.PutUint64(buf[9:17], tr.rty.skipFor(wb.dst))
+		binary.BigEndian.PutUint64(buf[17:25], tr.rty.skipFor(wb.dst))
 	}
-	binary.BigEndian.PutUint64(buf[17:25], wb.first)
-	binary.BigEndian.PutUint16(buf[25:27], uint16(len(wb.recs)))
+	binary.BigEndian.PutUint64(buf[25:33], wb.first)
+	binary.BigEndian.PutUint16(buf[33:35], uint16(len(wb.recs)))
 	for _, rec := range wb.recs {
 		buf = append(buf, rec.wire...)
 	}
@@ -82,11 +99,13 @@ func (f *Frame) pushBatch(wb *wireBatch, _ poke) bool {
 }
 
 // sendAck emits a bare cumulative-ack frame — the Ack element's fallback
-// when no reverse-path data frame showed up to piggyback on.
-func (f *Frame) sendAck(dst string, cum uint64) {
+// when no reverse-path data frame showed up to piggyback on. epoch names
+// the peer incarnation whose stream cum counts.
+func (f *Frame) sendAck(dst string, cum uint64, epoch uint32) {
 	buf := make([]byte, ackFrameLen)
 	buf[0] = frameAck
-	binary.BigEndian.PutUint64(buf[1:9], cum)
+	binary.BigEndian.PutUint32(buf[1:5], epoch)
+	binary.BigEndian.PutUint64(buf[5:13], cum)
 	f.tr.ep.Send(dst, buf)
 	f.tr.stats.AcksSent++
 }
@@ -110,15 +129,20 @@ func (d *Deframe) deliver(from string, frame []byte) {
 		if len(frame) < ackFrameLen || tr.cc == nil {
 			return
 		}
-		tr.cc.onAck(from, binary.BigEndian.Uint64(frame[1:9]))
+		if binary.BigEndian.Uint32(frame[1:5]) != tr.cfg.Epoch {
+			return // a dead incarnation's stream; must not clear ours
+		}
+		tr.cc.onAck(from, binary.BigEndian.Uint64(frame[5:13]))
 	case frameData:
 		if len(frame) < dataHeaderLen {
 			return
 		}
-		cum := binary.BigEndian.Uint64(frame[1:9])
-		skip := binary.BigEndian.Uint64(frame[9:17])
-		first := binary.BigEndian.Uint64(frame[17:25])
-		count := int(binary.BigEndian.Uint16(frame[25:27]))
+		epoch := binary.BigEndian.Uint32(frame[1:5])
+		ackEpoch := binary.BigEndian.Uint32(frame[5:9])
+		cum := binary.BigEndian.Uint64(frame[9:17])
+		skip := binary.BigEndian.Uint64(frame[17:25])
+		first := binary.BigEndian.Uint64(frame[25:33])
+		count := int(binary.BigEndian.Uint16(frame[33:35]))
 		tuples := make([]*tuple.Tuple, 0, count)
 		rest := frame[dataHeaderLen:]
 		for i := 0; i < count; i++ {
@@ -132,7 +156,16 @@ func (d *Deframe) deliver(from string, frame []byte) {
 		if len(tuples) == 0 {
 			return
 		}
-		if tr.cc != nil {
+		if tr.ack != nil {
+			rs := tr.src(from)
+			if rs.epochSet && epoch < rs.epoch {
+				return // datagram of a previous incarnation, still in flight
+			}
+			if !rs.epochSet || epoch > rs.epoch {
+				rs.rebind(epoch) // new incarnation: fresh sequence space
+			}
+		}
+		if tr.cc != nil && ackEpoch == tr.cfg.Epoch {
 			tr.cc.onAck(from, cum) // the piggybacked ack
 		}
 		if tr.ack != nil {

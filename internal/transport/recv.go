@@ -13,15 +13,38 @@ import (
 // cumulative ack *is* the dedup memory — two views of one relation,
 // which is why the paper lists them as adjacent elements.
 
-// recvState tracks one peer's inbound sequence space.
+// seqSanityWindow bounds how far above the cumulative counter a data
+// frame's firstSeq may claim to sit. Sequence numbers count records and
+// advance consecutively, so a legitimate frame can never outrun the
+// in-flight window by orders of magnitude — a firstSeq beyond this
+// bound is corruption, and accepting it would poison the out-of-order
+// set (unreclaimable memory) and suppress legitimate traffic.
+const seqSanityWindow = 1 << 22
+
+// recvState tracks one peer's inbound sequence space, keyed to that
+// peer's session epoch: a restarted peer announces a new epoch and the
+// sequence space rebinds from zero.
 type recvState struct {
-	cum   uint64          // all seqs <= cum delivered
-	high  map[uint64]bool // out-of-order seqs above cum
-	recvd int64           // tuples delivered upward (post-dedup)
+	cum      uint64          // all seqs <= cum delivered
+	high     map[uint64]bool // out-of-order seqs above cum
+	recvd    int64           // tuples delivered upward (post-dedup)
+	epoch    uint32          // incarnation whose stream cum/high count
+	epochSet bool            // epoch learned from a data frame
 
 	ackPending bool // cum must reach the peer (piggyback or bare ack)
 	ackArmed   bool // a delayed-ack callback is scheduled
 	ackTimer   *eventloop.Timer
+}
+
+// rebind resets the sequence space for a new peer incarnation. The
+// delivery counter survives — it counts the peer address, not the
+// session — and any armed ack timer stays armed: when it fires it reads
+// the rebound cum and epoch, acknowledging the new stream.
+func (r *recvState) rebind(epoch uint32) {
+	r.epoch, r.epochSet = epoch, true
+	r.cum = 0
+	clear(r.high)
+	r.ackPending = false
 }
 
 // seen reports whether seq was already delivered.
@@ -76,6 +99,9 @@ type Ack struct {
 func (a *Ack) push(from string, skip, first uint64, tuples []*tuple.Tuple) {
 	tr := a.tr
 	rs := tr.src(from)
+	if first > rs.cum+seqSanityWindow {
+		return // corrupt firstSeq: would poison the out-of-order set
+	}
 	// A well-formed skip is always below the frame's own first sequence
 	// number (that frame is still in flight at the sender); anything
 	// else is corruption and must not drag cum forward.
@@ -107,7 +133,7 @@ func (a *Ack) schedule(from string, rs *recvState) {
 		rs.ackTimer = nil
 		if rs.ackPending && !a.tr.closed {
 			rs.ackPending = false
-			a.tr.frm.sendAck(from, rs.cum)
+			a.tr.frm.sendAck(from, rs.cum, rs.epoch)
 		}
 	}
 	if d := a.tr.cfg.AckDelay; d > 0 {

@@ -62,6 +62,15 @@ type Config struct {
 	DeadStrikes int
 	Unreliable  bool // fire-and-forget chain: no acks, no retries, no window
 	NoBatch     bool // one tuple per datagram (the pre-batching framing)
+	// Epoch identifies this transport's session incarnation on the
+	// wire. A node restarted at the same address must carry a HIGHER
+	// epoch than its predecessor: peers key their Dedup/Ack state to
+	// it, resetting when a new incarnation appears and discarding
+	// stale datagrams and acknowledgments from the old one. Without a
+	// fresh epoch, the restarted node's sequence numbers fall below
+	// the peer's cumulative counter and every frame it sends is
+	// silently suppressed as a duplicate.
+	Epoch uint32
 }
 
 // DefaultDeadStrikes is the DeadStrikes value a zero Config field
@@ -374,6 +383,18 @@ func (tr *Transport) deliverUp(from string, tuples []*tuple.Tuple) {
 		}
 		tr.onReceive(from, t)
 	}
+}
+
+// peerEpoch returns the session epoch this node has learned for dst's
+// inbound stream — stamped into outgoing acknowledgments so dst can
+// tell whether they describe its current incarnation. Zero until a data
+// frame from dst arrives; a zero-epoch ack always carries cum 0, which
+// clears nothing.
+func (tr *Transport) peerEpoch(dst string) uint32 {
+	if rs, ok := tr.srcs[dst]; ok && rs.epochSet {
+		return rs.epoch
+	}
+	return 0
 }
 
 // src returns (creating if needed) the receive state for one peer.

@@ -460,9 +460,9 @@ func TestCorruptSkipIgnored(t *testing.T) {
 	rec := tp(9).Marshal()
 	frame := make([]byte, dataHeaderLen, dataHeaderLen+len(rec))
 	frame[0] = frameData
-	binary.BigEndian.PutUint64(frame[9:17], 1<<63) // hostile skip
-	binary.BigEndian.PutUint64(frame[17:25], 500)  // first < skip: malformed
-	binary.BigEndian.PutUint16(frame[25:27], 1)
+	binary.BigEndian.PutUint64(frame[17:25], 1<<63) // hostile skip
+	binary.BigEndian.PutUint64(frame[25:33], 500)   // first < skip: malformed
+	binary.BigEndian.PutUint16(frame[33:35], 1)
 	frame = append(frame, rec...)
 	r.b.Deliver("a", frame)
 	// Later in-order traffic still flows: cum was not wedged at 2^63.

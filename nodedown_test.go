@@ -1,0 +1,179 @@
+package p2_test
+
+// Regression sweep for satellite (a) of the fault lab: every Handle
+// method invoked on a killed (or replaced) node must return a typed
+// p2.ErrNodeDown error or a zero value — never panic, never hang. The
+// sweep runs on both runtimes, and each method call is wrapped in a
+// panic recovery so one bad method reports precisely.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"p2"
+	"p2/internal/udpnet"
+)
+
+// sweepKilledHandle exercises every public Handle method on h, which
+// the caller has already killed, and fails the test on any panic,
+// non-ErrNodeDown error, or non-zero result.
+func sweepKilledHandle(t *testing.T, h *p2.Handle) {
+	t.Helper()
+	check := func(name string, fn func() error) {
+		t.Helper()
+		done := make(chan error, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					done <- fmt.Errorf("panicked: %v", r)
+				}
+			}()
+			done <- fn()
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s on killed node: %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s on killed node: hung", name)
+		}
+	}
+	wantDown := func(err error) error {
+		if err == nil {
+			return fmt.Errorf("returned nil error, want ErrNodeDown")
+		}
+		if !errors.Is(err, p2.ErrNodeDown) {
+			return fmt.Errorf("error %v is not ErrNodeDown", err)
+		}
+		return nil
+	}
+
+	check("Do", func() error { return wantDown(h.Do(func(*p2.Node) {})) })
+	check("AddFact", func() error { return wantDown(h.AddFact("landmark", p2.Str("x"), p2.Str("-"))) })
+	check("Inject", func() error {
+		return wantDown(h.Inject(p2.NewTuple("pingEvent", p2.Str("a"), p2.Str("b"), p2.Str("e"))))
+	})
+	check("Install", func() error { return wantDown(h.Install(`X1 a@N(N) :- b@N(N).`)) })
+	check("Watch", func() error { return wantDown(h.Watch("seen", func(p2.WatchEvent) {})) })
+	check("Scan", func() error {
+		if rows := h.Scan("seen"); rows != nil {
+			return fmt.Errorf("returned %d rows, want nil", len(rows))
+		}
+		return nil
+	})
+	check("ScanSorted", func() error {
+		if rows := h.ScanSorted("seen"); rows != nil {
+			return fmt.Errorf("returned %d rows, want nil", len(rows))
+		}
+		return nil
+	})
+	check("TableLen", func() error {
+		if n := h.TableLen("seen"); n != 0 {
+			return fmt.Errorf("returned %d, want 0", n)
+		}
+		return nil
+	})
+	check("TableStats", func() error {
+		if s := h.TableStats(); s != nil {
+			return fmt.Errorf("returned %d stats, want nil", len(s))
+		}
+		return nil
+	})
+	check("RuleStats", func() error {
+		if s := h.RuleStats(); s != nil {
+			return fmt.Errorf("returned %d stats, want nil", len(s))
+		}
+		return nil
+	})
+	check("PlanStats", func() error {
+		if s := h.PlanStats(); s != nil {
+			return fmt.Errorf("returned %d stats, want nil", len(s))
+		}
+		return nil
+	})
+	check("NetStats", func() error {
+		if s := h.NetStats(); s != nil {
+			return fmt.Errorf("returned %d stats, want nil", len(s))
+		}
+		return nil
+	})
+	check("NodeStat", func() error {
+		if s := h.NodeStat(); s != (p2.NodeStat{}) {
+			return fmt.Errorf("returned %+v, want zero", s)
+		}
+		return nil
+	})
+	check("Kill again", func() error { h.Kill(); return nil })
+	if h.Running() {
+		t.Error("Running() = true on killed node")
+	}
+	if h.Addr() == "" {
+		t.Error("Addr() lost its value after kill")
+	}
+}
+
+func TestKilledHandleMethodsReturnErrNodeDown(t *testing.T) {
+	plan := p2.MustCompile(confSpec, nil)
+
+	t.Run("simulated", func(t *testing.T) {
+		d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		h, err := d.Spawn("k0:p2", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(1)
+		h.Kill()
+		sweepKilledHandle(t, h)
+	})
+
+	t.Run("udp", func(t *testing.T) {
+		addr, err := udpnet.ReserveAddr()
+		if err != nil {
+			t.Skipf("no loopback UDP: %v", err)
+		}
+		d, err := p2.NewDeployment(p2.UDP, p2.WithSeed(3),
+			p2.WithNodeDefaults(p2.NodeOptions{IntrospectInterval: -1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		h, err := d.Spawn(addr, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(0.2)
+		h.Kill()
+		sweepKilledHandle(t, h)
+	})
+
+	// A replaced node's old handle is equally dead: Replace kills the
+	// incumbent before spawning the successor, and the stale handle must
+	// behave exactly like a killed one.
+	t.Run("replaced", func(t *testing.T) {
+		d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		old, err := d.Spawn("k0:p2", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(1)
+		fresh, err := d.Replace("k0:p2", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.Running() || fresh == old {
+			t.Fatal("Replace did not mint a fresh live handle")
+		}
+		sweepKilledHandle(t, old)
+	})
+}

@@ -120,6 +120,7 @@ import (
 	"p2/internal/engine"
 	"p2/internal/id"
 	"p2/internal/introspect"
+	"p2/internal/netif"
 	"p2/internal/overlays"
 	"p2/internal/overlog"
 	"p2/internal/planner"
@@ -173,6 +174,13 @@ type (
 	// WithOptimizer); its zero value enables every optimization with
 	// the default replanning drift factor.
 	OptimizerConfig = planner.OptimizerConfig
+	// FaultConfig tunes the seeded datagram-level fault injector a UDP
+	// deployment installs with WithFaults: drop, duplicate, reorder, and
+	// corrupt rates, all drawn from one deterministic stream per node.
+	FaultConfig = netif.FaultConfig
+	// FaultStats counts what the fault injector did (see
+	// Deployment.FaultStats).
+	FaultStats = netif.FaultStats
 )
 
 // System table names, re-exported for Watch and Table lookups.

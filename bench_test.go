@@ -28,6 +28,7 @@ import (
 	"p2/internal/transport"
 	"p2/internal/tuple"
 	"p2/internal/val"
+	"p2/internal/workload"
 )
 
 // staticRing builds a converged P2 Chord ring for lookup benchmarks.
@@ -228,6 +229,53 @@ func BenchmarkNodeMemoryFootprint(b *testing.B) {
 		fp = experiments.MeasureFootprint(8, 60)
 	}
 	b.ReportMetric(float64(fp.BytesPerNode)/1024, "kB/node")
+}
+
+// BenchmarkFootprint is the scale-out memory gauge CI archives per
+// commit: amortized heap bytes per node at the paper's population and
+// at 1k, control-run-subtracted and double-GC'd (MeasureFootprint), so
+// the BENCH_*.json trajectory records whether per-node cost is drifting
+// toward or away from the 100k-in-125GB budget. kB/node is a gated
+// lower-is-better metric under tools/benchjson -baseline.
+func BenchmarkFootprint(b *testing.B) {
+	for _, n := range []int{8, 1000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var fp experiments.Footprint
+			for i := 0; i < b.N; i++ {
+				fp = experiments.MeasureFootprint(n, 30)
+			}
+			b.ReportMetric(float64(fp.BytesPerNode)/1024, "kB/node")
+			b.ReportMetric(float64(fp.InternEntries), "intern-entries")
+		})
+	}
+}
+
+// BenchmarkOpenLoopWorkload is the 1k-node open-loop smoke CI archives
+// per commit: a ramped-join build of a 1000-node ring on the
+// transit-stub WAN, then a 10-virtual-second Poisson lookup stream at
+// 100/s, reporting completion-weighted latency percentiles. p50/p99/
+// p999-ms are gated lower-is-better metrics under tools/benchjson
+// -baseline; the full 60-second 10k soak lives in internal/workload's
+// TestScale10k (CI: test-scale job).
+func BenchmarkOpenLoopWorkload(b *testing.B) {
+	wan := simnet.TransitStubWAN(4, 4, 17)
+	h := harness.NewChord(harness.Opts{N: 1000, Seed: 1, JoinSpacing: 0.01,
+		JoinRamp: true, Net: &wan})
+	b.Cleanup(h.Close)
+	h.Run(h.JoinDeadline() + 60)
+	if rc := h.RingCorrectness(); rc < 0.99 {
+		b.Fatalf("ring correctness %.3f before workload", rc)
+	}
+	b.ResetTimer()
+	var rep workload.Report
+	for i := 0; i < b.N; i++ {
+		rep = workload.Run(h, workload.Opts{Rate: 100, Duration: 10, Seed: 2})
+	}
+	b.ReportMetric(rep.LatencyP50*1000, "p50-ms")
+	b.ReportMetric(rep.LatencyP99*1000, "p99-ms")
+	b.ReportMetric(rep.LatencyP999*1000, "p999-ms")
+	b.ReportMetric(rep.MeanHops, "hops/lookup")
+	b.ReportMetric(rep.CompletionRate(), "done-frac")
 }
 
 // BenchmarkLookupDeclarative measures wall-clock simulation cost of

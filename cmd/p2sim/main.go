@@ -34,6 +34,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig3|fig4|rules|mem|ablation|all")
 	scale := flag.String("scale", "quick", "scale: quick|medium|paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	topology := flag.String("topology", "paper",
+		"network model: paper (the GT-ITM-style default) | wan (measured-matrix transit-stub with jitter, queuing, and access/transit bandwidth)")
 	shards := flag.Int("shards", runtime.NumCPU(),
 		"parallel simulation shards (1 = sharded machinery on one core; metrics are identical at every count)")
 	placement := flag.Bool("placement", false, "dump the node→shard placement map before running")
@@ -93,6 +95,16 @@ func main() {
 		*shards = 1
 	}
 	sc.Shards = *shards
+	switch *topology {
+	case "paper":
+		// sc.Net stays nil: each harness builds the default topology.
+	case "wan":
+		wan := simnet.TransitStubWAN(4, 4, *seed)
+		sc.Net = &wan
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q (paper|wan)\n", *topology)
+		os.Exit(2)
+	}
 	// The ablation and footprint experiments build their own harness
 	// options; they pick the shard count up from the environment.
 	os.Setenv(harness.EnvShards, strconv.Itoa(*shards))
@@ -124,10 +136,13 @@ func main() {
 		})
 	case "mem":
 		run("mem", func() {
-			fp := experiments.MeasureFootprint(8, 60)
 			fmt.Printf("== Memory footprint (paper §1: ~800 kB working set per node) ==\n")
-			fmt.Printf("nodes: %d   heap/node: %.0f kB   total delta: %.0f kB\n",
-				fp.Nodes, float64(fp.BytesPerNode)/1024, float64(fp.TotalHeapDelta)/1024)
+			for _, n := range memSizes(sc) {
+				fp := experiments.MeasureFootprint(n, 60)
+				fmt.Printf("nodes: %5d   heap/node: %.0f kB   run delta: %.0f kB   control: %.0f kB   interner: %d entries / %.0f kB\n",
+					fp.Nodes, float64(fp.BytesPerNode)/1024, float64(fp.TotalHeapDelta)/1024,
+					float64(fp.ControlDelta)/1024, fp.InternEntries, float64(fp.InternBytes)/1024)
+			}
 		})
 	case "all":
 		experiments.SpecComplexity().Print(os.Stdout)
@@ -137,12 +152,30 @@ func main() {
 			fmt.Printf("== Memory footprint ==\nnodes: %d   heap/node: %.0f kB\n",
 				fp.Nodes, float64(fp.BytesPerNode)/1024)
 		})
+		run("mem-1k", func() {
+			fp := experiments.MeasureFootprint(1000, 30)
+			fmt.Printf("== Memory footprint at 1k (scale-out gauge) ==\nnodes: %d   heap/node: %.0f kB\n",
+				fp.Nodes, float64(fp.BytesPerNode)/1024)
+		})
 		run("fig3", func() { experiments.RunFig3(sc, *seed).Print(os.Stdout) })
 		run("fig4", func() { experiments.RunFig4(sc, *seed).Print(os.Stdout) })
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// memSizes picks the footprint-measurement populations for a scale:
+// the paper-claim gauge (8 nodes) always, the scale-out gauges as the
+// scale affords them.
+func memSizes(sc experiments.Scale) []int {
+	switch sc.Name {
+	case "paper":
+		return []int{8, 1000, 10000}
+	case "medium":
+		return []int{8, 1000}
+	}
+	return []int{8, 128}
 }
 
 // replayTrace re-executes a recorded UDP wire trace (p2 -record)

@@ -19,6 +19,7 @@ import (
 	"p2/internal/dataflow"
 	"p2/internal/eventloop"
 	"p2/internal/health"
+	"p2/internal/introspect"
 	"p2/internal/netif"
 	"p2/internal/pel"
 	"p2/internal/planner"
@@ -44,13 +45,23 @@ type Options struct {
 	// Experiments that need lock-step timers set it.
 	NoJitter bool
 	// IntrospectInterval is how often the sys* system tables are
-	// refreshed from runtime counters (default 1 s; negative disables
-	// introspection, leaving the system tables empty).
+	// refreshed from runtime counters. Zero (the default) means 1 s,
+	// demand-driven: the periodic snapshot runs only when something
+	// actually consumes the rows — a rule or watch over a sys*
+	// relation, compiled in, Installed later, or Watched at the Go
+	// level. A node nothing introspects never pays for the snapshot
+	// (the optimizer's adaptive re-planner keeps its own tick at this
+	// interval; it reads counters directly and delivers no rows).
+	// Setting the interval to an explicit positive value forces the
+	// refresh always-on at that period; negative disables
+	// introspection entirely, leaving the system tables empty.
 	IntrospectInterval float64
 	// Health overrides the health evaluator's thresholds; nil uses
 	// health.DefaultConfig(). Conditions are evaluated on every
-	// introspection refresh and delivered as sysHealth rows, so
-	// disabling introspection disables them too.
+	// introspection refresh and delivered as sysHealth rows; on nodes
+	// whose refresh never armed (demand-driven, no consumer) the
+	// Conditions accessor evaluates them on demand instead. Disabling
+	// introspection (negative interval) disables them too.
 	Health *health.Config
 	// TraceWriter, when set, receives one line per event on every
 	// relation the program watch()es — the paper's on-line debugging
@@ -154,8 +165,13 @@ type Node struct {
 	allStrands []*strand    // every strand, in build order, for sysRule
 	aggFires   []*ruleFires // table-aggregate counters for sysRule
 	introTimer *eventloop.Timer
-	sysref     *sysRefresh       // incremental system-table refresh cache
-	health     *health.Evaluator // condition engine, fed by the refresh
+	// sysConsumer caches "sys* rows have an audience": an explicit
+	// refresh interval, a plan that reads a system relation, or a
+	// Go-level Watch on one. Recomputed at Start and Install, set by
+	// Watch — never scanned per tick.
+	sysConsumer bool
+	sysref      *sysRefresh       // incremental system-table refresh cache
+	health      *health.Evaluator // condition engine, fed by the refresh
 }
 
 // strand is one rule's compiled element chain plus its trigger runner:
@@ -275,8 +291,18 @@ func (n *Node) Table(name string) *table.Table { return n.tables[name] }
 func (n *Node) Plan() *planner.Plan { return n.plan }
 
 // Watch registers fn for every event concerning the named relation.
+// Watching a sys* relation counts as consuming introspection: on a
+// node whose refresh was demand-driven off, it arms the periodic
+// snapshot so the watcher has events to hear.
 func (n *Node) Watch(name string, fn WatchFunc) {
 	n.watchers[name] = append(n.watchers[name], fn)
+	if introspect.IsReserved(name) {
+		n.sysConsumer = true
+		if n.started && !n.stopped {
+			n.ensureSysTables()
+			n.scheduleIntrospect()
+		}
+	}
 }
 
 // Start attaches the node to the network, creates tables, installs
@@ -314,16 +340,31 @@ func (n *Node) Start() error {
 	// catalog heuristics — deliberately state-independent, so every node
 	// (and every shard count) starts from an identical plan. Live
 	// statistics take over at introspection refreshes (maybeReplan).
+	// OptimizeShared runs that catalog pass once per (plan, config)
+	// process-wide: all nodes of a deployment share the compiled
+	// template and receive private views of the mutable parts.
 	if n.opts.Optimizer != nil {
-		n.plan = planner.Optimize(n.plan, planner.NewCatalogStats(n.plan), *n.opts.Optimizer)
+		n.plan = planner.OptimizeShared(n.plan, *n.opts.Optimizer)
 	}
+	// A Go-level Watch on a sys* relation registered before Start also
+	// counts as a consumer, so OR rather than overwrite.
+	n.sysConsumer = n.sysConsumer || n.opts.IntrospectInterval > 0 || planReadsSys(n.plan)
 	// Tables are created and later swept in sorted-name order: map
 	// iteration order is randomized per process, and expiry sweeps can
 	// emit deletion deltas whose relative order would otherwise differ
 	// between two same-seed runs — the determinism the sharded
 	// simulator's shards=1 vs shards=P comparison is built on.
+	//
+	// System tables are demand-driven like the refresh that feeds them:
+	// a node with no sys* audience never instantiates them (Table
+	// returns nil), and ensureSysTables materializes them if a consumer
+	// appears later. At 10k nodes that is 60k tables-plus-indexes that
+	// never exist.
 	names := make([]string, 0, len(n.plan.Tables))
-	for name := range n.plan.Tables {
+	for name, ts := range n.plan.Tables {
+		if ts.System && !n.sysConsumer {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -21,6 +21,12 @@ type rig struct {
 }
 
 func newRig(t *testing.T, src string, addrs ...string) *rig {
+	return newRigOpts(t, src, Options{}, addrs...)
+}
+
+// newRigOpts builds the rig with extra node options merged over the
+// defaults (Seed stays per-node).
+func newRigOpts(t *testing.T, src string, opts Options, addrs ...string) *rig {
 	t.Helper()
 	prog, err := overlog.Parse(src)
 	if err != nil {
@@ -36,7 +42,10 @@ func newRig(t *testing.T, src string, addrs ...string) *rig {
 	net := simnet.New(loop, cfg)
 	r := &rig{t: t, loop: loop, net: net, nodes: make(map[string]*Node)}
 	for i, a := range addrs {
-		n := NewNode(a, loop, net, plan, Options{Seed: int64(i + 1), NoJitter: true})
+		o := opts
+		o.Seed = int64(i + 1)
+		o.NoJitter = true
+		n := NewNode(a, loop, net, plan, o)
 		if err := n.Start(); err != nil {
 			t.Fatalf("start %s: %v", a, err)
 		}

@@ -25,7 +25,8 @@ func TestNetStatDropArityMatchesCauses(t *testing.T) {
 }
 
 func TestSysHealthPopulates(t *testing.T) {
-	r := newRig(t, pingPongSrc, "a", "b")
+	// Explicit interval: force the refresh on without a sys* consumer.
+	r := newRigOpts(t, pingPongSrc, Options{IntrospectInterval: 1}, "a", "b")
 	pingN(r, "a", "b", 2)
 	r.loop.Run(3)
 

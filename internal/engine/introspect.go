@@ -46,18 +46,28 @@ type sysRefresh struct {
 }
 
 func newSysRefresh() *sysRefresh {
-	return &sysRefresh{
-		tableLast:  make(map[string]introspect.TableStat),
-		tableTup:   make(map[string]*tuple.Tuple),
-		ruleLast:   make(map[string]int64),
-		ruleTup:    make(map[string]*tuple.Tuple),
-		planLast:   make(map[string]introspect.PlanStat),
-		planTup:    make(map[string]*tuple.Tuple),
-		netLast:    make(map[string]introspect.NetStat),
-		netTup:     make(map[string]*tuple.Tuple),
-		healthLast: make(map[health.ConditionType]introspect.HealthStat),
-		healthTup:  make(map[health.ConditionType]*tuple.Tuple),
+	// Only tableNames is maintained unconditionally (registerTable at
+	// table creation; evalHealthNow's churn walk reads it). The row
+	// caches allocate on the first actual refresh — most nodes of a
+	// large deployment never run one.
+	return &sysRefresh{}
+}
+
+// ensureCaches allocates the per-row caches on the first refresh.
+func (sr *sysRefresh) ensureCaches() {
+	if sr.tableLast != nil {
+		return
 	}
+	sr.tableLast = make(map[string]introspect.TableStat)
+	sr.tableTup = make(map[string]*tuple.Tuple)
+	sr.ruleLast = make(map[string]int64)
+	sr.ruleTup = make(map[string]*tuple.Tuple)
+	sr.planLast = make(map[string]introspect.PlanStat)
+	sr.planTup = make(map[string]*tuple.Tuple)
+	sr.netLast = make(map[string]introspect.NetStat)
+	sr.netTup = make(map[string]*tuple.Tuple)
+	sr.healthLast = make(map[health.ConditionType]introspect.HealthStat)
+	sr.healthTup = make(map[health.ConditionType]*tuple.Tuple)
 }
 
 // registerTable records an application relation for the sysTable
@@ -86,18 +96,95 @@ func (n *Node) introspectInterval() float64 {
 	return n.opts.IntrospectInterval
 }
 
-// scheduleIntrospect arms the periodic system-table refresh.
+// planReadsSys reports whether any part of the plan consumes a sys*
+// relation: a rule triggered by one, a join or fold probing one, a
+// table aggregate over one, or a watch() directive tapping one.
+func planReadsSys(p *planner.Plan) bool {
+	for _, r := range p.Rules {
+		if introspect.IsReserved(r.Trigger.Name) {
+			return true
+		}
+		for _, op := range r.Ops {
+			switch o := op.(type) {
+			case *planner.OpJoin:
+				if introspect.IsReserved(o.Table) {
+					return true
+				}
+			case *planner.OpFoldJoin:
+				if introspect.IsReserved(o.Table) {
+					return true
+				}
+			}
+		}
+	}
+	for _, ta := range p.TableAggs {
+		if introspect.IsReserved(ta.Table) {
+			return true
+		}
+	}
+	for _, w := range p.Watches {
+		if introspect.IsReserved(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleIntrospect arms the periodic introspection tick if anyone
+// wants it and it is not already armed. Introspection is demand-driven:
+// the tick runs the full sys* snapshot only when the rows have an
+// audience (n.sysConsumer — an explicit IntrospectInterval, a plan
+// reading a system relation, a Go-level Watch on one); with just the
+// optimizer configured it runs only the adaptive-replanning drift scan,
+// which reads table cardinalities directly and delivers nothing. On a
+// 10k-node deployment where no node monitors itself, the once-a-second
+// snapshot — the engine's single largest allocator — never runs.
+// Called at Start, and again whenever a consumer can appear later
+// (Install, Watch).
 func (n *Node) scheduleIntrospect() {
 	iv := n.introspectInterval()
-	if iv <= 0 || n.stopped {
+	if iv <= 0 || n.stopped || n.introTimer != nil {
 		return
 	}
+	if !n.sysConsumer && n.opts.Optimizer == nil {
+		return
+	}
+	n.armIntrospect(iv)
+}
+
+// ensureSysTables materializes any system tables the node skipped at
+// Start (demand-driven: no sys* audience, no tables). Called when a
+// consumer appears later — a Watch on a sys* relation or an Install
+// whose rules read one — before anything probes or fills them. Newly
+// created tables join the sorted sweep order like any other.
+func (n *Node) ensureSysTables() {
+	added := false
+	for name, ts := range n.plan.Tables {
+		if ts.System && n.tables[name] == nil {
+			n.tables[name] = n.newTable(ts)
+			n.tableOrder = append(n.tableOrder, name)
+			added = true
+		}
+	}
+	if added {
+		sort.Strings(n.tableOrder)
+	}
+}
+
+func (n *Node) armIntrospect(iv float64) {
 	n.introTimer = n.loop.After(iv, func() {
 		if n.stopped {
 			return
 		}
-		n.RefreshSystemTables()
-		n.scheduleIntrospect()
+		// The consumer flag is re-read every tick: a Watch or Install
+		// between ticks upgrades an optimizer-only tick to the full
+		// snapshot without touching the timer.
+		if n.sysConsumer {
+			n.RefreshSystemTables()
+		} else {
+			n.maybeReplan()
+		}
+		n.armIntrospect(iv)
 	})
 }
 
@@ -114,6 +201,8 @@ func (n *Node) scheduleIntrospect() {
 // build tuples for rows that actually changed.
 func (n *Node) RefreshSystemTables() {
 	sr := n.sysref
+	sr.ensureCaches()
+	n.ensureSysTables() // direct calls may precede any consumer
 	addr := val.Str(n.addr)
 
 	ns := n.NodeStat() // uptime always moves; sysNode rebuilds every pass
@@ -188,6 +277,19 @@ func (n *Node) RefreshSystemTables() {
 			})
 		}
 		sample.Peers = sr.healthPeers
+		// The transport's flow janitor reclaims idle peers; drop their
+		// cached row renderings too, or the caches regrow the O(peers
+		// ever contacted) footprint the janitor exists to bound. The
+		// rows themselves fade by TTL once no refresh renews them.
+		if len(sr.netTup) > len(sr.netBuf) {
+			for a := range sr.netTup {
+				i := sort.Search(len(sr.netBuf), func(i int) bool { return sr.netBuf[i].Addr >= a })
+				if i >= len(sr.netBuf) || sr.netBuf[i].Addr != a {
+					delete(sr.netTup, a)
+					delete(sr.netLast, a)
+				}
+			}
+		}
 	}
 
 	// Conditions evaluate from the same counters that fed the rows
@@ -209,13 +311,52 @@ func (n *Node) RefreshSystemTables() {
 }
 
 // Conditions returns the node's most recently evaluated health
-// catalogue (a copy, in canonical order). Before the first
-// introspection refresh every condition is Unknown.
+// catalogue (a copy, in canonical order). On a node whose periodic
+// snapshot runs (a sys* consumer exists) this reflects the last
+// refresh; before the first one every condition is Unknown. On a node
+// with no sys* audience the conditions are evaluated on the spot from
+// the live counters, so HealthSnapshot and the metrics exporter see
+// current state without paying for the per-second snapshot. With
+// introspection disabled outright (negative interval) conditions stay
+// Unknown, as before.
 func (n *Node) Conditions() []health.Condition {
 	if n.health == nil {
 		return nil
 	}
+	if !n.sysConsumer && n.started && !n.stopped && n.introspectInterval() > 0 {
+		n.evalHealthNow()
+	}
 	return slices.Clone(n.health.Conditions())
+}
+
+// evalHealthNow feeds the health evaluator the same sample a refresh
+// would build — cumulative application-table churn plus per-peer
+// backlog and drops — without rendering or delivering any sys* rows.
+// It runs on the node's loop (Conditions is reached via Handle.Do or
+// between Run calls), and reuses the refresh cache's buffers.
+func (n *Node) evalHealthNow() {
+	sr := n.sysref
+	var churn int64
+	for _, name := range sr.tableNames {
+		if tb := n.tables[name]; tb != nil {
+			st := tb.Stats()
+			churn += st.Inserts + st.Deletes
+		}
+	}
+	sample := health.Sample{Now: n.loop.Now(), Churn: churn}
+	if n.trans != nil {
+		sample.QueueCap = n.trans.Config().QueueCap
+		sr.netBuf = n.trans.PerDestInto(sr.netBuf)
+		sr.healthPeers = sr.healthPeers[:0]
+		for i := range sr.netBuf {
+			d := &sr.netBuf[i]
+			sr.healthPeers = append(sr.healthPeers, health.PeerSample{
+				Addr: d.Addr, Backlog: d.Backlog, Drops: d.Drops,
+			})
+		}
+		sample.Peers = sr.healthPeers
+	}
+	n.health.Eval(sample)
 }
 
 // The Source implementation below exposes the counters the snapshot is
@@ -343,6 +484,13 @@ func (n *Node) Install(src string) error {
 	// Keep the sweep order sorted so a node that installed its way to a
 	// plan sweeps identically to one that started with it.
 	sort.Strings(n.tableOrder)
+	// Monitoring grafts are the usual first sys* consumer: materialize
+	// the system tables before strand construction so joins against
+	// them have a table to probe.
+	if !n.sysConsumer && planReadsSys(n.plan) {
+		n.sysConsumer = true
+		n.ensureSysTables()
+	}
 	// Installed rules are optimized against live statistics — by the time
 	// a monitoring query arrives the node's tables hold real data, so its
 	// plan can be right from the first firing instead of waiting for a
@@ -379,5 +527,8 @@ func (n *Node) Install(src string) error {
 			}
 		})
 	}
+	// The graft may be the node's first sys* consumer: arm the refresh,
+	// so the new rules see rows from the next tick on.
+	n.scheduleIntrospect()
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"p2/internal/health"
 	"p2/internal/introspect"
 	"p2/internal/tuple"
 	"p2/internal/val"
@@ -37,9 +38,12 @@ func sysRows(r *rig, addr, rel string) []*tuple.Tuple {
 }
 
 func TestSystemTablesPopulate(t *testing.T) {
-	r := newRig(t, pingPongSrc, "a", "b")
+	// An explicit interval forces the refresh on even though nothing in
+	// the program reads sys* (demand-driven introspection would
+	// otherwise leave the tables empty — see TestIntrospectionLazy).
+	r := newRigOpts(t, pingPongSrc, Options{IntrospectInterval: 1}, "a", "b")
 	pingN(r, "a", "b", 3)
-	r.loop.Run(5) // several introspection refreshes at the default 1 s
+	r.loop.Run(5) // several introspection refreshes at 1 s
 
 	// sysTable reports the application relation (and not sys* tables).
 	var seenRow *tuple.Tuple
@@ -90,6 +94,48 @@ func TestSystemTablesPopulate(t *testing.T) {
 	}
 }
 
+// TestIntrospectionLazy pins the demand-driven default: a node whose
+// program never reads a sys* relation skips the periodic snapshot
+// entirely (the tables stay empty), health conditions still evaluate
+// on demand, and a Go-level Watch on a system table arms the refresh
+// after the fact.
+func TestIntrospectionLazy(t *testing.T) {
+	r := newRig(t, pingPongSrc, "a", "b")
+	pingN(r, "a", "b", 2)
+	r.loop.Run(3)
+
+	n := r.nodes["a"]
+	if n.Table(introspect.NodeRelation) != nil {
+		t.Fatal("sysNode instantiated with no sys* consumer anywhere")
+	}
+	// Conditions evaluate on demand: a healthy ping-pong pair must not
+	// report Unknown across the board.
+	known := 0
+	for _, c := range n.Conditions() {
+		if c.Status != health.StatusUnknown {
+			known++
+		}
+	}
+	if known == 0 {
+		t.Fatalf("on-demand conditions all Unknown: %+v", n.Conditions())
+	}
+
+	// A Go-level watch on a system table is a consumer: the refresh
+	// arms and rows start flowing.
+	var events int
+	n.Watch(introspect.NodeRelation, func(WatchEvent) { events++ })
+	r.loop.Run(6)
+	tb := n.Table(introspect.NodeRelation)
+	if tb == nil || tb.Len() == 0 || events == 0 {
+		t.Fatalf("watching %s did not arm the refresh (table=%v events=%d)",
+			introspect.NodeRelation, tb, events)
+	}
+	// Node b, still unconsumed, stays dark.
+	if r.nodes["b"].Table(introspect.NodeRelation) != nil {
+		t.Fatal("b instantiated sysNode; laziness must be per node")
+	}
+}
+
 func TestIntrospectionDisabled(t *testing.T) {
 	r := newRig(t, pingPongSrc, "a")
 	// Rebuild node a with introspection off.
@@ -98,7 +144,7 @@ func TestIntrospectionDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.loop.Run(3)
-	if n.Table(introspect.NodeRelation).Len() != 0 {
+	if tb := n.Table(introspect.NodeRelation); tb != nil && tb.Len() != 0 {
 		t.Fatal("system tables populated despite IntrospectInterval < 0")
 	}
 }

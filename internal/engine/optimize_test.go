@@ -160,8 +160,10 @@ const replanSrc = `
 // the strand's plan in place on the next introspection refresh — same
 // rule ID, monotonic sysRule fire counter, Replans visible in sysPlan.
 func TestReplanKeepsRuleIdentity(t *testing.T) {
+	// Explicit interval: the test ends by reading sysPlan rows, and
+	// optimizer-only ticks don't deliver them.
 	loop, n := startOne(t, replanSrc, Options{Seed: 1, NoJitter: true,
-		Optimizer: &planner.OptimizerConfig{}})
+		IntrospectInterval: 1, Optimizer: &planner.OptimizerConfig{}})
 
 	planOf := func() introspect.PlanStat {
 		t.Helper()
@@ -249,7 +251,11 @@ func TestReplanKeepsRuleIdentity(t *testing.T) {
 // even when no optimizer is configured — rules just report the textual
 // plan markers.
 func TestSysPlanWithoutOptimizer(t *testing.T) {
-	loop, n := startOne(t, replanSrc, Options{Seed: 1, NoJitter: true})
+	// Explicit interval: without the optimizer (or a sys* consumer) the
+	// demand-driven refresh would never run and the relation would stay
+	// empty.
+	loop, n := startOne(t, replanSrc, Options{Seed: 1, NoJitter: true,
+		IntrospectInterval: 1})
 	loop.Run(2)
 	rows := n.Table(introspect.PlanRelation).ScanSorted()
 	if len(rows) == 0 {

@@ -17,6 +17,7 @@ import (
 	"p2/internal/id"
 	"p2/internal/overlays"
 	"p2/internal/overlog"
+	"p2/internal/simnet"
 )
 
 // Scale selects experiment sizing.
@@ -40,6 +41,10 @@ type Scale struct {
 	// each network across that many parallel event-loop shards; 0
 	// defers to P2_SIM_SHARDS (cmd/p2sim sets it from -shards).
 	Shards int
+	// Net overrides the network topology for every harness the scale
+	// builds; nil keeps the paper's default GT-ITM-style configuration
+	// (cmd/p2sim sets it from -topology).
+	Net *simnet.Config
 }
 
 // PaperScale reproduces the evaluation's parameters: static rings of
@@ -171,7 +176,7 @@ func RunFig3(sc Scale, seed int64) *Fig3Result {
 }
 
 func runStaticSize(sc Scale, n int, seed int64) *StaticSizeResult {
-	h := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards})
+	h := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards, Net: sc.Net})
 	defer h.Close()
 	h.Run(float64(n)*sc.JoinSpacing + sc.SettleTime)
 
@@ -241,7 +246,7 @@ func RunFig4(sc Scale, seed int64) *Fig4Result {
 }
 
 func runChurnSession(sc Scale, sessMin float64, seed int64) *ChurnSessionResult {
-	h := harness.NewChord(harness.Opts{N: sc.ChurnN, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards})
+	h := harness.NewChord(harness.Opts{N: sc.ChurnN, Seed: seed, JoinSpacing: sc.JoinSpacing, Shards: sc.Shards, Net: sc.Net})
 	defer h.Close()
 	h.Run(float64(sc.ChurnN)*sc.JoinSpacing + sc.SettleTime)
 

@@ -48,9 +48,24 @@ type Opts struct {
 	N           int     // initial population
 	Seed        int64   // master seed
 	JoinSpacing float64 // seconds between node starts (default 0.5)
-	Defines     map[string]val.Value
-	Net         *simnet.Config // nil = paper topology
-	Unreliable  bool           // fire-and-forget transport (ablation)
+	// JoinRamp staggers joins at a rate proportional to the current
+	// population — 4% of the ring per virtual second, at most 20%
+	// growth per stabilization round — instead of the fixed spacing,
+	// with JoinSpacing as the per-join floor (the peak-rate cap). A
+	// fixed spacing fast enough to build a 10k ring in reasonable
+	// virtual time floods the first few dozen nodes with joins faster
+	// than stabilization can integrate them, fragmenting the ring into
+	// islands that only the landmark's 60s anti-entropy slowly merges;
+	// ramping keeps every prefix of the build converged. Use
+	// JoinDeadline for the time of the last scheduled join.
+	JoinRamp   bool
+	Defines    map[string]val.Value
+	Net        *simnet.Config // nil = paper topology
+	Unreliable bool           // fire-and-forget transport (ablation)
+	// Transport overrides the deployment's transport tuning (nil =
+	// defaults). Scale experiments use it to vary FlowIdleTTL and the
+	// reliability knobs without re-plumbing every option.
+	Transport *p2.TransportConfig
 	// NoOptimizer disables the cost-based query optimizer, which the
 	// harness otherwise enables with default tuning — the measurement
 	// configuration, and the reason the sharded-determinism suite
@@ -121,6 +136,8 @@ type Chord struct {
 	tapMu       sync.Mutex
 	lookupBytes int64
 	maintBytes  int64
+
+	joinDeadline float64
 }
 
 // NewChord builds (but does not yet run) a Chord network: nodes start
@@ -137,7 +154,11 @@ func NewChord(opts Opts) *Chord {
 	if opts.Net != nil {
 		dopts = append(dopts, p2.WithTopology(*opts.Net))
 	}
-	if opts.Unreliable {
+	if opts.Transport != nil {
+		tc := *opts.Transport
+		tc.Unreliable = tc.Unreliable || opts.Unreliable
+		dopts = append(dopts, p2.WithTransport(tc))
+	} else if opts.Unreliable {
 		tc := p2.DefaultTransportConfig()
 		tc.Unreliable = true
 		dopts = append(dopts, p2.WithTransport(tc))
@@ -156,12 +177,34 @@ func NewChord(opts Opts) *Chord {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		pending: make(map[string]*LookupResult),
 	}
+	at := 0.0
 	for i := 0; i < opts.N; i++ {
 		addr := h.nextAddr()
-		d.At(float64(i)*opts.JoinSpacing, func() { h.spawn(addr) })
+		if !opts.JoinRamp {
+			// Exact multiplication, not accumulation: the fixed-spacing
+			// schedule predates the ramp and every recorded baseline
+			// depends on its event times staying bit-identical.
+			at = float64(i) * opts.JoinSpacing
+		}
+		d.At(at, func() { h.spawn(addr) })
+		h.joinDeadline = at
+		if opts.JoinRamp {
+			// 4%/s of the population joined so far, floored at the
+			// spacing cap.
+			if gap := 25.0 / float64(i+1); gap > opts.JoinSpacing {
+				at += gap
+			} else {
+				at += opts.JoinSpacing
+			}
+		}
 	}
 	return h
 }
+
+// JoinDeadline is the virtual time of the last scheduled initial join —
+// the earliest moment the full population exists. Settle windows in
+// scale tests are measured from here.
+func (h *Chord) JoinDeadline() float64 { return h.joinDeadline }
 
 // Close releases deployment resources (shard worker goroutines). The
 // harness must not be run afterwards.

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"testing"
+
+	"p2/internal/simnet"
 )
 
 // chordSummary captures every harness metric the paper's figures are
@@ -19,9 +21,10 @@ type chordSummary struct {
 
 // runShardedWorkload drives one full measurement pass — staggered
 // build, a lookup workload, a churn phase, more lookups — at the given
-// shard count and summarizes the metrics.
-func runShardedWorkload(n, shards int, seed int64, spacing float64, churn bool) chordSummary {
-	h := NewChord(Opts{N: n, Seed: seed, JoinSpacing: spacing, Shards: shards})
+// shard count and summarizes the metrics. A nil net runs the paper
+// topology; otherwise the given one (the WAN determinism test).
+func runShardedWorkload(n, shards int, seed int64, spacing float64, churn bool, net *simnet.Config) chordSummary {
+	h := NewChord(Opts{N: n, Seed: seed, JoinSpacing: spacing, Shards: shards, Net: net})
 	defer h.Close()
 	h.Run(float64(n)*spacing + 15)
 
@@ -89,12 +92,32 @@ func diffSummaries(t *testing.T, label string, a, b chordSummary) {
 // barrier work — reports bit-identical harness metrics at 1, 3, and 4
 // shards under the same seed.
 func TestShardedDeterminism(t *testing.T) {
-	base := runShardedWorkload(64, 1, 42, 0.05, true)
+	base := runShardedWorkload(64, 1, 42, 0.05, true, nil)
 	if len(base.lookups) == 0 {
 		t.Fatal("workload issued no lookups")
 	}
 	for _, p := range []int{3, 4} {
-		diffSummaries(t, fmt.Sprintf("shards=%d", p), base, runShardedWorkload(64, p, 42, 0.05, true))
+		diffSummaries(t, fmt.Sprintf("shards=%d", p), base, runShardedWorkload(64, p, 42, 0.05, true, nil))
+	}
+}
+
+// TestShardedDeterminismWAN re-runs the determinism guarantee on the
+// transit-stub WAN model with every dynamic effect armed — per-link
+// measured latencies, 10% jitter, border-router queuing draws, transit
+// serialization, and Gilbert-Elliott loss bursts. All of it is modeled
+// from sender-owned state (per-node rng streams, the sender's link
+// clock), so a churned 64-node run must stay bit-identical at 1, 3,
+// and 4 shards; this test is what pins that discipline for the WAN
+// code paths.
+func TestShardedDeterminismWAN(t *testing.T) {
+	wan := simnet.TransitStubWAN(3, 3, 99)
+	wan.BurstEnter, wan.BurstExit, wan.BurstLoss = 0.01, 0.25, 0.5
+	base := runShardedWorkload(64, 1, 42, 0.05, true, &wan)
+	if len(base.lookups) == 0 {
+		t.Fatal("workload issued no lookups")
+	}
+	for _, p := range []int{3, 4} {
+		diffSummaries(t, fmt.Sprintf("wan shards=%d", p), base, runShardedWorkload(64, p, 42, 0.05, true, &wan))
 	}
 }
 
@@ -109,8 +132,8 @@ func TestShardedDeterminism512(t *testing.T) {
 	if raceEnabled {
 		t.Skip("512-node soak skipped under -race; TestShardedDeterminism covers the same machinery")
 	}
-	base := runShardedWorkload(512, 1, 7, 0.02, false)
-	diffSummaries(t, "shards=8", base, runShardedWorkload(512, 8, 7, 0.02, false))
+	base := runShardedWorkload(512, 1, 7, 0.02, false, nil)
+	diffSummaries(t, "shards=8", base, runShardedWorkload(512, 8, 7, 0.02, false, nil))
 }
 
 // TestShardedPlacementByDomain checks the placement rule: every node of

@@ -87,6 +87,30 @@ func (x ID) ToBytes() []byte {
 	return b
 }
 
+// PutBytes writes the big-endian representation into b — the
+// allocation-free form of ToBytes for callers rendering into a stack
+// buffer.
+func (x ID) PutBytes(b *[Bytes]byte) {
+	for i := 0; i < 5; i++ {
+		binary.BigEndian.PutUint32(b[i*4:i*4+4], x[i])
+	}
+}
+
+// FromString is FromBytes over string storage, without the []byte
+// conversion allocation — for value payloads that keep IDs rendered as
+// 20-byte strings.
+func FromString(s string) ID {
+	if len(s) != Bytes {
+		return FromBytes([]byte(s))
+	}
+	var x ID
+	for i := 0; i < 5; i++ {
+		x[i] = uint32(s[i*4])<<24 | uint32(s[i*4+1])<<16 |
+			uint32(s[i*4+2])<<8 | uint32(s[i*4+3])
+	}
+	return x
+}
+
 // Uint64 returns the low 64 bits.
 func (x ID) Uint64() uint64 {
 	return uint64(x[3])<<32 | uint64(x[4])

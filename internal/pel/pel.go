@@ -172,8 +172,15 @@ type VM struct {
 	stack []val.Value
 }
 
-// NewVM returns a fresh VM.
-func NewVM() *VM { return &VM{stack: make([]val.Value, 0, 16)} }
+// NewVM returns a fresh VM. The operand stack starts nil and is grown
+// by the first Eval to exactly the depth its programs need, then
+// retained (run stores the grown slice back) — so steady-state
+// evaluation stays allocation-free without paying a fixed-size
+// preallocation on every VM. A dataflow graph holds one VM per
+// element, tens of thousands of them across a big deployment, and most
+// programs are a handful of slots deep; the old eager 16-slot stack
+// (16 fixed Value slots) was the single largest per-node heap line.
+func NewVM() *VM { return &VM{} }
 
 // Eval runs p against the input tuple and environment, returning the
 // value left on top of the stack. Errors indicate malformed programs

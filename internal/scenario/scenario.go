@@ -48,16 +48,16 @@ type Op int
 
 // Step kinds.
 const (
-	OpSpawn    Op = iota // start node Node (no-op if live)
-	OpKill               // crash-stop node Node (no-op if dead)
-	OpReplace            // restart node Node at the same address
-	OpPartition          // cut Node <-> Peer (no-op if same or already cut)
-	OpHeal               // heal Node <-> Peer (no-op if not cut)
-	OpLoss               // loss burst: drop rate Rate for Dur seconds
-	OpLatency            // latency spike: +Rate seconds per datagram for Dur
-	OpLookups            // issue Count lookups (Chord) or pings (Echo) from Node
-	OpChurn              // churn window: mean session Rate for Dur seconds
-	OpWait               // advance Dur seconds
+	OpSpawn     Op = iota // start node Node (no-op if live)
+	OpKill                // crash-stop node Node (no-op if dead)
+	OpReplace             // restart node Node at the same address
+	OpPartition           // cut Node <-> Peer (no-op if same or already cut)
+	OpHeal                // heal Node <-> Peer (no-op if not cut)
+	OpLoss                // loss burst: drop rate Rate for Dur seconds
+	OpLatency             // latency spike: +Rate seconds per datagram for Dur
+	OpLookups             // issue Count lookups (Chord) or pings (Echo) from Node
+	OpChurn               // churn window: mean session Rate for Dur seconds
+	OpWait                // advance Dur seconds
 )
 
 var opNames = map[Op]string{

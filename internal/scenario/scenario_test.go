@@ -188,7 +188,7 @@ func replaceChurnScript() Script {
 			{Op: OpPartition, Node: 1, Peer: 2},
 			{Op: OpLookups, Node: 0, Count: 2},
 			{Op: OpWait, Dur: 1},
-			{Op: OpReplace, Node: 1}, // replace mid-partition
+			{Op: OpReplace, Node: 1},       // replace mid-partition
 			{Op: OpChurn, Rate: 2, Dur: 2}, // churn window spans the heal
 			{Op: OpHeal, Node: 1, Peer: 2},
 			{Op: OpLookups, Node: 2, Count: 1},

@@ -45,6 +45,7 @@ package simnet
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -52,7 +53,13 @@ import (
 	"p2/internal/netif"
 )
 
-// Config describes the topology and link properties.
+// Config describes the topology and link properties. The zero-ish
+// DefaultConfig reproduces the paper's uniform two-tier Emulab model;
+// the WAN fields below graduate it to a measured-latency-matrix
+// topology with per-link variation — every added effect is modeled
+// from sender-owned state only (the sender's per-node rng stream and
+// the sender's link clock), which is what keeps a sharded run
+// bit-identical at every shard count.
 type Config struct {
 	Domains      int     // number of stub domains (paper: 10)
 	IntraLatency float64 // seconds between nodes in one domain (paper: 2 ms)
@@ -62,6 +69,42 @@ type Config struct {
 	Seed         int64   // rng seed; per-node streams derive from (Seed, addr)
 	HeaderBytes  int     // per-datagram overhead charged (UDP+IP headers)
 	MTU          int     // datagram payload budget endpoints advertise (0: netif.DefaultMTU)
+
+	// Matrix, when non-nil, replaces the uniform two-tier latency model
+	// with a measured one-way propagation matrix: Matrix[i][j] is the
+	// base delay (seconds) from a node in domain i to a node in domain
+	// j, and the diagonal is the intra-domain delay. The domain count
+	// becomes len(Matrix), overriding Domains. Every entry must be
+	// positive for sharded runs (MinLatency is the conservative
+	// lookahead). TransitStubWAN builds one with transit-stub structure.
+	Matrix [][]float64
+
+	// Jitter adds per-datagram delay variation: each datagram's
+	// propagation grows by U[0, Jitter) times its base latency, drawn
+	// from the sender's stream. Additive-only, so the lookahead derived
+	// from the base matrix stays sound.
+	Jitter float64
+
+	// QueueMean, when positive, adds a stochastic queuing delay to every
+	// cross-domain datagram: an exponential draw with this mean,
+	// modeling contention at the domain's border router without shared
+	// queue state (which would break cross-shard determinism).
+	QueueMean float64
+
+	// TransitBps, when positive, charges cross-domain datagrams a
+	// backbone serialization delay of size/TransitBps on top of the
+	// access-link serialization (paper: 100 Mbps router links).
+	TransitBps float64
+
+	// Correlated loss bursts (Gilbert-Elliott), evolved per datagram on
+	// the sending node's stream: in the good state a datagram enters the
+	// bad state with probability BurstEnter; in the bad state it exits
+	// with probability BurstExit and is otherwise lost with probability
+	// BurstLoss. Zero BurstEnter disables the machinery (and consumes no
+	// draws). Uniform LossRate still applies independently.
+	BurstEnter float64
+	BurstExit  float64
+	BurstLoss  float64
 }
 
 // DefaultConfig reproduces the paper's Emulab topology.
@@ -80,14 +123,117 @@ func DefaultConfig() Config {
 
 // MinLatency returns the smallest one-way propagation delay any
 // datagram can experience — the sound conservative lookahead for a
-// sharded run, whatever the node-to-shard placement.
+// sharded run, whatever the node-to-shard placement. Jitter and
+// queuing delay are strictly additive, and serialization only pushes
+// arrivals later, so the minimum base entry is a true lower bound on
+// every sampled link delay.
 func (c Config) MinLatency() float64 {
+	if len(c.Matrix) > 0 {
+		min := math.Inf(1)
+		for _, row := range c.Matrix {
+			for _, v := range row {
+				if v < min {
+					min = v
+				}
+			}
+		}
+		return min
+	}
 	intra := c.IntraLatency
 	inter := c.InterLatency + 2*c.IntraLatency
 	if c.Domains <= 1 || intra <= inter {
 		return intra
 	}
 	return inter
+}
+
+// domains resolves the effective domain count: the matrix dimension
+// when a matrix is set, Domains otherwise (floored at 1).
+func (c Config) domains() int {
+	if n := len(c.Matrix); n > 0 {
+		return n
+	}
+	if c.Domains <= 0 {
+		return 1
+	}
+	return c.Domains
+}
+
+// baseLatency is the one-way base propagation delay between two
+// domains — a pure function of the Config, usable from any shard.
+func (c Config) baseLatency(da, db int) float64 {
+	if len(c.Matrix) > 0 {
+		return c.Matrix[da][db]
+	}
+	if da == db {
+		return c.IntraLatency
+	}
+	return c.InterLatency + 2*c.IntraLatency
+}
+
+// TransitStubWAN builds a measured-latency-matrix WAN topology with
+// transit-stub structure (GT-ITM style): transits backbone routers,
+// each serving stubsPerTransit stub domains. A datagram between stub
+// domains climbs its stub's uplink, crosses the backbone between the
+// two transit routers, and descends the destination's uplink; the
+// seeded generator draws per-link distances so no two links match —
+// the realism the uniform two-tier model lacks. The returned Config
+// also carries WAN defaults for the dynamic effects: 10% jitter, 2 ms
+// mean border-router queuing, 100 Mbps backbone serialization. Loss
+// (uniform or bursty) is left off; enable it per experiment.
+func TransitStubWAN(transits, stubsPerTransit int, seed int64) Config {
+	if transits < 1 {
+		transits = 1
+	}
+	if stubsPerTransit < 1 {
+		stubsPerTransit = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Backbone: symmetric transit-to-transit distances, 10-50 ms.
+	tt := make([][]float64, transits)
+	for i := range tt {
+		tt[i] = make([]float64, transits)
+	}
+	for i := 0; i < transits; i++ {
+		for j := i + 1; j < transits; j++ {
+			d := 0.010 + 0.040*rng.Float64()
+			tt[i][j], tt[j][i] = d, d
+		}
+	}
+	n := transits * stubsPerTransit
+	// Stub uplinks: 2-12 ms to the serving transit router; intra-domain
+	// delay 0.5-2 ms.
+	up := make([]float64, n)
+	intra := make([]float64, n)
+	for s := 0; s < n; s++ {
+		up[s] = 0.002 + 0.010*rng.Float64()
+		intra[s] = 0.0005 + 0.0015*rng.Float64()
+	}
+	m := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		m[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			switch {
+			case a == b:
+				m[a][b] = intra[a]
+			case a/stubsPerTransit == b/stubsPerTransit:
+				// Sibling stubs: up, around the shared transit router, down.
+				m[a][b] = up[a] + 0.001 + up[b]
+			default:
+				m[a][b] = up[a] + tt[a/stubsPerTransit][b/stubsPerTransit] + up[b]
+			}
+		}
+	}
+	return Config{
+		Matrix:      m,
+		StubBps:     10e6 / 8,
+		TransitBps:  100e6 / 8,
+		Jitter:      0.10,
+		QueueMean:   0.002,
+		Seed:        seed,
+		HeaderBytes: 28,
+		MTU:         netif.DefaultMTU,
+	}
 }
 
 // Stats aggregates one node's traffic counters.
@@ -138,6 +284,7 @@ type node struct {
 	rng      *rand.Rand // per-node stream: (Seed, addr)-derived
 	sendSeq  uint64     // datagrams sent; canonical merge tie-breaker
 	linkFree float64    // time the access link next becomes idle
+	burstBad bool       // Gilbert-Elliott loss state (sender-side)
 	dead     bool
 	stats    Stats
 }
@@ -182,9 +329,7 @@ func NewSharded(ss *eventloop.ShardedSim, cfg Config) *Net {
 }
 
 func newNet(cfg Config) *Net {
-	if cfg.Domains <= 0 {
-		cfg.Domains = 1
-	}
+	cfg.Domains = cfg.domains()
 	return &Net{cfg: cfg, cuts: make(map[string]bool)}
 }
 
@@ -201,10 +346,7 @@ func (n *Net) Sharded() bool { return n.ss != nil }
 // any node records — cmd/p2sim previews node→shard placement maps from
 // the Config alone.
 func (c Config) DomainOf(addr string) int {
-	d := c.Domains
-	if d <= 0 {
-		d = 1
-	}
+	d := c.domains()
 	h := fnv.New32a()
 	h.Write([]byte(addr))
 	return int(h.Sum32()) % d
@@ -311,14 +453,12 @@ func pairKey(a, b string) string {
 	return a + "|" + b
 }
 
-// Latency returns the one-way propagation delay between two addresses —
-// a pure function of the two domains, so a sender can compute it
-// without touching the destination shard's records.
+// Latency returns the one-way base propagation delay between two
+// addresses — a pure function of the two domains, so a sender can
+// compute it without touching the destination shard's records. Jitter
+// and queuing draws are added per datagram at send time.
 func (n *Net) Latency(a, b string) float64 {
-	if n.DomainOf(a) == n.DomainOf(b) {
-		return n.cfg.IntraLatency
-	}
-	return n.cfg.InterLatency + 2*n.cfg.IntraLatency
+	return n.cfg.baseLatency(n.DomainOf(a), n.DomainOf(b))
 }
 
 // Stats returns a copy of addr's counters. Coordinator-only in sharded
@@ -380,6 +520,22 @@ func (n *Net) send(src *node, to string, payload []byte) {
 		src.stats.PacketsLost++
 		return
 	}
+	// Correlated loss bursts: evolve the sender's Gilbert-Elliott state,
+	// then draw the loss while bad. All draws come from the sender's own
+	// stream, so burst placement is independent of event interleaving.
+	if n.cfg.BurstEnter > 0 {
+		if src.burstBad {
+			if src.rng.Float64() < n.cfg.BurstExit {
+				src.burstBad = false
+			}
+		} else if src.rng.Float64() < n.cfg.BurstEnter {
+			src.burstBad = true
+		}
+		if src.burstBad && src.rng.Float64() < n.cfg.BurstLoss {
+			src.stats.PacketsLost++
+			return
+		}
+	}
 
 	sh := n.shards[src.shard]
 	now := sh.loop.Now()
@@ -393,7 +549,21 @@ func (n *Net) send(src *node, to string, payload []byte) {
 		start = src.linkFree
 	}
 	src.linkFree = start + txTime
-	arrive := src.linkFree + n.Latency(src.addr, to) + n.extraLatency
+	base := n.Latency(src.addr, to)
+	delay := base
+	// WAN effects, all additive so the base-matrix lookahead stays
+	// sound, all drawn from sender-owned state so shard counts agree.
+	crossDomain := src.domain != n.DomainOf(to)
+	if crossDomain && n.cfg.TransitBps > 0 {
+		delay += float64(size) / n.cfg.TransitBps
+	}
+	if n.cfg.Jitter > 0 {
+		delay += base * n.cfg.Jitter * src.rng.Float64()
+	}
+	if crossDomain && n.cfg.QueueMean > 0 {
+		delay += n.cfg.QueueMean * src.rng.ExpFloat64()
+	}
+	arrive := src.linkFree + delay + n.extraLatency
 
 	if n.ss == nil {
 		// Single-loop: the sender may inspect the destination directly

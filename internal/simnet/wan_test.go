@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"p2/internal/eventloop"
+	"p2/internal/netif"
+)
+
+// TestMinLatencyBoundsMatrix is the lookahead-soundness property at the
+// config level: across randomly generated transit-stub topologies,
+// MinLatency never exceeds any base matrix entry — the bound a sharded
+// coordinator's epochs are built on.
+func TestMinLatencyBoundsMatrix(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := TransitStubWAN(1+rng.Intn(6), 1+rng.Intn(8), seed)
+		min := cfg.MinLatency()
+		if min <= 0 {
+			t.Fatalf("seed %d: MinLatency %g must be positive for sharded runs", seed, min)
+		}
+		for i, row := range cfg.Matrix {
+			for j, v := range row {
+				if min > v {
+					t.Fatalf("seed %d: MinLatency %g exceeds matrix[%d][%d]=%g", seed, min, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMinLatencyBoundsSampledDelays drives real datagrams through a WAN
+// net — jitter, queuing draws, transit serialization, access-link
+// queueing all active — and checks every sampled one-way delay is at
+// least MinLatency. This is the property that keeps a sharded run
+// sound: a datagram arriving before the epoch barrier that sent it
+// could not be expressed by the barrier exchange.
+func TestMinLatencyBoundsSampledDelays(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := TransitStubWAN(3, 3, seed)
+		cfg.Seed = seed
+		loop := eventloop.NewSim()
+		net := New(loop, cfg)
+		min := cfg.MinLatency()
+
+		const nodes = 12
+		type rcpt struct {
+			from string
+			at   float64
+		}
+		sent := map[string]float64{} // msg id -> send time
+		var got []rcpt
+		eps := make([]netif.Endpoint, nodes)
+		addrs := make([]string, nodes)
+		for i := 0; i < nodes; i++ {
+			addrs[i] = fmt.Sprintf("w%d:p2", i)
+			i := i
+			ep, err := net.Attach(addrs[i], func(from string, payload []byte) {
+				got = append(got, rcpt{from: string(payload), at: loop.Now()})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps[i] = ep
+		}
+		rng := rand.New(rand.NewSource(seed))
+		msg := 0
+		for k := 0; k < 40; k++ {
+			at := float64(k) * 0.05
+			loop.At(at, func() {
+				a, b := rng.Intn(nodes), rng.Intn(nodes)
+				if a == b {
+					b = (b + 1) % nodes
+				}
+				id := fmt.Sprintf("m%d", msg)
+				msg++
+				sent[id] = loop.Now()
+				eps[a].Send(addrs[b], []byte(id))
+			})
+		}
+		loop.Run(30)
+		if len(got) < 30 {
+			t.Fatalf("seed %d: only %d/40 datagrams arrived on a lossless net", seed, len(got))
+		}
+		for _, r := range got {
+			d := r.at - sent[r.from]
+			if d < min {
+				t.Errorf("seed %d: datagram %s delivered after %.6fs < MinLatency %.6fs", seed, r.from, d, min)
+			}
+		}
+	}
+}
+
+// TestBurstLossIsPerNodeDeterministic pins the Gilbert-Elliott
+// machinery to the per-node-stream discipline: the same node sending
+// the same datagram sequence loses the same datagrams regardless of
+// what any other node does in between — the property that keeps burst
+// placement identical at every shard count.
+func TestBurstLossIsPerNodeDeterministic(t *testing.T) {
+	run := func(noise bool) []int64 {
+		cfg := DefaultConfig()
+		cfg.BurstEnter = 0.05
+		cfg.BurstExit = 0.3
+		cfg.BurstLoss = 0.8
+		loop := eventloop.NewSim()
+		net := New(loop, cfg)
+		send := func(addr string) netif.Endpoint {
+			ep, err := net.Attach(addr, func(string, []byte) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ep
+		}
+		a := send("a:p2")
+		b := send("b:p2")
+		n := send("noise:p2")
+		for i := 0; i < 200; i++ {
+			at := float64(i) * 0.01
+			loop.At(at, func() {
+				a.Send("b:p2", []byte("x"))
+				if noise {
+					// Interleave unrelated traffic; a's loss draws must not move.
+					n.Send("a:p2", []byte("y"))
+					b.Send("noise:p2", []byte("z"))
+				}
+			})
+		}
+		loop.Run(10)
+		return []int64{net.Stats("a:p2").PacketsLost, net.Stats("a:p2").PacketsSent}
+	}
+	quiet, noisy := run(false), run(true)
+	if quiet[0] != noisy[0] || quiet[1] != noisy[1] {
+		t.Fatalf("node a's loss pattern moved with unrelated traffic: %v vs %v", quiet, noisy)
+	}
+	if quiet[0] == 0 {
+		t.Fatal("burst loss never fired; the machinery is dead")
+	}
+}

@@ -17,10 +17,17 @@
 // replacement never re-render), and equijoins resolve an *Index handle
 // once at wiring time, then probe it with Index.Each against a scratch
 // key buffer — no signature strings, no result slices.
+//
+// Row storage is compact: rows carry intrusive insertion-order links
+// (no container/list element per row), are allocated from per-table
+// blocks and recycled through a free list (steady-state churn — the
+// constant replace/expire/re-derive cycle of soft state — allocates no
+// row structs), and every rendered key is interned through the global
+// symbol table, so the thousands of rows across a deployment that
+// embed the same address share one backing array.
 package table
 
 import (
-	"container/list"
 	"fmt"
 	"math"
 	"sort"
@@ -29,10 +36,19 @@ import (
 
 	"p2/internal/eventloop"
 	"p2/internal/tuple"
+	"p2/internal/val"
 )
 
 // Infinity marks an unbounded lifetime or size in a table declaration.
 const Infinity = math.MaxFloat64
+
+// Row blocks start small — most tables hold a handful of rows (a
+// Chord node's successor list is 4, its predecessor 1) — and double up
+// to rowBlockMax as the table proves it churns.
+const (
+	rowBlockMin = 8
+	rowBlockMax = 64
+)
 
 // Table is a soft-state relation. Not safe for concurrent use.
 type Table struct {
@@ -42,10 +58,12 @@ type Table struct {
 	pk      []int   // primary key field positions (0-based)
 	clock   eventloop.Clock
 
-	rows    map[string]*row // primary key → row
-	order   *list.List      // *row in insertion order, oldest first
-	indices []*Index        // creation order; row.ixKeys is parallel
-	bySig   map[string]*Index
+	rows       map[string]*row // primary key → row
+	head, tail *row            // insertion order, oldest first (intrusive)
+	free       *row            // recycled rows, linked through row.next
+	blockLen   int             // next arena block size
+	indices    []*Index        // creation order; row.ixKeys is parallel
+	bySig      map[string]*Index
 
 	onInsert  []func(*tuple.Tuple)
 	onDelete  []func(*tuple.Tuple)
@@ -80,12 +98,15 @@ type Stats struct {
 	Refreshes int64 // identical re-insertions that only renewed a TTL
 }
 
+// row is a resident tuple plus its cached keys and intrusive links.
+// Rows are arena-allocated and recycled: a *row is only valid while the
+// row is resident, and nothing outside this package ever holds one.
 type row struct {
-	t       *tuple.Tuple
-	expires float64
-	elem    *list.Element
-	pk      string   // rendered primary key, cached at add time
-	ixKeys  []string // rendered per-index keys, parallel to Table.indices
+	t          *tuple.Tuple
+	expires    float64
+	prev, next *row     // insertion-order links; next doubles as the free-list link
+	pk         string   // rendered primary key, cached (interned) at add time
+	ixKeys     []string // rendered per-index keys, parallel to Table.indices
 }
 
 // Index is a secondary equality index over a fixed set of field
@@ -115,7 +136,6 @@ func New(name string, ttl float64, maxSize int, pk []int, clock eventloop.Clock)
 		pk:      append([]int(nil), pk...),
 		clock:   clock,
 		rows:    make(map[string]*row),
-		order:   list.New(),
 		bySig:   make(map[string]*Index),
 	}
 }
@@ -218,7 +238,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		if existing.t.Equal(t) {
 			// Pure refresh: renew lifetime, no delta.
 			existing.expires = tb.expiry(now)
-			tb.order.MoveToBack(existing.elem)
+			tb.moveToBack(existing)
 			tb.stats.Refreshes++
 			for _, fn := range tb.onRefresh {
 				fn(t)
@@ -239,7 +259,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 		return InsertResult{Stored: true, Delta: true, Replaced: old}
 	}
 
-	tb.addRow(t, now, string(tb.scratch))
+	tb.addRow(t, now, val.InternBytes(tb.scratch))
 	// FIFO eviction when over capacity. The eviction's delete listeners
 	// fire while t is stored but not yet announced; Inserting marks the
 	// window so incremental listeners can fold the whole mutation into
@@ -247,8 +267,7 @@ func (tb *Table) Insert(t *tuple.Tuple) InsertResult {
 	prev := tb.inserting
 	tb.inserting = t
 	for tb.maxSize > 0 && len(tb.rows) > tb.maxSize {
-		oldest := tb.order.Front().Value.(*row)
-		tb.removeRow(oldest, true)
+		tb.removeRow(tb.head, true)
 	}
 	tb.inserting = prev
 	tb.stats.Inserts++
@@ -265,23 +284,101 @@ func (tb *Table) expiry(now float64) float64 {
 	return now + tb.ttl
 }
 
+// newRow takes a row from the free list, refilling it from a fresh
+// arena block when empty. Recycled rows keep their ixKeys capacity, so
+// steady-state churn re-renders keys into storage it already owns.
+func (tb *Table) newRow() *row {
+	if tb.free == nil {
+		if tb.blockLen < rowBlockMin {
+			tb.blockLen = rowBlockMin
+		}
+		block := make([]row, tb.blockLen)
+		if tb.blockLen < rowBlockMax {
+			tb.blockLen *= 2
+		}
+		for i := range block {
+			block[i].next = tb.free
+			tb.free = &block[i]
+		}
+	}
+	r := tb.free
+	tb.free = r.next
+	r.next = nil
+	return r
+}
+
+// recycle returns r to the free list. Every external reference (rows
+// map, order links, index buckets) must already be gone; the caller
+// must not touch r afterwards — a reentrant listener may reuse it for
+// a new row at any point.
+func (tb *Table) recycle(r *row) {
+	r.t = nil
+	r.pk = ""
+	r.prev = nil
+	for i := range r.ixKeys {
+		r.ixKeys[i] = ""
+	}
+	r.ixKeys = r.ixKeys[:0]
+	r.next = tb.free
+	tb.free = r
+}
+
+// pushBack links r at the tail of the insertion-order list.
+func (tb *Table) pushBack(r *row) {
+	r.prev = tb.tail
+	r.next = nil
+	if tb.tail != nil {
+		tb.tail.next = r
+	} else {
+		tb.head = r
+	}
+	tb.tail = r
+}
+
+// unlink removes r from the insertion-order list.
+func (tb *Table) unlink(r *row) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		tb.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		tb.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+// moveToBack re-links r as the newest row (TTL refresh order).
+func (tb *Table) moveToBack(r *row) {
+	if tb.tail == r {
+		return
+	}
+	tb.unlink(r)
+	tb.pushBack(r)
+}
+
 // addRow stores t under the pre-rendered primary key pk, rendering and
-// caching each secondary-index key once. Bucket keys are interned: when
-// the bucket already holds a row, its cached string is reused instead
-// of materializing a fresh one.
+// caching each secondary-index key once. Keys are interned through the
+// global symbol table: a bucket key rendered on one node — or in one
+// tuple field — shares storage with every other appearance of the same
+// bytes, and re-adding a previously seen key allocates nothing.
 func (tb *Table) addRow(t *tuple.Tuple, now float64, pk string) {
 	tb.version++
-	r := &row{t: t, expires: tb.expiry(now), pk: pk}
-	r.elem = tb.order.PushBack(r)
+	r := tb.newRow()
+	r.t, r.expires, r.pk = t, tb.expiry(now), pk
+	tb.pushBack(r)
 	tb.rows[pk] = r
-	if len(tb.indices) > 0 {
-		r.ixKeys = make([]string, len(tb.indices))
+	if n := len(tb.indices); n > 0 {
+		if cap(r.ixKeys) >= n {
+			r.ixKeys = r.ixKeys[:n]
+		} else {
+			r.ixKeys = make([]string, n)
+		}
 		for i, ix := range tb.indices {
 			tb.scratch = t.AppendKey(tb.scratch[:0], ix.positions)
-			k, ok := internKey(ix.m[string(tb.scratch)], i)
-			if !ok {
-				k = string(tb.scratch)
-			}
+			k := val.InternBytes(tb.scratch)
 			r.ixKeys[i] = k
 			ix.m[k] = append(ix.m[k], r)
 			ix.appends++
@@ -289,25 +386,16 @@ func (tb *Table) addRow(t *tuple.Tuple, now float64, pk string) {
 	}
 }
 
-// internKey recovers the bucket's existing key string from any resident
-// row, avoiding a string allocation per insert on populated buckets.
-func internKey(bucket []*row, ord int) (string, bool) {
-	for _, r := range bucket {
-		if r != nil { // tombstones possible while a probe is live
-			return r.ixKeys[ord], true
-		}
-	}
-	return "", false
-}
-
 // removeRow unlinks r using its cached key strings — nothing is
 // re-rendered; when notify is set the delete listeners fire. While a
 // probe is visiting buckets, slots are tombstoned in place (and
 // compacted when the probe finishes) so no probe sees a row twice.
+// The row is recycled before listeners run, so r must not be touched
+// after this call.
 func (tb *Table) removeRow(r *row, notify bool) {
 	tb.version++
 	delete(tb.rows, r.pk)
-	tb.order.Remove(r.elem)
+	tb.unlink(r)
 	for i, ix := range tb.indices {
 		k := r.ixKeys[i]
 		bucket := ix.m[k]
@@ -326,10 +414,12 @@ func (tb *Table) removeRow(r *row, notify bool) {
 			}
 		}
 	}
+	t := r.t
+	tb.recycle(r)
 	if notify {
 		tb.stats.Deletes++
 		for _, fn := range tb.onDelete {
-			fn(r.t)
+			fn(t)
 		}
 	}
 }
@@ -376,32 +466,48 @@ func (tb *Table) Delete(t *tuple.Tuple) bool {
 	return true
 }
 
+// victim is a deferred removal: the row is re-resolved by primary key
+// at removal time and checked by tuple identity, because the delete
+// listeners of an earlier victim may themselves have removed (and the
+// arena may have recycled) the row this victim referred to.
+type victim struct {
+	pk string
+	t  *tuple.Tuple
+}
+
+// removeVictims removes each victim that is still resident, returning
+// the count actually removed.
+func (tb *Table) removeVictims(victims []victim) int {
+	n := 0
+	for _, v := range victims {
+		if r, ok := tb.rows[v.pk]; ok && r.t == v.t {
+			tb.removeRow(r, true)
+			n++
+		}
+	}
+	return n
+}
+
 // DeleteWhere removes every live row for which pred returns true,
 // returning the count.
 func (tb *Table) DeleteWhere(pred func(*tuple.Tuple) bool) int {
 	tb.Expire()
-	var victims []*row
-	for e := tb.order.Front(); e != nil; e = e.Next() {
-		r := e.Value.(*row)
+	var victims []victim
+	for r := tb.head; r != nil; r = r.next {
 		if pred(r.t) {
-			victims = append(victims, r)
+			victims = append(victims, victim{r.pk, r.t})
 		}
 	}
-	for _, r := range victims {
-		tb.removeRow(r, true)
-	}
-	return len(victims)
+	return tb.removeVictims(victims)
 }
 
 // Clear removes every row, firing delete listeners.
 func (tb *Table) Clear() {
-	var victims []*row
-	for e := tb.order.Front(); e != nil; e = e.Next() {
-		victims = append(victims, e.Value.(*row))
+	var victims []victim
+	for r := tb.head; r != nil; r = r.next {
+		victims = append(victims, victim{r.pk, r.t})
 	}
-	for _, r := range victims {
-		tb.removeRow(r, true)
-	}
+	tb.removeVictims(victims)
 }
 
 // Expire removes rows past their lifetime, firing delete listeners.
@@ -418,16 +524,8 @@ func (tb *Table) Expire() int {
 	}
 	now := tb.clock.Now()
 	n := 0
-	for {
-		front := tb.order.Front()
-		if front == nil {
-			break
-		}
-		r := front.Value.(*row)
-		if r.expires > now {
-			break
-		}
-		tb.removeRow(r, true)
+	for tb.head != nil && tb.head.expires <= now {
+		tb.removeRow(tb.head, true)
 		n++
 	}
 	return n
@@ -448,12 +546,9 @@ func (tb *Table) EnsureIndex(positions []int) *Index {
 		ord:       len(tb.indices),
 		m:         make(map[string][]*row),
 	}
-	for e := tb.order.Front(); e != nil; e = e.Next() {
-		r := e.Value.(*row)
-		k := r.t.Key(ix.positions)
-		if got, ok := internKey(ix.m[k], ix.ord); ok {
-			k = got
-		}
+	for r := tb.head; r != nil; r = r.next {
+		tb.scratch = r.t.AppendKey(tb.scratch[:0], ix.positions)
+		k := val.InternBytes(tb.scratch)
 		r.ixKeys = append(r.ixKeys, k)
 		ix.m[k] = append(ix.m[k], r)
 	}
@@ -610,8 +705,8 @@ func (tb *Table) LookupPK(key string) *tuple.Tuple {
 func (tb *Table) Scan() []*tuple.Tuple {
 	tb.Expire()
 	out := make([]*tuple.Tuple, 0, len(tb.rows))
-	for e := tb.order.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*row).t)
+	for r := tb.head; r != nil; r = r.next {
+		out = append(out, r.t)
 	}
 	return out
 }

@@ -133,7 +133,7 @@ func TestStaleEpochAckIgnored(t *testing.T) {
 
 	stale := make([]byte, ackFrameLen)
 	stale[0] = frameAck
-	binary.BigEndian.PutUint32(stale[1:5], 6) // previous incarnation
+	binary.BigEndian.PutUint32(stale[1:5], 6<<16) // previous incarnation
 	binary.BigEndian.PutUint64(stale[5:13], 1000)
 	r.a.Deliver("ghost", stale)
 	if got := r.a.InFlight("ghost"); got != inflight {
@@ -142,7 +142,7 @@ func TestStaleEpochAckIgnored(t *testing.T) {
 
 	fresh := make([]byte, ackFrameLen)
 	fresh[0] = frameAck
-	binary.BigEndian.PutUint32(fresh[1:5], 7)
+	binary.BigEndian.PutUint32(fresh[1:5], 7<<16) // the wire epoch of an unevicted flow
 	binary.BigEndian.PutUint64(fresh[5:13], 1000)
 	r.a.Deliver("ghost", fresh)
 	if got := r.a.InFlight("ghost"); got != 0 {

@@ -1,0 +1,128 @@
+package transport
+
+// Flow-janitor coverage: per-peer transport state must not outlive the
+// flow. A Chord node's lookups touch random fingers, so without idle
+// eviction every node accumulates sender and receiver state for every
+// peer it ever exchanged a datagram with — O(N) per node, O(N²) across
+// the deployment, which is what caps scale-out. The janitor reclaims
+// idle flows and rides the session-epoch machinery so a resumed flow
+// opens a fresh sequence space on both sides with no handshake.
+
+import (
+	"testing"
+)
+
+// TestFlowIdleEvictionReclaimsState: after a flow sits idle past the
+// TTL, the sender's per-peer state (window, retry ledger, accounting,
+// backlog) and — past twice the TTL — the receiver's dedup state are
+// reclaimed, and the accounting snapshot stops reporting the peer.
+func TestFlowIdleEvictionReclaimsState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowIdleTTL = 10
+	// Keep the retransmission horizon (MaxRTO * 2^(MaxRetries+1)) below
+	// 2x the TTL so receiver-side eviction is reachable in this test.
+	cfg.MaxRTO = 1
+	cfg.MaxRetries = 2
+	r := newRig(t, 0, cfg)
+	for i := int64(0); i < 5; i++ {
+		r.a.Send("b", tp(i))
+	}
+	r.loop.Run(5)
+	r.assertExactlyOnce(t, 5)
+	if len(r.a.cc.dests) == 0 || len(r.a.accts) == 0 {
+		t.Fatal("test needs live flow state to reclaim")
+	}
+
+	// One TTL of silence (plus a janitor period): sender-side state goes.
+	r.loop.RunFor(2 * cfg.FlowIdleTTL)
+	if _, ok := r.a.cc.dests["b"]; ok {
+		t.Fatal("idle flow kept its congestion state")
+	}
+	if _, ok := r.a.rty.dests["b"]; ok {
+		t.Fatal("idle flow kept its retry ledger")
+	}
+	if _, ok := r.a.accts["b"]; ok {
+		t.Fatal("idle flow kept its wire accounting")
+	}
+
+	// Two TTLs: receiver-side dedup state goes too, on both nodes.
+	r.loop.RunFor(3 * cfg.FlowIdleTTL)
+	if _, ok := r.b.srcs["a"]; ok {
+		t.Fatal("receiver kept dedup state for a flow idle past 2x TTL")
+	}
+	for _, d := range r.a.PerDest() {
+		if d.Addr == "b" {
+			t.Fatal("accounting snapshot still reports the reclaimed flow")
+		}
+	}
+}
+
+// TestFlowResumesUnderFreshEpoch: a flow resumed after eviction restarts
+// its sequence space at 1 under a bumped wire epoch. The receiver —
+// whose own state may or may not have aged out — must rebind and
+// deliver exactly once; the old stream's suppressed-duplicate blackhole
+// must not reappear.
+func TestFlowResumesUnderFreshEpoch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowIdleTTL = 10
+	r := newRig(t, 0, cfg)
+	for i := int64(0); i < 20; i++ {
+		r.a.Send("b", tp(i))
+	}
+	r.loop.Run(5)
+	r.assertExactlyOnce(t, 20)
+	oldEpoch := r.a.wireEpoch("b")
+
+	// Idle past one TTL but short of two: the sender's state is gone,
+	// the receiver's cum still counts the old stream — the hostile case.
+	r.loop.RunFor(1.5 * cfg.FlowIdleTTL)
+	for i := int64(100); i < 110; i++ {
+		r.a.Send("b", tp(i))
+	}
+	r.loop.RunFor(10)
+	r.assertExactlyOnce(t, 30)
+	if got := r.a.wireEpoch("b"); got <= oldEpoch {
+		t.Fatalf("resumed flow kept wire epoch %d (was %d), want a bump", got, oldEpoch)
+	}
+	if fl := r.a.InFlight("b"); fl != 0 {
+		t.Fatalf("resumed flow has %d in flight: its acks were filtered", fl)
+	}
+	if d := r.a.Stats().Drops; d != 0 {
+		t.Fatalf("resumed flow dropped %d tuples", d)
+	}
+}
+
+// TestFlowEvictionRefusedWhileInFlight: state toward a peer with
+// batches still pending retransmission must survive the janitor —
+// sequence continuity holds while frames can still reach the peer.
+func TestFlowEvictionRefusedWhileInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowIdleTTL = 1 // far below the ~23 s retry horizon
+	r := newRig(t, 0, cfg)
+	r.net.Partition("a", "b", true)
+	r.a.Send("b", tp(1))
+	r.loop.RunFor(3 * cfg.FlowIdleTTL)
+	if r.a.InFlight("b") == 0 {
+		t.Fatal("test needs a batch still in flight")
+	}
+	if _, ok := r.a.rty.dests["b"]; !ok {
+		t.Fatal("janitor reclaimed a flow with batches pending retransmission")
+	}
+}
+
+// TestFlowIdleTTLDisabled: a negative TTL preserves the historical
+// keep-forever behavior.
+func TestFlowIdleTTLDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowIdleTTL = -1
+	r := newRig(t, 0, cfg)
+	r.a.Send("b", tp(1))
+	r.loop.Run(5)
+	r.loop.RunFor(10 * DefaultFlowIdleTTL)
+	if _, ok := r.a.cc.dests["b"]; !ok {
+		t.Fatal("flow state reclaimed despite FlowIdleTTL < 0")
+	}
+	if _, ok := r.b.srcs["a"]; !ok {
+		t.Fatal("receiver state reclaimed despite FlowIdleTTL < 0")
+	}
+}

@@ -11,15 +11,18 @@ import (
 //	data frame: | 0x00 | epoch u32 | ackEpoch u32 | cumAck u64 | skip u64 | firstSeq u64 | count u16 | records... |
 //	ack frame:  | 0x01 | ackEpoch u32 | cumAck u64 |
 //
-// epoch identifies the sender's session incarnation (Config.Epoch). A
-// node restarted at the same address begins a fresh sequence space, so
-// the receiver keys its Dedup/Ack state to the epoch: a frame carrying
-// a *newer* epoch resets that peer's receive state, and a frame from a
-// *stale* epoch (a datagram of the previous incarnation still in
-// flight) is discarded. Without this, a replaced node's restarted
-// sequence numbers fall below the peer's cumulative counter: every
-// frame is suppressed as a duplicate while the cumulative ack keeps
-// (falsely) confirming delivery — a silent blackhole.
+// epoch identifies the sender's flow session: the node's incarnation
+// (Config.Epoch) in the high 16 bits and the flow's restart count in
+// the low 16 (see Config.FlowIdleTTL). A node restarted at the same
+// address — or a flow resumed after idle eviction — begins a fresh
+// sequence space, so the receiver keys its Dedup/Ack state to the
+// epoch: a frame carrying a *newer* epoch resets that peer's receive
+// state, and a frame from a *stale* epoch (a datagram of the previous
+// incarnation still in flight) is discarded. Without this, a replaced
+// node's restarted sequence numbers fall below the peer's cumulative
+// counter: every frame is suppressed as a duplicate while the
+// cumulative ack keeps (falsely) confirming delivery — a silent
+// blackhole.
 //
 // ackEpoch names the incarnation whose sequence space the acknowledgment
 // (cumAck) counts. The sender ignores acknowledgments stamped with an
@@ -61,7 +64,7 @@ func (f *Frame) pushBatch(wb *wireBatch, _ poke) bool {
 	tr := f.tr
 	buf := make([]byte, dataHeaderLen, dataHeaderLen+wb.bytes)
 	buf[0] = frameData
-	binary.BigEndian.PutUint32(buf[1:5], tr.cfg.Epoch)
+	binary.BigEndian.PutUint32(buf[1:5], tr.wireEpoch(wb.dst))
 	binary.BigEndian.PutUint32(buf[5:9], tr.peerEpoch(wb.dst))
 	if tr.ack != nil {
 		binary.BigEndian.PutUint64(buf[9:17], tr.ack.piggyback(wb.dst))
@@ -129,8 +132,8 @@ func (d *Deframe) deliver(from string, frame []byte) {
 		if len(frame) < ackFrameLen || tr.cc == nil {
 			return
 		}
-		if binary.BigEndian.Uint32(frame[1:5]) != tr.cfg.Epoch {
-			return // a dead incarnation's stream; must not clear ours
+		if binary.BigEndian.Uint32(frame[1:5]) != tr.wireEpoch(from) {
+			return // a dead incarnation's (or evicted flow's) stream; must not clear ours
 		}
 		tr.cc.onAck(from, binary.BigEndian.Uint64(frame[5:13]))
 	case frameData:
@@ -165,7 +168,7 @@ func (d *Deframe) deliver(from string, frame []byte) {
 				rs.rebind(epoch) // new incarnation: fresh sequence space
 			}
 		}
-		if tr.cc != nil && ackEpoch == tr.cfg.Epoch {
+		if tr.cc != nil && ackEpoch == tr.wireEpoch(from) {
 			tr.cc.onAck(from, cum) // the piggybacked ack
 		}
 		if tr.ack != nil {

@@ -17,6 +17,10 @@ func TestReliableChainsSurvivePartition(t *testing.T) {
 		t.Run(fmt.Sprintf("noBatch=%v", noBatch), func(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.NoBatch = noBatch
+			// This test asserts the collapsed window is still visible
+			// after a 250 s partition; keep the flow janitor from
+			// reclaiming the very state under inspection.
+			cfg.FlowIdleTTL = -1
 			r := newRig(t, 0, cfg)
 			var dropped []int64
 			r.a.OnDrop(func(to string, tu *tuple.Tuple, _ DropCause) {

@@ -47,7 +47,11 @@ func TestPerDestAccounting(t *testing.T) {
 }
 
 func TestPerDestCountsRetries(t *testing.T) {
-	r := newRig(t, 0.4, DefaultConfig())
+	cfg := DefaultConfig()
+	// The accounting is inspected long after the stream quiesces; keep
+	// the flow janitor from reclaiming it first.
+	cfg.FlowIdleTTL = -1
+	r := newRig(t, 0.4, cfg)
 	r.sendSpread("b", 20, 0.1)
 	r.loop.Run(120)
 	if len(r.got) == 0 {

@@ -30,6 +30,7 @@ type recvState struct {
 	recvd    int64           // tuples delivered upward (post-dedup)
 	epoch    uint32          // incarnation whose stream cum/high count
 	epochSet bool            // epoch learned from a data frame
+	lastAt   float64         // loop time of the last data frame (flow janitor)
 
 	ackPending bool // cum must reach the peer (piggyback or bare ack)
 	ackArmed   bool // a delayed-ack callback is scheduled

@@ -103,7 +103,11 @@ func (r *Retry) arm(dst string, d *destRetry) {
 	if o == nil {
 		return
 	}
-	delay := r.tr.cc.rtoFor(dst) * math.Pow(2, float64(o.retries))
+	// Exponential backoff, capped at MaxRTO like the estimate itself —
+	// the cap also bounds the whole episode to MaxRTO*(MaxRetries+1)
+	// seconds, which is what lets the receive side forget idle flows on
+	// a schedule no late retransmission can outrun.
+	delay := math.Min(r.tr.cc.rtoFor(dst)*math.Pow(2, float64(o.retries)), r.tr.cfg.MaxRTO)
 	d.timer = r.tr.loop.After(delay, d.timeoutFn)
 }
 

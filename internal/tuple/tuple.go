@@ -148,7 +148,9 @@ func Unmarshal(b []byte) (*Tuple, int, error) {
 	if len(b) < off+nameLen+2 {
 		return nil, 0, fmt.Errorf("tuple: truncated name/arity")
 	}
-	name := string(b[off : off+nameLen])
+	// Relation names are a small closed set; interning keeps every
+	// decoded tuple of a relation pointing at one backing array.
+	name := val.InternBytes(b[off : off+nameLen])
 	off += nameLen
 	arity := int(binary.BigEndian.Uint16(b[off:]))
 	off += 2

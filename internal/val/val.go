@@ -44,11 +44,22 @@ func (k Kind) String() string {
 }
 
 // Value is an immutable variant. The zero Value is Null.
+//
+// The layout is 32 bytes: a string header, a word of numeric payload,
+// and the kind tag. Identifiers do not get an inline [5]uint32 — a KID
+// stores its 20 big-endian payload bytes in str, interned through the
+// global symbol table. Values are the bulk of resident memory (every
+// tuple field, PEL stack slot, and table key), and IDs are the most
+// duplicated payload a Chord deployment holds — every node's
+// identifier recurs in finger and successor rows across the ring — so
+// this both shrinks the slot by a third versus an inline ID and
+// collapses all copies of one identifier into one 20-byte allocation.
+// Big-endian byte order makes lexicographic comparison of the payload
+// strings coincide with numeric ID order, so comparisons never decode.
 type Value struct {
-	kind Kind
+	str  string // KStr payload; KID payload as 20 big-endian bytes (interned)
 	num  uint64 // bool/int/float/time payload (bit pattern)
-	id   id.ID  // KID payload
-	str  string // KStr payload
+	kind Kind
 }
 
 // Null is the null value.
@@ -72,8 +83,23 @@ func Float(v float64) Value { return Value{kind: KFloat, num: math.Float64bits(v
 // Str wraps a string.
 func Str(s string) Value { return Value{kind: KStr, str: s} }
 
-// MakeID wraps a 160-bit identifier.
-func MakeID(x id.ID) Value { return Value{kind: KID, id: x} }
+// MakeID wraps a 160-bit identifier. The payload is rendered to its
+// canonical 20 bytes as a fresh short-lived string — deliberately NOT
+// interned: MakeID sits under the PEL VM's ID arithmetic (ring
+// distances, finger targets), whose results are mostly compared and
+// discarded, so interning them pays a shard probe per operation and
+// floods the interner with unbounded-cardinality distances, flushing
+// the durable entries it exists to share. IDs that actually persist
+// are interned where they become durable instead: wire decode
+// (DecodeValue) and index-key render (table side).
+func MakeID(x id.ID) Value {
+	var b [id.Bytes]byte
+	x.PutBytes(&b)
+	return Value{kind: KID, str: string(b[:])}
+}
+
+// idZeroStr is the KID payload of the zero identifier.
+var idZeroStr = string(make([]byte, id.Bytes))
 
 // Time wraps a timestamp in seconds.
 func Time(sec float64) Value { return Value{kind: KTime, num: math.Float64bits(sec)} }
@@ -97,7 +123,7 @@ func (v Value) AsBool() bool {
 	case KStr:
 		return v.str != ""
 	case KID:
-		return !v.id.IsZero()
+		return v.str != idZeroStr
 	}
 	return false
 }
@@ -116,7 +142,7 @@ func (v Value) AsInt() int64 {
 		n, _ := strconv.ParseInt(v.str, 10, 64)
 		return n
 	case KID:
-		return int64(v.id.Uint64())
+		return int64(id.FromString(v.str).Uint64())
 	}
 	return 0
 }
@@ -132,7 +158,7 @@ func (v Value) AsFloat() float64 {
 		f, _ := strconv.ParseFloat(v.str, 64)
 		return f
 	case KID:
-		return float64(v.id.Uint64())
+		return float64(id.FromString(v.str).Uint64())
 	}
 	return 0
 }
@@ -151,7 +177,7 @@ func (v Value) AsStr() string {
 func (v Value) AsID() id.ID {
 	switch v.kind {
 	case KID:
-		return v.id
+		return id.FromString(v.str)
 	case KInt, KBool:
 		return id.FromInt64(int64(v.num))
 	case KFloat, KTime:
@@ -218,7 +244,14 @@ func (v Value) Cmp(o Value) int {
 		}
 		return 0
 	case KID:
-		return v.id.Cmp(o.id)
+		// Big-endian payload bytes: lexicographic == numeric order.
+		switch {
+		case v.str < o.str:
+			return -1
+		case v.str > o.str:
+			return 1
+		}
+		return 0
 	}
 	return 0
 }
@@ -248,7 +281,7 @@ func (v Value) String() string {
 	case KStr:
 		return v.str
 	case KID:
-		return "0x" + v.id.Short()
+		return "0x" + id.FromString(v.str).Short()
 	case KTime:
 		return strconv.FormatFloat(math.Float64frombits(v.num), 'f', 3, 64) + "s"
 	}
@@ -330,7 +363,7 @@ func Mod(v, o Value) Value {
 func Shl(v, o Value) Value {
 	n := uint(o.AsInt())
 	if v.kind == KID {
-		return MakeID(v.id.Shl(n))
+		return MakeID(id.FromString(v.str).Shl(n))
 	}
 	iv := v.AsInt()
 	if n < 63 && iv >= 0 && iv < (1<<(62-n)) {
@@ -343,7 +376,7 @@ func Shl(v, o Value) Value {
 func Shr(v, o Value) Value {
 	n := uint(o.AsInt())
 	if v.kind == KID {
-		return MakeID(v.id.Shr(n))
+		return MakeID(id.FromString(v.str).Shr(n))
 	}
 	return Int(v.AsInt() >> n)
 }
@@ -354,7 +387,7 @@ func Neg(v Value) Value {
 	case KFloat, KTime:
 		return Float(-v.AsFloat())
 	case KID:
-		return MakeID(id.Zero.Sub(v.id))
+		return MakeID(id.Zero.Sub(v.AsID()))
 	default:
 		return Int(-v.AsInt())
 	}
@@ -399,7 +432,7 @@ func (v Value) AppendBinary(dst []byte) []byte {
 		dst = append(dst, b[:]...)
 		dst = append(dst, v.str...)
 	case KID:
-		dst = append(dst, v.id.ToBytes()...)
+		dst = append(dst, v.str...)
 	}
 	return dst
 }
@@ -451,12 +484,17 @@ func DecodeValue(b []byte) (Value, int, error) {
 		if len(rest) < 4+n {
 			return Null, 0, fmt.Errorf("val: truncated string body")
 		}
-		return Str(string(rest[4 : 4+n])), 5 + n, nil
+		// Decoded strings intern: the wire re-delivers the same
+		// addresses and identifiers endlessly, and rows built from
+		// received tuples would otherwise each hold a private copy.
+		return Str(InternBytes(rest[4 : 4+n])), 5 + n, nil
 	case KID:
 		if len(rest) < id.Bytes {
 			return Null, 0, fmt.Errorf("val: truncated id")
 		}
-		return MakeID(id.FromBytes(rest[:id.Bytes])), 1 + id.Bytes, nil
+		// The payload bytes are already canonical big-endian: intern them
+		// directly, with no decode/re-encode round trip.
+		return Value{kind: KID, str: InternBytes(rest[:id.Bytes])}, 1 + id.Bytes, nil
 	}
 	return Null, 0, fmt.Errorf("val: unknown kind %d", b[0])
 }

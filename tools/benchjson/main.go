@@ -12,9 +12,13 @@
 // b.ReportMetric units).
 //
 // With -baseline the run is additionally compared against an archived
-// document: any benchmark present in both whose events/sec falls more
-// than -regress (default 10%) below the baseline fails the invocation,
-// which is how CI turns the trajectory artifact into a regression gate:
+// document: for every benchmark present in both, each gated metric
+// (events/sec higher-is-better; latency percentiles and kB/node
+// lower-is-better) may not regress more than -regress (default 10%)
+// past its baseline value, which is how CI turns the trajectory
+// artifact into a regression gate. Benchmarks or metrics present on
+// only one side warn and skip — baselines age, and an absent metric
+// must not mask the comparison of the ones that still match:
 //
 //	go test -run '^$' -bench . -benchtime 2x . | go run ./tools/benchjson -baseline BENCH_seed.json
 package main
@@ -157,11 +161,30 @@ func main() {
 	}
 }
 
+// gatedMetrics is the directional regression-gate table: which metrics
+// -baseline compares, and which way "worse" points for each. Metrics
+// outside this table (ns/op, B/op, shards, raw counts) are archived in
+// the artifact but never gate — most of them are measurements of the
+// workload, not the simulator.
+var gatedMetrics = []struct {
+	name         string
+	higherBetter bool
+}{
+	{"events/sec", true},
+	{"p50-ms", false},
+	{"p99-ms", false},
+	{"p999-ms", false},
+	{"kB/node", false},
+}
+
 // compareBaseline checks the parsed run against an archived document:
-// for every benchmark name present in both, events/sec may not fall
-// more than the tolerated fraction below the baseline value. Names
-// present on only one side are warned about and skipped — baselines
-// age, and a renamed or newly added benchmark must not mask the
+// for every benchmark name present in both, each gated metric present
+// on both sides may not regress more than the tolerated fraction past
+// the baseline value — below it for higher-is-better metrics
+// (events/sec), above it for lower-is-better ones (latency
+// percentiles, kB/node). Benchmarks or gated metrics present on only
+// one side are warned about and skipped — baselines age, and a
+// renamed benchmark or newly reported metric must not mask the
 // comparison of the ones that still match. Returns false on any
 // regression beyond tolerance.
 func compareBaseline(doc *Doc, path string, tol float64) bool {
@@ -175,50 +198,81 @@ func compareBaseline(doc *Doc, path string, tol float64) bool {
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
 		return false
 	}
-	cur := make(map[string]float64)
+	cur := make(map[string]map[string]float64, len(doc.Results))
 	for _, r := range doc.Results {
-		if ev, ok := r.Metrics["events/sec"]; ok {
-			cur[r.Name] = ev
-		}
+		cur[r.Name] = r.Metrics
 	}
 	ok, compared := true, 0
 	for _, b := range base.Results {
-		bev, has := b.Metrics["events/sec"]
-		if !has {
-			continue
-		}
-		cev, present := cur[b.Name]
+		cm, present := cur[b.Name]
 		if !present {
-			fmt.Fprintf(os.Stderr, "benchjson: warning: %s in baseline but not in this run; skipped\n", b.Name)
+			if gatesAny(b.Metrics) {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s in baseline but not in this run; skipped\n", b.Name)
+			}
 			continue
 		}
-		compared++
-		delta := cev/bev - 1
-		status := "ok"
-		if delta < -tol {
-			status = "REGRESSION"
-			ok = false
+		for _, g := range gatedMetrics {
+			bv, inBase := b.Metrics[g.name]
+			cv, inCur := cm[g.name]
+			switch {
+			case !inBase && !inCur:
+				continue
+			case !inBase:
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s %s has no baseline value; skipped\n", b.Name, g.name)
+				continue
+			case !inCur:
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s no longer reports %s; skipped\n", b.Name, g.name)
+				continue
+			case bv == 0:
+				continue
+			}
+			compared++
+			// delta > 0 always means "got worse".
+			delta := cv/bv - 1
+			if g.higherBetter {
+				delta = -delta
+			}
+			status := "ok"
+			if delta > tol {
+				status = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %-50s %-10s %12.2f -> %12.2f (%+.1f%% worse) %s\n",
+				b.Name, g.name, bv, cv, delta*100, status)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-50s %12.0f -> %12.0f events/sec (%+.1f%%) %s\n",
-			b.Name, bev, cev, delta*100, status)
 	}
 	for _, r := range doc.Results {
-		if _, has := r.Metrics["events/sec"]; !has {
+		if !gatesAny(r.Metrics) {
 			continue
 		}
-		found := false
-		for _, b := range base.Results {
-			if b.Name == r.Name {
-				found = true
-				break
+		if _, found := cur[r.Name]; found {
+			if _, inBase := findResult(base.Results, r.Name); !inBase {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s has no baseline entry; skipped\n", r.Name)
 			}
-		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "benchjson: warning: %s has no baseline entry; skipped\n", r.Name)
 		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: warning: no benchmark matched the baseline; nothing compared")
 	}
 	return ok
+}
+
+// gatesAny reports whether any gated metric is present.
+func gatesAny(m map[string]float64) bool {
+	for _, g := range gatedMetrics {
+		if _, ok := m[g.name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// findResult looks a benchmark up by name.
+func findResult(rs []Result, name string) (Result, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
 }

@@ -57,6 +57,54 @@ func TestCompareBaselineMissingFile(t *testing.T) {
 	}
 }
 
+func pres(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iters: 1, Metrics: metrics}
+}
+
+func TestCompareBaselineFailsOnPercentileRegression(t *testing.T) {
+	// p99-ms is lower-is-better: rising 15% past baseline fails a 10% gate.
+	base := writeBaseline(t, []Result{pres("BenchmarkLat", map[string]float64{"p99-ms": 100})})
+	doc := &Doc{Results: []Result{pres("BenchmarkLat", map[string]float64{"p99-ms": 115})}}
+	if compareBaseline(doc, base, 0.10) {
+		t.Fatal("a 15% p99 latency increase must fail a 10% gate")
+	}
+}
+
+func TestCompareBaselinePassesOnPercentileImprovement(t *testing.T) {
+	base := writeBaseline(t, []Result{pres("BenchmarkLat", map[string]float64{
+		"p99-ms": 100, "kB/node": 800})})
+	doc := &Doc{Results: []Result{pres("BenchmarkLat", map[string]float64{
+		"p99-ms": 40, "kB/node": 300})}}
+	if !compareBaseline(doc, base, 0.10) {
+		t.Fatal("large improvements on lower-is-better metrics must pass")
+	}
+}
+
+func TestCompareBaselineWarnsNotFailsOnAbsentMetric(t *testing.T) {
+	// The baseline predates percentile reporting: the new p999-ms metric
+	// has no baseline value, so it warns and skips while events/sec
+	// still gates.
+	base := writeBaseline(t, []Result{pres("BenchmarkMix", map[string]float64{"events/sec": 1000})})
+	doc := &Doc{Results: []Result{pres("BenchmarkMix", map[string]float64{
+		"events/sec": 980, "p999-ms": 42})}}
+	if !compareBaseline(doc, base, 0.10) {
+		t.Fatal("a metric absent from the baseline must warn, not fail")
+	}
+}
+
+func TestCompareBaselineMixedDirections(t *testing.T) {
+	// events/sec improved but kB/node regressed: the gate must catch the
+	// lower-is-better regression even when the higher-is-better metric
+	// looks great.
+	base := writeBaseline(t, []Result{pres("BenchmarkMem", map[string]float64{
+		"events/sec": 1000, "kB/node": 100})})
+	doc := &Doc{Results: []Result{pres("BenchmarkMem", map[string]float64{
+		"events/sec": 2000, "kB/node": 150})}}
+	if compareBaseline(doc, base, 0.10) {
+		t.Fatal("a kB/node regression must fail even when events/sec improves")
+	}
+}
+
 func TestCompareBaselineIgnoresNonEventMetrics(t *testing.T) {
 	base := writeBaseline(t, []Result{{Name: "BenchmarkC", Iters: 1,
 		Metrics: map[string]float64{"ns/op": 100}}})

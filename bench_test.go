@@ -278,6 +278,34 @@ func BenchmarkOpenLoopWorkload(b *testing.B) {
 	b.ReportMetric(rep.CompletionRate(), "done-frac")
 }
 
+// BenchmarkKVWorkload is the KV service's CI gauge: a 256-node KV
+// ring on the transit-stub WAN under the open-loop PUT/GET mix,
+// archiving throughput (ops/sec of virtual time), the staleness
+// fraction, and per-op latency percentiles. ops/sec (higher is
+// better) and stale-frac (lower) gate under tools/benchjson -baseline.
+func BenchmarkKVWorkload(b *testing.B) {
+	wan := simnet.TransitStubWAN(4, 4, 17)
+	h := harness.NewChord(harness.Opts{N: 256, Seed: 1, JoinSpacing: 0.05,
+		JoinRamp: true, Net: &wan, KV: true})
+	b.Cleanup(h.Close)
+	h.Run(h.JoinDeadline() + 120)
+	if rc := h.RingCorrectness(); rc < 0.99 {
+		b.Fatalf("ring correctness %.3f before workload", rc)
+	}
+	b.ResetTimer()
+	var rep workload.KVReport
+	const dur = 10.0
+	for i := 0; i < b.N; i++ {
+		rep = workload.RunKV(h, workload.KVOpts{Rate: 50, Duration: dur, Seed: 2})
+	}
+	done := float64(rep.PutsCompleted + rep.GetsCompleted)
+	b.ReportMetric(done/dur, "ops/sec")
+	b.ReportMetric(rep.StalenessRate(), "stale-frac")
+	b.ReportMetric(rep.CompletionRate(), "done-frac")
+	b.ReportMetric(rep.PutP99*1000, "put-p99-ms")
+	b.ReportMetric(rep.GetP99*1000, "get-p99-ms")
+}
+
 // BenchmarkLookupDeclarative measures wall-clock simulation cost of
 // lookups on the OverLog-driven engine — the "CPU usage comparable to
 // C++ implementations" axis, paired with BenchmarkLookupHandcoded.

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"p2"
 	"p2/internal/experiments"
 	"p2/internal/harness"
 	"p2/internal/overlays"
@@ -28,10 +29,11 @@ import (
 	"p2/internal/scenario"
 	"p2/internal/simnet"
 	"p2/internal/trace"
+	"p2/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3|fig4|rules|mem|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig3|fig4|rules|mem|ablation|workload|all")
 	scale := flag.String("scale", "quick", "scale: quick|medium|paper")
 	seed := flag.Int64("seed", 1, "random seed")
 	topology := flag.String("topology", "paper",
@@ -144,6 +146,8 @@ func main() {
 					float64(fp.ControlDelta)/1024, fp.InternEntries, float64(fp.InternBytes)/1024)
 			}
 		})
+	case "workload":
+		run("workload", func() { runWorkload(os.Stdout, sc, *seed) })
 	case "all":
 		experiments.SpecComplexity().Print(os.Stdout)
 		fmt.Println()
@@ -253,4 +257,45 @@ func dumpPlacement(sc experiments.Scale, shards int) {
 		fmt.Printf("  %-12s domain %-3d shard %d\n", addr, domain, shard)
 	}
 	fmt.Printf("per-shard node counts: %v\n\n", perShard)
+}
+
+// runWorkload drives the open-loop workload driver against the
+// scale's largest static ring and prints its percentile report — the
+// lookup stream first (hops + latency + completion), then the
+// replicated key-value PUT/GET mix (per-op latency, completion,
+// staleness). This is the ROADMAP follow-on that surfaces
+// internal/workload's reports through the CLI.
+func runWorkload(w io.Writer, sc experiments.Scale, seed int64) {
+	n := 0
+	for _, size := range sc.StaticSizes {
+		if size > n {
+			n = size
+		}
+	}
+	rate, dur := 10.0, sc.MeasureTime
+
+	fmt.Fprintf(w, "== Open-loop lookup workload (n=%d, %.0f lookups/s for %.0fs) ==\n", n, rate, dur)
+	h := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing, Net: sc.Net, Shards: sc.Shards})
+	h.Run(h.JoinDeadline() + sc.SettleTime)
+	fmt.Fprintf(w, "ring correctness before load: %.3f\n", h.RingCorrectness())
+	rep := workload.Run(h, workload.Opts{Rate: rate, Duration: dur, Seed: seed})
+	fmt.Fprintf(w, "issued %d, completed %d (%.1f%%)\n", rep.Issued, rep.Completed, 100*rep.CompletionRate())
+	fmt.Fprintf(w, "hops    p50/p99/p999: %.0f / %.0f / %.0f (mean %.2f)\n", rep.HopP50, rep.HopP99, rep.HopP999, rep.MeanHops)
+	fmt.Fprintf(w, "latency p50/p99/p999: %.1f / %.1f / %.1f ms\n",
+		rep.LatencyP50*1000, rep.LatencyP99*1000, rep.LatencyP999*1000)
+	h.Close()
+
+	fmt.Fprintf(w, "\n== Key-value PUT/GET mix (n=%d, %.0f ops/s for %.0fs, R=%d Q=%d) ==\n",
+		n, rate, dur, p2.KVReplicas, p2.KVQuorum)
+	hk := harness.NewChord(harness.Opts{N: n, Seed: seed, JoinSpacing: sc.JoinSpacing, Net: sc.Net, Shards: sc.Shards, KV: true})
+	hk.Run(hk.JoinDeadline() + sc.SettleTime)
+	kr := workload.RunKV(hk, workload.KVOpts{Rate: rate, Duration: dur, Seed: seed})
+	fmt.Fprintf(w, "puts %d/%d, gets %d/%d completed (%.1f%% overall)\n",
+		kr.PutsCompleted, kr.PutsIssued, kr.GetsCompleted, kr.GetsIssued, 100*kr.CompletionRate())
+	fmt.Fprintf(w, "put latency p50/p99/p999: %.1f / %.1f / %.1f ms\n",
+		kr.PutP50*1000, kr.PutP99*1000, kr.PutP999*1000)
+	fmt.Fprintf(w, "get latency p50/p99/p999: %.1f / %.1f / %.1f ms\n",
+		kr.GetP50*1000, kr.GetP99*1000, kr.GetP999*1000)
+	fmt.Fprintf(w, "stale gets: %d (%.2f%%), misses: %d\n", kr.StaleGets, 100*kr.StalenessRate(), kr.Misses)
+	hk.Close()
 }

@@ -245,6 +245,9 @@ type Deployment struct {
 	churnMean    float64
 	churnRepl    ReplaceFunc
 	churnCancels map[string]Canceler // per live churned address; entries drop as deaths fire
+
+	// Key-value service client (kv.go), created lazily by KV().
+	kvClient *KVClient
 }
 
 // NewDeployment creates an empty deployment on the given runtime.

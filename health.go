@@ -58,6 +58,7 @@ const (
 	ChurnStorm           = health.ChurnStorm
 	RetryBudgetExhausted = health.RetryBudgetExhausted
 	BacklogSaturated     = health.BacklogSaturated
+	KVUnderReplicated    = health.KVUnderReplicated
 )
 
 // Condition statuses.

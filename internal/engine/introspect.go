@@ -13,6 +13,7 @@ import (
 
 	"p2/internal/health"
 	"p2/internal/introspect"
+	"p2/internal/kvs"
 	"p2/internal/overlog"
 	"p2/internal/planner"
 	"p2/internal/table"
@@ -43,6 +44,9 @@ type sysRefresh struct {
 	healthLast  map[health.ConditionType]introspect.HealthStat
 	healthTup   map[health.ConditionType]*tuple.Tuple
 	healthPeers []health.PeerSample // reused sample buffer
+
+	kvLast introspect.KVStat
+	kvTup  *tuple.Tuple // single sysKV row; nil until first KV refresh
 }
 
 func newSysRefresh() *sysRefresh {
@@ -292,6 +296,22 @@ func (n *Node) RefreshSystemTables() {
 		}
 	}
 
+	// The key-value service's row, on nodes running it: delivered like
+	// the rest, and folded into the health sample so KVUnderReplicated
+	// judges the same counters sysKV reports.
+	ks, kvOK := n.KVStats()
+	if kvOK {
+		sample.KV = &health.KVSample{
+			Keys: ks.Keys, Replicas: ks.Replicas, Quorum: ks.Quorum, Succs: ks.Succs,
+		}
+		t := sr.kvTup
+		if t == nil || ks != sr.kvLast {
+			t = introspect.KVTuple(addr, ks)
+			sr.kvTup, sr.kvLast = t, ks
+		}
+		n.deliverLocal(t, DirDerived)
+	}
+
 	// Conditions evaluate from the same counters that fed the rows
 	// above, so sysHealth is consistent with sysNet/sysTable within one
 	// refresh. Rows cache like the others: an unchanged condition
@@ -356,6 +376,11 @@ func (n *Node) evalHealthNow() {
 		}
 		sample.Peers = sr.healthPeers
 	}
+	if ks, ok := n.KVStats(); ok {
+		sample.KV = &health.KVSample{
+			Keys: ks.Keys, Replicas: ks.Replicas, Quorum: ks.Quorum, Succs: ks.Succs,
+		}
+	}
 	n.health.Eval(sample)
 }
 
@@ -394,6 +419,44 @@ func netStat(d *transport.DestStats) introspect.NetStat {
 		Cwnd: d.Cwnd, RTO: d.RTO, Backlog: d.Backlog, BatchFill: d.BatchFill,
 		Drops: d.Drops,
 	}
+}
+
+// KVStats builds the key-value service's sysKV row from the node's
+// live tables and strand counters; ok is false on nodes not running
+// the kvs rules (no kvStore table). Runs on the node's loop.
+func (n *Node) KVStats() (introspect.KVStat, bool) {
+	store := n.tables[kvs.StoreTable]
+	if store == nil {
+		return introspect.KVStat{}, false
+	}
+	st := introspect.KVStat{Keys: store.Len(), Expiries: store.Stats().Deletes}
+	if pt := n.tables[kvs.ParamTable]; pt != nil {
+		for _, row := range pt.Scan() {
+			st.Replicas = row.Field(1).AsInt()
+			st.Quorum = row.Field(2).AsInt()
+		}
+	}
+	if succ := n.tables[kvs.SuccTable]; succ != nil {
+		seen := make(map[string]bool, succ.Len())
+		for _, row := range succ.Scan() {
+			if si := row.Field(2).AsStr(); si != n.addr {
+				seen[si] = true
+			}
+		}
+		st.Succs = len(seen)
+	}
+	if pp := n.tables[kvs.PutPendingTable]; pp != nil {
+		st.Pending += pp.Len()
+	}
+	if gp := n.tables[kvs.GetPendingTable]; gp != nil {
+		st.Pending += gp.Len()
+	}
+	for _, s := range n.allStrands {
+		if kvs.RepairRules[s.rule.ID] {
+			st.Repairs += s.fires
+		}
+	}
+	return st, true
 }
 
 // TableStats reports per-relation counters for every table the node

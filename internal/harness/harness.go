@@ -75,6 +75,10 @@ type Opts struct {
 	// Shards selects the parallel shard count: >= 1 is explicit, 0
 	// defers to the P2_SIM_SHARDS environment variable (absent: 1).
 	Shards int
+	// KV layers the replicated key-value service (internal/kvs) onto
+	// every node's plan, so workload drivers can issue PUT/GET ops
+	// through the deployment's KV client.
+	KV bool
 }
 
 func resolveShards(v int) int {
@@ -170,9 +174,13 @@ func NewChord(opts Opts) *Chord {
 	if err != nil {
 		panic(fmt.Sprintf("harness: deployment: %v", err))
 	}
+	plan := overlays.ChordPlan
+	if opts.KV {
+		plan = overlays.ChordKVPlan
+	}
 	h := &Chord{
 		D:       d,
-		Plan:    overlays.ChordPlan(opts.Defines),
+		Plan:    plan(opts.Defines),
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		pending: make(map[string]*LookupResult),

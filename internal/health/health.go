@@ -40,6 +40,12 @@ const (
 	// BacklogSaturated: some peer's send backlog is at or past the
 	// saturation threshold — the node derives faster than it can ship.
 	BacklogSaturated ConditionType = "BacklogSaturated"
+	// KVUnderReplicated: the node holds keys but its reachable replica
+	// fan-out (itself plus live successors) is below the key-value
+	// service's write quorum — new writes routed here cannot reach
+	// quorum and held keys are one failure from loss. Unknown on nodes
+	// not running the key-value service.
+	KVUnderReplicated ConditionType = "KVUnderReplicated"
 )
 
 // ConditionTypes returns the catalogue in its canonical (evaluation and
@@ -47,6 +53,7 @@ const (
 func ConditionTypes() []ConditionType {
 	return []ConditionType{
 		Converged, Partitioned, ChurnStorm, RetryBudgetExhausted, BacklogSaturated,
+		KVUnderReplicated,
 	}
 }
 
@@ -141,6 +148,17 @@ type PeerSample struct {
 	Drops   transport.DropCounts
 }
 
+// KVSample is the key-value service's state at sampling time —
+// mirrored from introspect.KVStat (rather than importing it) to keep
+// this package's dependencies flat, the same pattern as HealthStat on
+// the introspect side.
+type KVSample struct {
+	Keys     int   // keys held in kvStore
+	Replicas int64 // configured replica factor (0 until derived)
+	Quorum   int64 // configured write quorum
+	Succs    int   // live distinct successors — reachable replica fan-out
+}
+
 // Sample is everything one evaluation consumes. The engine builds it
 // from the same counters that feed the sys* tables, on the node's
 // event loop.
@@ -149,6 +167,7 @@ type Sample struct {
 	Churn    int64   // cumulative inserts+deletes across application tables
 	QueueCap int     // transport per-destination backlog bound (0 = unbounded)
 	Peers    []PeerSample
+	KV       *KVSample // nil on nodes without the key-value service
 }
 
 // peerState is the evaluator's per-peer memory: the last observed
@@ -279,6 +298,24 @@ func (e *Evaluator) Eval(s Sample) []Condition {
 	} else {
 		e.set(BacklogSaturated, StatusFalse,
 			fmt.Sprintf("worst backlog %d below threshold %d", worstBacklog, thresh), now)
+	}
+
+	// KVUnderReplicated: the key-value service's replica fan-out (the
+	// node plus its live successors) against the write quorum. Pure
+	// function of the sample, so sharded and serial runs agree.
+	switch {
+	case s.KV == nil:
+		e.set(KVUnderReplicated, StatusUnknown, "kv service not running", now)
+	case s.KV.Replicas == 0:
+		e.set(KVUnderReplicated, StatusUnknown, "replication parameters not yet derived", now)
+	case s.KV.Keys > 0 && int64(s.KV.Succs+1) < s.KV.Quorum:
+		e.set(KVUnderReplicated, StatusTrue,
+			fmt.Sprintf("%d key(s) held with replica fan-out %d below quorum %d",
+				s.KV.Keys, s.KV.Succs+1, s.KV.Quorum), now)
+	default:
+		e.set(KVUnderReplicated, StatusFalse,
+			fmt.Sprintf("replica fan-out %d of %d meets quorum %d",
+				s.KV.Succs+1, s.KV.Replicas, s.KV.Quorum), now)
 	}
 
 	// Churn tracking: rate between evaluations, and the time the

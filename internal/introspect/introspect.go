@@ -5,8 +5,8 @@
 // and debugging queries are just more OverLog, installable while the
 // node runs.
 //
-// Six system relations exist on every node, refreshed periodically on
-// the node's event loop:
+// Seven system relations exist on every node, refreshed periodically
+// on the node's event loop:
 //
 //	sysTable(@N, Name, Tuples, Inserts, Deletes, Refreshes)
 //	sysRule(@N, Rule, Fires)
@@ -15,6 +15,10 @@
 //	       DropsRetry, DropsClosed, DropsDead, DropsOverflow)
 //	sysNode(@N, UptimeS, EventsProcessed, QueueLen)
 //	sysHealth(@N, Type, Status, Reason, SinceS)
+//	sysKV(@N, Keys, Replicas, Quorum, Succs, Repairs, Expiries, Pending)
+//
+// sysKV only carries data on nodes running the key-value service
+// (internal/kvs); elsewhere the relation exists but stays empty.
 //
 // The "sys" relation-name prefix is reserved: user programs may join,
 // aggregate, and watch these tables but cannot materialize their own
@@ -44,6 +48,7 @@ const (
 	NetRelation    = "sysNet"
 	NodeRelation   = "sysNode"
 	HealthRelation = "sysHealth"
+	KVRelation     = "sysKV"
 )
 
 // ReservedPrefix is the relation-name prefix claimed by the runtime.
@@ -79,6 +84,8 @@ func Defs() []Def {
 			Doc: "sysNode(@N, UptimeS, EventsProcessed, QueueLen): whole-node liveness"},
 		{Name: HealthRelation, Arity: 5, Keys: []int{0, 1},
 			Doc: "sysHealth(@N, Type, Status, Reason, SinceS): evaluated health conditions — Status is True/False/Unknown, SinceS the node time of the last status transition"},
+		{Name: KVRelation, Arity: 8, Keys: []int{0},
+			Doc: "sysKV(@N, Keys, Replicas, Quorum, Succs, Repairs, Expiries, Pending): key-value service state — keys held, configured replica factor and write quorum, live successor count, cumulative repair-rule fires and lease expiries, in-flight client ops"},
 	}
 }
 
@@ -148,6 +155,18 @@ type HealthStat struct {
 	SinceS float64 // node time of the last status transition
 }
 
+// KVStat is the key-value service's per-node state, populated only on
+// nodes running the kvs rules (the engine detects the kvStore table).
+type KVStat struct {
+	Keys     int   // rows in kvStore — keys this node currently holds
+	Replicas int64 // configured replica factor (owner + successor list)
+	Quorum   int64 // write quorum a PUT waits for
+	Succs    int   // live distinct successors — the reachable replica fan-out
+	Repairs  int64 // cumulative repair-rule fires (read-repair, anti-entropy, churn pulls)
+	Expiries int64 // cumulative kvStore lease expiries and evictions
+	Pending  int   // in-flight client ops parked in the pending tables
+}
+
 // Source supplies the runtime counters a snapshot is built from. The
 // engine's Node implements it.
 type Source interface {
@@ -198,6 +217,14 @@ func NetTuple(addr val.Value, st NetStat) *tuple.Tuple {
 		val.Float(st.RTO), val.Int(int64(st.Backlog)), val.Float(st.BatchFill),
 		val.Int(st.Drops[0]), val.Int(st.Drops[1]),
 		val.Int(st.Drops[2]), val.Int(st.Drops[3]))
+}
+
+// KVTuple renders one sysKV row.
+func KVTuple(addr val.Value, ks KVStat) *tuple.Tuple {
+	return tuple.New(KVRelation,
+		addr, val.Int(int64(ks.Keys)), val.Int(ks.Replicas), val.Int(ks.Quorum),
+		val.Int(int64(ks.Succs)), val.Int(ks.Repairs), val.Int(ks.Expiries),
+		val.Int(int64(ks.Pending)))
 }
 
 // HealthTuple renders one sysHealth row.

@@ -24,6 +24,7 @@
 package overlays
 
 import (
+	"p2/internal/kvs"
 	"p2/internal/overlog"
 	"p2/internal/planner"
 	"p2/internal/val"
@@ -392,6 +393,20 @@ func LinkStatePlan(overrides map[string]val.Value) *planner.Plan {
 // PingPongPlan compiles the quickstart spec.
 func PingPongPlan(overrides map[string]val.Value) *planner.Plan {
 	return planner.MustCompile(overlog.MustParse(PingPongSource), overrides)
+}
+
+// ChordKVPlan merges the Chord spec with the replicated key-value
+// service (internal/kvs) into one compiled dataflow — the ring does
+// the routing, the KV rules do replication, quorum, and repair.
+func ChordKVPlan(overrides map[string]val.Value) *planner.Plan {
+	merged, err := overlog.Merge(
+		overlog.MustParse(ChordSource),
+		overlog.MustParse(kvs.Source),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return planner.MustCompile(merged, overrides)
 }
 
 // NaradaMulticastPlan merges the Narada mesh with the multicast layer

@@ -1,0 +1,144 @@
+package scenario
+
+// The KV service's fault-lab acceptance tests:
+//
+//   - TestKVScenarioConformance: a scripted PUT/GET workload under
+//     partition, heal, and churn runs bit-identically on Simulated
+//     shards=1 vs shards=4 and multiset-equivalent on real UDP
+//     loopback, and every quorum-acked key reads back at its last
+//     acked value once the ring re-converges.
+//   - TestKVSurvivesReplicaChainKills: killing R-1 nodes of a key's
+//     replica chain — owner first — still leaves every acked value
+//     readable on both runtimes.
+
+import (
+	"testing"
+
+	"p2"
+	"p2/internal/udpnet"
+)
+
+// kvConformanceScript exercises the service across the fault lab's
+// whole vocabulary: writes, a partition and its heal, a churn window,
+// overwrites after the churn, and calm-phase reads of everything. GETs
+// are issued only on calm topology: whether a request survives an
+// active cut depends on the runtime's ring geometry, but calm-phase
+// outcomes are runtime-independent. The calm tail (settle + the
+// runner's read-back phase) is where the durability contract is
+// checked.
+func kvConformanceScript() Script {
+	return Script{
+		Seed: 91, Spec: ChordKV, Nodes: 8, Warmup: 20, Settle: 12,
+		Steps: []Step{
+			{Op: OpPut, Node: 1, Key: 0, Count: 4}, // k0..k3 = v0.*
+			{Op: OpWait, Dur: 8},
+			{Op: OpPartition, Node: 2, Peer: 5},
+			{Op: OpWait, Dur: 6},
+			{Op: OpHeal, Node: 2, Peer: 5},
+			{Op: OpWait, Dur: 6},
+			{Op: OpChurn, Rate: 6, Dur: 4},
+			{Op: OpWait, Dur: 8},
+			{Op: OpPut, Node: 4, Key: 2, Count: 2}, // overwrite k2, k3
+			{Op: OpWait, Dur: 8},
+			{Op: OpGet, Node: 6, Key: 0, Count: 4}, // must see v0.0, v0.1, then the overwrites
+			{Op: OpWait, Dur: 6},
+		},
+	}
+}
+
+func TestKVScenarioConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-runtime KV conformance takes a while")
+	}
+	sc := kvConformanceScript()
+
+	s1, err := RunSim(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := RunSim(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv := DiffBitIdentical(s1, s4); dv != nil {
+		t.Fatalf("sim shards=1 vs 4:\n%s\n%v", sc, dv)
+	}
+	if len(s1.KV) == 0 || len(s1.KVFinal) == 0 {
+		t.Fatalf("scenario issued no KV work: ops=%v final=%v", s1.KV, s1.KVFinal)
+	}
+	if err := CheckKV(s1); err != nil {
+		t.Fatalf("%v\nops: %v", err, s1.KV)
+	}
+
+	if _, err := udpnet.ReserveAddr(); err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	u, err := RunUDP(sc, UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKV(u); err != nil {
+		t.Fatalf("%v\nops: %v", err, u.KV)
+	}
+	if dv := DiffKVEquivalent(s1, u); dv != nil {
+		t.Fatalf("sim vs udp:\n%s\n%v", sc, dv)
+	}
+}
+
+// replicaKillScript writes two keys, waits for anti-entropy to fill
+// every replica, then crash-stops R-1 nodes of key 0's replica chain
+// at once — the owner first (unless it is the landmark), leaving at
+// most one of the key's copies alive.
+func replicaKillScript() Script {
+	return Script{
+		Seed: 97, Spec: ChordKV, Nodes: 10, Warmup: 24, Settle: 24,
+		Steps: []Step{
+			{Op: OpPut, Node: 2, Key: 0, Count: 2},
+			{Op: OpWait, Dur: 14}, // tKvSync rounds replicate to all R holders
+			{Op: OpKillReplicas, Key: 0, Count: p2.KVReplicas - 1},
+			// The kill takes out R-1 consecutive ring nodes, so recovery
+			// rides failure detection plus the rejoin anti-entropy, not
+			// just one stabilization round.
+			{Op: OpWait, Dur: 16},
+		},
+	}
+}
+
+func TestKVSurvivesReplicaChainKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-runtime replica-kill scenario takes a while")
+	}
+	sc := replicaKillScript()
+
+	s1, err := RunSim(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := RunSim(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv := DiffBitIdentical(s1, s4); dv != nil {
+		t.Fatalf("sim shards=1 vs 4:\n%s\n%v", sc, dv)
+	}
+	if got := len(s1.Live); got != sc.Nodes-(p2.KVReplicas-1) {
+		t.Fatalf("killreplicas left %d live nodes, want %d", got, sc.Nodes-(p2.KVReplicas-1))
+	}
+	if err := CheckKV(s1); err != nil {
+		t.Fatalf("%v\nops: %v", err, s1.KV)
+	}
+
+	if _, err := udpnet.ReserveAddr(); err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	u, err := RunUDP(sc, UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckKV(u); err != nil {
+		t.Fatalf("%v\nops: %v", err, u.KV)
+	}
+	if dv := DiffKVEquivalent(s1, u); dv != nil {
+		t.Fatalf("sim vs udp:\n%s\n%v", sc, dv)
+	}
+}

@@ -45,6 +45,36 @@ func DiffEquivalent(a, b Result) *Divergence {
 	if sa, sb := strings.Join(a.Lookups, " "), strings.Join(b.Lookups, " "); sa != sb {
 		return &Divergence{Field: "lookup outcomes", A: label(a, sa), B: label(b, sb)}
 	}
+	if sa, sb := strings.Join(a.KV, " "), strings.Join(b.KV, " "); sa != sb {
+		return &Divergence{Field: "kv op outcomes", A: label(a, sa), B: label(b, sb)}
+	}
+	if sa, sb := strings.Join(a.KVFinal, " "), strings.Join(b.KVFinal, " "); sa != sb {
+		return &Divergence{Field: "kv final reads", A: label(a, sa), B: label(b, sb)}
+	}
+	return nil
+}
+
+// DiffKVEquivalent checks the runtime-independent slice of a ChordKV
+// run: live population, per-op KV outcomes, and the final read-backs.
+// Ring geometry — the digest, lookup routing, which indices a
+// killreplicas step hits — is runtime-RELATIVE across sim and UDP:
+// node identifiers hash the transport address, and the two runtimes
+// run different address spaces, so the same script forms
+// differently-ordered rings. The service-level outcomes above the ring
+// are not, provided the script issues its operations on calm phases:
+// versions are the client's scripted sequence and values route to
+// whatever node owns the key in that runtime's geometry.
+func DiffKVEquivalent(a, b Result) *Divergence {
+	if la, lb := len(a.Live), len(b.Live); la != lb {
+		return &Divergence{Field: "live population",
+			A: label(a, fmt.Sprintf("%d", la)), B: label(b, fmt.Sprintf("%d", lb))}
+	}
+	if sa, sb := strings.Join(a.KV, " "), strings.Join(b.KV, " "); sa != sb {
+		return &Divergence{Field: "kv op outcomes", A: label(a, sa), B: label(b, sb)}
+	}
+	if sa, sb := strings.Join(a.KVFinal, " "), strings.Join(b.KVFinal, " "); sa != sb {
+		return &Divergence{Field: "kv final reads", A: label(a, sa), B: label(b, sb)}
+	}
 	return nil
 }
 
@@ -85,6 +115,25 @@ func CheckLookups(r Result) error {
 		if got != want {
 			return fmt.Errorf("scenario: %s lookup %s resolved to n%s, ground truth n%s",
 				r.Runtime, eid, got, want)
+		}
+	}
+	return nil
+}
+
+// CheckKV verifies the KV service's durability contract on a ChordKV
+// result: the post-settle read-back of every quorum-acked key returned
+// exactly the last acked value at the last acked version — whatever
+// kills, partitions, or churn the script put between the write and the
+// read. Call it on runs that ended with a calm, re-converged tail.
+func CheckKV(r Result) error {
+	for _, f := range r.KVFinal {
+		var key, got, want string
+		if _, err := fmt.Sscanf(f, "%s got=%s want=%s", &key, &got, &want); err != nil {
+			return fmt.Errorf("scenario: malformed kv read-back %q", f)
+		}
+		if got != want {
+			return fmt.Errorf("scenario: %s read-back of %s returned %s, last quorum-acked %s",
+				r.Runtime, key, got, want)
 		}
 	}
 	return nil

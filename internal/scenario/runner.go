@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"p2"
 	"p2/internal/chordref"
@@ -23,6 +24,8 @@ type Result struct {
 	Rows    []string // sorted derived-tuple multiset (Echo: seen rows)
 	Digest  string   // ring digest (Chord: "i->j;" per live node)
 	Lookups []string // per-lookup outcomes "eid got=<idx> want=<idx>"
+	KV      []string // ChordKV: per-op outcomes, in issue order
+	KVFinal []string // ChordKV: post-settle read-back "k<i> got=<v>@<ver> want=<v>@<ver>"
 	Events  int      // simulated only: events fired
 	Bytes   int64    // simulated only: wire bytes sent
 	Clock   float64  // simulated only: final virtual time
@@ -53,7 +56,35 @@ type runner struct {
 	nodes []*p2.Handle
 	live  []bool
 	looks []*lookupRec
+	kvops []kvRec
 }
+
+// kvRec is one issued KV operation: the step-derived label, the
+// key-universe index, and the client op carrying the outcome.
+type kvRec struct {
+	label string
+	key   int
+	put   bool
+	op    *p2.KVOp
+}
+
+// kvDefines compresses the Chord and KV timers for ChordKV scenarios —
+// identically on every runtime, so a UDP run (wall-clock seconds)
+// converges and re-converges inside a test's patience while the
+// simulated runs execute the very same dataflow.
+var kvDefines = map[string]p2.Value{
+	"tFix":       p2.Int(2),
+	"tStabilize": p2.Int(1),
+	"tPing":      p2.Int(1),
+	"tJoinRetry": p2.Int(3),
+	"tRejoinAll": p2.Int(10),
+	"tDead":      p2.Int(4),
+	"tKvSync":    p2.Int(2),
+}
+
+// kvKey renders key-universe index i as the application key every
+// runtime uses — a pure function of (seed, index), like lookup keys.
+func kvKey(seed int64, i int) string { return fmt.Sprintf("kv/%d/%d", seed, i) }
 
 // run advances the deployment and accumulates the event count (the
 // bit-identity gauge on simulated runs). Driver context.
@@ -141,9 +172,12 @@ func runOn(sc Script, d *p2.Deployment, addrs []string, label string) (Result, e
 		r.idx[a] = i
 	}
 	var err error
-	if sc.Spec == Chord {
+	switch sc.Spec {
+	case Chord:
 		r.plan, err = p2.Compile(p2.ChordSource, nil)
-	} else {
+	case ChordKV:
+		r.plan, err = p2.CompileMulti(kvDefines, p2.ChordSource, p2.KVSource)
+	default:
 		r.plan, err = p2.Compile(echoSpec, nil)
 	}
 	if err != nil {
@@ -163,7 +197,10 @@ func runOn(sc Script, d *p2.Deployment, addrs []string, label string) (Result, e
 		}
 	}
 	r.run(sc.Settle)
-	return r.collect(label)
+	final := r.finalReads()
+	res, err := r.collect(label)
+	res.KVFinal = final
+	return res, err
 }
 
 // boot spawns (or, when replace is set and the node is live, replaces)
@@ -181,7 +218,7 @@ func (r *runner) boot(i int, replace bool) error {
 	if err != nil {
 		return fmt.Errorf("scenario: boot n%d (%s): %w", i, addr, err)
 	}
-	if r.sc.Spec == Chord {
+	if r.sc.Spec.chordLike() {
 		lm := "-"
 		if i != 0 {
 			lm = r.addrs[0]
@@ -299,9 +336,156 @@ func (r *runner) exec(si int, st Step) error {
 		r.d.DisableChurn()
 	case OpWait:
 		r.run(st.Dur)
+	case OpPut, OpGet:
+		if r.sc.Spec == ChordKV {
+			return r.kvBatch(si, st)
+		}
+	case OpKillReplicas:
+		if r.sc.Spec == ChordKV {
+			r.killReplicas(st)
+		}
 	}
 	return nil
 }
+
+// kvBatch issues st.Count PUTs or GETs from the first live node at or
+// after st.Node, over key-universe indices st.Key..st.Key+st.Count-1.
+// PUT values derive from (step index, k) alone; versions are the
+// client's scripted sequence — both identical on every runtime.
+func (r *runner) kvBatch(si int, st Step) error {
+	from := r.nextLive(st.Node)
+	if from < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	h := r.nodes[from]
+	r.mu.Unlock()
+	for k := 0; k < st.Count; k++ {
+		key := kvKey(r.sc.Seed, st.Key+k)
+		var op *p2.KVOp
+		var err error
+		if st.Op == OpPut {
+			op, err = h.Put(key, fmt.Sprintf("v%d.%d", si, k))
+		} else {
+			op, err = h.Get(key)
+		}
+		if err != nil {
+			return fmt.Errorf("scenario: step %d (%s): %w", si, st, err)
+		}
+		r.mu.Lock()
+		r.kvops = append(r.kvops, kvRec{
+			label: fmt.Sprintf("s%d.%d", si, k),
+			key:   st.Key + k, put: st.Op == OpPut, op: op,
+		})
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// killReplicas crash-stops the first st.Count live nodes of key
+// st.Key's replica chain — the live addresses in ring order from the
+// key, owner first — exactly the nodes the KV fan-out wrote to. Node 0
+// is exempt, like the generator's kills and the harness's churn: it is
+// the Chord landmark, and a ring whose re-join anchor is dead can stay
+// fragmented indefinitely, which is a bootstrap pathology rather than
+// the replication behaviour this step exists to test. The chain
+// derives from the shared liveness model, so every runtime kills the
+// same chain positions (not the same indices: ring order hashes the
+// runtime's own address space).
+func (r *runner) killReplicas(st Step) {
+	key := id.Hash(kvKey(r.sc.Seed, st.Key))
+	var chain []string
+	for _, a := range r.liveAddrs() {
+		if a != r.addrs[0] {
+			chain = append(chain, a)
+		}
+	}
+	sort.Slice(chain, func(i, j int) bool {
+		return key.Dist(id.Hash(chain[i])).Less(key.Dist(id.Hash(chain[j])))
+	})
+	if len(chain) > st.Count {
+		chain = chain[:st.Count]
+	}
+	for _, addr := range chain {
+		i := r.idx[addr]
+		r.d.Kill(addr)
+		r.mu.Lock()
+		r.nodes[i], r.live[i] = nil, false
+		r.mu.Unlock()
+	}
+}
+
+// finalReads is the post-settle verification phase on ChordKV runs:
+// every key with a quorum-acked PUT is read back from the first live
+// node, retrying lost requests (operations are single-shot; right
+// after faults a request can route into a stale finger and vanish).
+// Returns "k<i> got=<v>@<ver> want=<v>@<ver>" per key, ascending.
+func (r *runner) finalReads() []string {
+	if r.sc.Spec != ChordKV {
+		return nil
+	}
+	// Last quorum-acked value and version per key index.
+	type want struct {
+		val string
+		ver int64
+	}
+	wants := make(map[int]want)
+	r.mu.Lock()
+	ops := append([]kvRec(nil), r.kvops...)
+	r.mu.Unlock()
+	for _, rec := range ops {
+		if rec.put && kvDone(rec.op) && rec.op.Ver > wants[rec.key].ver {
+			wants[rec.key] = want{val: rec.op.Value, ver: rec.op.Ver}
+		}
+	}
+	keys := make([]int, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	got := make(map[int]*p2.KVOp)
+	for attempt := 0; attempt < 5 && len(got) < len(keys); attempt++ {
+		from := r.nextLive(0)
+		if from < 0 {
+			break
+		}
+		r.mu.Lock()
+		h := r.nodes[from]
+		r.mu.Unlock()
+		issued := make(map[int]*p2.KVOp)
+		for _, k := range keys {
+			if got[k] != nil {
+				continue
+			}
+			if op, err := h.Get(kvKey(r.sc.Seed, k)); err == nil {
+				issued[k] = op
+			}
+		}
+		r.run(6)
+		for k, op := range issued {
+			if kvDone(op) && op.Found {
+				got[k] = op
+			}
+		}
+	}
+
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		w := wants[k]
+		g := "?@0"
+		if op := got[k]; op != nil {
+			g = fmt.Sprintf("%s@%d", op.Value, op.Ver)
+		}
+		out = append(out, fmt.Sprintf("k%d got=%s want=%s@%d", k, g, w.val, w.ver))
+	}
+	return out
+}
+
+// kvDone reports completion race-free on every runtime: it rides the
+// op's completion channel, so a true result orders the op's fields
+// before the read even while UDP response callbacks are still firing.
+func kvDone(op *p2.KVOp) bool { return op.Wait(time.Millisecond) }
 
 // nextIs reports whether node i's model liveness equals want.
 func (r *runner) nextIs(i int, want bool) bool {
@@ -321,7 +505,7 @@ func (r *runner) lookups(si int, st Step) {
 	}
 	for k := 0; k < st.Count; k++ {
 		eid := fmt.Sprintf("s%d.%d", si, k)
-		if r.sc.Spec == Chord {
+		if r.sc.Spec.chordLike() {
 			key := id.Hash(fmt.Sprintf("key/%d/%d/%d", r.sc.Seed, si, k))
 			rec := &lookupRec{eid: eid, want: chordref.Owner(key, r.liveAddrs())}
 			r.mu.Lock()
@@ -374,7 +558,7 @@ func (r *runner) collect(label string) (Result, error) {
 		}
 		return "?"
 	}
-	if r.sc.Spec == Chord {
+	if r.sc.Spec.chordLike() {
 		var sb []string
 		for i, ok := range live {
 			if !ok {
@@ -394,6 +578,24 @@ func (r *runner) collect(label string) (Result, error) {
 			}
 			res.Lookups = append(res.Lookups,
 				fmt.Sprintf("%s got=%s want=%s", lr.eid, got, ownerIdx(lr.want)))
+		}
+		r.mu.Lock()
+		kvops := append([]kvRec(nil), r.kvops...)
+		r.mu.Unlock()
+		for _, rec := range kvops {
+			kind, outcome := "get", "lost"
+			if rec.put {
+				kind = "put"
+			}
+			if kvDone(rec.op) {
+				if rec.put {
+					outcome = fmt.Sprintf("acked@%d", rec.op.Ver)
+				} else {
+					outcome = fmt.Sprintf("%s@%d found=%v stale=%v",
+						rec.op.Value, rec.op.Ver, rec.op.Found, rec.op.Stale)
+				}
+			}
+			res.KV = append(res.KV, fmt.Sprintf("%s %s k%d %s", rec.label, kind, rec.key, outcome))
 		}
 	} else {
 		for i, ok := range live {

@@ -33,15 +33,28 @@ const (
 	// Chord is the paper's full Chord DHT: periodic stabilization,
 	// ground-truth-checkable lookups, and a ring digest.
 	Chord
+	// ChordKV is Chord with the replicated key-value service compiled
+	// in (p2.KVSource), with the protocol timers compressed identically
+	// on every runtime so UDP runs converge in wall-clock seconds. Adds
+	// the put/get/killreplicas steps and a post-settle verification
+	// phase that reads every quorum-acked key back.
+	ChordKV
 )
 
 // String names the spec.
 func (s Spec) String() string {
-	if s == Chord {
+	switch s {
+	case Chord:
 		return "chord"
+	case ChordKV:
+		return "chordkv"
 	}
 	return "echo"
 }
+
+// chordLike reports whether the spec runs the Chord ring (and so takes
+// landmark/join boot facts, lookups, and the ring digest).
+func (s Spec) chordLike() bool { return s == Chord || s == ChordKV }
 
 // Op enumerates the typed step kinds.
 type Op int
@@ -58,13 +71,18 @@ const (
 	OpLookups             // issue Count lookups (Chord) or pings (Echo) from Node
 	OpChurn               // churn window: mean session Rate for Dur seconds
 	OpWait                // advance Dur seconds
+
+	// ChordKV-only steps (no-ops on other specs).
+	OpPut          // write Count keys (universe indices Key..Key+Count-1) from Node
+	OpGet          // read Count keys (universe indices Key..Key+Count-1) from Node
+	OpKillReplicas // kill the first Count nodes of key Key's replica chain, owner first (landmark exempt)
 )
 
 var opNames = map[Op]string{
 	OpSpawn: "spawn", OpKill: "kill", OpReplace: "replace",
 	OpPartition: "partition", OpHeal: "heal", OpLoss: "loss",
 	OpLatency: "latency", OpLookups: "lookups", OpChurn: "churn",
-	OpWait: "wait",
+	OpWait: "wait", OpPut: "put", OpGet: "get", OpKillReplicas: "killreplicas",
 }
 
 // String names the op.
@@ -76,7 +94,8 @@ type Step struct {
 	Op    Op
 	Node  int     // subject node index
 	Peer  int     // partition/heal peer index
-	Count int     // lookup batch size
+	Count int     // lookup batch size / KV op batch size / replicas to kill
+	Key   int     // KV key-universe index (put/get/killreplicas)
 	Rate  float64 // loss probability, added latency, or churn mean session
 	Dur   float64 // burst / window / wait duration in seconds
 }
@@ -96,6 +115,10 @@ func (st Step) String() string {
 		return fmt.Sprintf("churn mean=%.3gs for %.3gs", st.Rate, st.Dur)
 	case OpWait:
 		return fmt.Sprintf("wait %.3gs", st.Dur)
+	case OpPut, OpGet:
+		return fmt.Sprintf("%s %d keys from k%d via n%d", st.Op, st.Count, st.Key, st.Node)
+	case OpKillReplicas:
+		return fmt.Sprintf("killreplicas %d of k%d", st.Count, st.Key)
 	}
 	return fmt.Sprintf("op(%d)", int(st.Op))
 }
@@ -143,7 +166,7 @@ func (sc Script) Validate() error {
 		if st.Node < 0 || st.Node >= sc.Nodes || st.Peer < 0 || st.Peer >= sc.Nodes {
 			return fmt.Errorf("scenario: step %d (%s): node index out of range [0,%d)", i, st, sc.Nodes)
 		}
-		if st.Dur < 0 || st.Rate < 0 || st.Count < 0 {
+		if st.Dur < 0 || st.Rate < 0 || st.Count < 0 || st.Key < 0 {
 			return fmt.Errorf("scenario: step %d (%s): negative field", i, st)
 		}
 	}

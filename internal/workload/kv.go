@@ -1,0 +1,149 @@
+package workload
+
+// The key-value mix: the same open-loop Poisson discipline as Run,
+// but issuing PUT/GET operations through the deployment's KV client
+// instead of bare ring lookups — the end-to-end workload the service
+// exists for. Requires a harness built with Opts.KV.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2"
+	"p2/internal/harness"
+)
+
+// KVOpts configures one open-loop PUT/GET run.
+type KVOpts struct {
+	// Rate is the aggregate operation arrival rate per virtual second.
+	Rate float64
+	// Duration is the arrival window in virtual seconds.
+	Duration float64
+	// Drain is how long past the window the run keeps simulating so
+	// in-flight operations can finish (default 30 virtual seconds).
+	Drain float64
+	// Seed drives the arrival schedule, requester, key, and op choices.
+	Seed int64
+	// PutFraction is the probability an arrival is a PUT (default 0.5).
+	PutFraction float64
+	// Keys is the size of the key universe ops draw from uniformly
+	// (default 64). Smaller universes mean hotter keys and more
+	// overwrite/staleness pressure.
+	Keys int
+}
+
+// KVReport summarizes one run: per-op-type completion and latency
+// percentiles, plus the staleness rate of completed GETs — the
+// fraction whose result predates the last quorum-acked PUT.
+type KVReport struct {
+	PutsIssued, PutsCompleted int
+	GetsIssued, GetsCompleted int
+	StaleGets                 int // completed GETs returning stale data
+	Misses                    int // completed GETs finding nothing
+
+	PutP50, PutP99, PutP999 float64 // PUT latency, seconds
+	GetP50, GetP99, GetP999 float64 // GET latency, seconds
+}
+
+// CompletionRate is the fraction of issued operations that finished.
+func (r KVReport) CompletionRate() float64 {
+	issued := r.PutsIssued + r.GetsIssued
+	if issued == 0 {
+		return 0
+	}
+	return float64(r.PutsCompleted+r.GetsCompleted) / float64(issued)
+}
+
+// StalenessRate is the fraction of completed GETs that were stale.
+func (r KVReport) StalenessRate() float64 {
+	if r.GetsCompleted == 0 {
+		return 0
+	}
+	return float64(r.StaleGets) / float64(r.GetsCompleted)
+}
+
+// kvIssue pairs one issued operation with its kind for the tally.
+type kvIssue struct {
+	op  *p2.KVOp
+	put bool
+}
+
+// RunKV issues the configured PUT/GET stream against h (built with
+// Opts.KV), advances virtual time through the window plus the drain,
+// and reports per-op percentiles and the staleness rate. Same
+// determinism contract as Run: every draw happens either up front or
+// inside a barrier callback, so the report is bit-identical at any
+// shard count.
+func RunKV(h *harness.Chord, o KVOpts) KVReport {
+	if o.Drain <= 0 {
+		o.Drain = 30
+	}
+	if o.PutFraction <= 0 {
+		o.PutFraction = 0.5
+	}
+	if o.Keys <= 0 {
+		o.Keys = 64
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	var arrivals []float64
+	for t := rng.ExpFloat64() / o.Rate; t < o.Duration; t += rng.ExpFloat64() / o.Rate {
+		arrivals = append(arrivals, t)
+	}
+
+	kv := h.D.KV()
+	base := h.Now()
+	issued := make([]kvIssue, 0, len(arrivals))
+	seq := 0
+	for _, off := range arrivals {
+		h.D.At(base+off, func() {
+			// All draws inside the barrier callback — deterministic at
+			// any shard count, same as Run.
+			live := h.LiveAddrs()
+			from := h.D.Node(live[rng.Intn(len(live))])
+			key := fmt.Sprintf("wk/%d/%d", o.Seed, rng.Intn(o.Keys))
+			isPut := rng.Float64() < o.PutFraction
+			seq++
+			if from == nil {
+				return // requester churned out between draw and issue
+			}
+			if isPut {
+				if op, err := kv.Put(from, key, fmt.Sprintf("v%d", seq)); err == nil {
+					issued = append(issued, kvIssue{op: op, put: true})
+				}
+			} else {
+				if op, err := kv.Get(from, key); err == nil {
+					issued = append(issued, kvIssue{op: op})
+				}
+			}
+		})
+	}
+	h.Run(o.Duration + o.Drain)
+
+	var rep KVReport
+	var putLats, getLats []float64
+	for _, r := range issued {
+		if r.put {
+			rep.PutsIssued++
+			if r.op.Done {
+				rep.PutsCompleted++
+				putLats = append(putLats, r.op.Latency())
+			}
+			continue
+		}
+		rep.GetsIssued++
+		if r.op.Done {
+			rep.GetsCompleted++
+			getLats = append(getLats, r.op.Latency())
+			if r.op.Stale {
+				rep.StaleGets++
+			}
+			if !r.op.Found {
+				rep.Misses++
+			}
+		}
+	}
+	rep.PutP50, rep.PutP99, rep.PutP999 = percentiles(putLats)
+	rep.GetP50, rep.GetP99, rep.GetP999 = percentiles(getLats)
+	return rep
+}

@@ -37,14 +37,14 @@ const peerNetRules = `
 
 func TestSystemTableCatalog(t *testing.T) {
 	defs := p2.SystemTables()
-	if len(defs) != 6 {
-		t.Fatalf("system tables = %d, want 6", len(defs))
+	if len(defs) != 7 {
+		t.Fatalf("system tables = %d, want 7", len(defs))
 	}
 	names := map[string]bool{}
 	for _, d := range defs {
 		names[d.Name] = true
 	}
-	for _, want := range []string{p2.SysTable, p2.SysRule, p2.SysPlan, p2.SysNet, p2.SysNode, p2.SysHealth} {
+	for _, want := range []string{p2.SysTable, p2.SysRule, p2.SysPlan, p2.SysNet, p2.SysNode, p2.SysHealth, p2.SysKV} {
 		if !names[want] {
 			t.Fatalf("catalog missing %s", want)
 		}

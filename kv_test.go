@@ -1,0 +1,224 @@
+package p2_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"p2"
+	"p2/internal/chordref"
+)
+
+// kvRing boots an n-node simulated Chord+KV ring and settles it.
+func kvRing(t *testing.T, n, shards int, seed int64) (*p2.Deployment, []*p2.Handle) {
+	t.Helper()
+	plan, err := p2.CompileMulti(nil, p2.ChordSource, p2.KVSource)
+	if err != nil {
+		t.Fatalf("compile chord+kv: %v", err)
+	}
+	d, err := p2.NewDeployment(p2.Simulated, p2.WithSeed(seed), p2.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	var nodes []*p2.Handle
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("kv%02d:p2", i)
+		h, err := d.Spawn(addr, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		landmark := "-"
+		if i > 0 {
+			landmark = "kv00:p2"
+		}
+		h.AddFact("landmark", p2.Str(addr), p2.Str(landmark))
+		h.AddFact("join", p2.Str(addr), p2.Str(addr+"!boot"))
+		nodes = append(nodes, h)
+		d.Run(1)
+	}
+	d.Run(180) // stabilize the ring before serving traffic
+	return d, nodes
+}
+
+// TestKVPutGet drives the whole client surface on a settled ring:
+// writes reach quorum, reads return the written value at the written
+// version, overwrites supersede, misses and staleness report
+// honestly, and sysKV accounts for the replicated rows.
+func TestKVPutGet(t *testing.T) {
+	d, nodes := kvRing(t, 16, 4, 11)
+
+	const keys = 20
+	puts := make([]*p2.KVOp, keys)
+	for i := range puts {
+		op, err := nodes[i%len(nodes)].Put(fmt.Sprintf("key/%d", i), fmt.Sprintf("v1/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		puts[i] = op
+	}
+	d.Run(30)
+	for i, op := range puts {
+		if !op.Done {
+			t.Fatalf("put %d never reached quorum", i)
+		}
+	}
+
+	gets := make([]*p2.KVOp, keys)
+	for i := range gets {
+		op, err := nodes[(i+7)%len(nodes)].Get(fmt.Sprintf("key/%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gets[i] = op
+	}
+	d.Run(30)
+	for i, op := range gets {
+		if !op.Done {
+			t.Fatalf("get %d never completed", i)
+		}
+		if !op.Found || op.Value != fmt.Sprintf("v1/%d", i) {
+			t.Fatalf("get %d: found=%v value=%q", i, op.Found, op.Value)
+		}
+		if op.Stale {
+			t.Fatalf("get %d reported stale after its put was acked", i)
+		}
+		if op.Ver != puts[i].Ver {
+			t.Fatalf("get %d: version %d, want the put's %d", i, op.Ver, puts[i].Ver)
+		}
+	}
+
+	// Overwrite: the newer version wins and the read is not stale.
+	over, err := nodes[3].Put("key/0", "v2/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(30)
+	re, err := nodes[9].Get("key/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(30)
+	if !re.Done || re.Value != "v2/0" || re.Ver != over.Ver || re.Stale {
+		t.Fatalf("overwrite read: done=%v value=%q ver=%d stale=%v", re.Done, re.Value, re.Ver, re.Stale)
+	}
+
+	// Miss: a key never written reports not-found, not an error.
+	miss, err := nodes[5].Get("never/written")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(30)
+	if !miss.Done || miss.Found || miss.Stale {
+		t.Fatalf("miss: done=%v found=%v stale=%v", miss.Done, miss.Found, miss.Stale)
+	}
+
+	// sysKV accounting: the replica fan-out should put each key on
+	// several nodes, and the parameters should be the spec's defines.
+	totalKeys, withParams := 0, 0
+	for _, h := range nodes {
+		st, ok := h.KVStats()
+		if !ok {
+			t.Fatalf("%s runs the KV rules but reports no sysKV row", h.Addr())
+		}
+		totalKeys += st.Keys
+		if st.Replicas == p2.KVReplicas && st.Quorum == p2.KVQuorum {
+			withParams++
+		}
+	}
+	if totalKeys < keys*p2.KVQuorum {
+		t.Fatalf("only %d replicated rows across the ring for %d keys (quorum %d)", totalKeys, keys, p2.KVQuorum)
+	}
+	if withParams != len(nodes) {
+		t.Fatalf("%d/%d nodes derived the replication parameters", withParams, len(nodes))
+	}
+}
+
+// TestKVSurvivesOwnerFailure is the re-replication path end-to-end: a
+// quorum-acked key outlives the failure of its owner because the
+// successor list already holds copies and inherits ownership when the
+// ring re-converges.
+func TestKVSurvivesOwnerFailure(t *testing.T) {
+	d, nodes := kvRing(t, 12, 2, 23)
+
+	put, err := nodes[1].Put("precious", "survives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(30)
+	if !put.Done {
+		t.Fatal("put never reached quorum")
+	}
+
+	live := d.Addrs()
+	owner := chordref.Owner(p2.Hash("precious"), live)
+	d.Kill(owner)
+	d.Run(90) // failure detection, stabilization, anti-entropy
+
+	var reader *p2.Handle
+	for _, h := range nodes {
+		if h.Addr() != owner {
+			reader = h
+			break
+		}
+	}
+	get, err := reader.Get("precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(30)
+	if !get.Done {
+		t.Fatal("get after owner failure never completed")
+	}
+	if !get.Found || get.Value != "survives" || get.Ver != put.Ver {
+		t.Fatalf("after owner failure: found=%v value=%q ver=%d (want %d)", get.Found, get.Value, get.Ver, put.Ver)
+	}
+	if get.Stale {
+		t.Fatal("read of the inherited copy reported stale")
+	}
+}
+
+// TestKVBitIdenticalAcrossShards pins the service to the simulator's
+// core guarantee: the same scripted client session — including
+// response times, versions, staleness, and every node's sysKV row —
+// is byte-for-byte identical at 1 and 4 shards.
+func TestKVBitIdenticalAcrossShards(t *testing.T) {
+	session := func(shards int) string {
+		d, nodes := kvRing(t, 10, shards, 31)
+		var sb strings.Builder
+		ops := make([]*p2.KVOp, 0, 12)
+		for i := 0; i < 6; i++ {
+			op, err := nodes[i].Put(fmt.Sprintf("k%d", i), fmt.Sprintf("val%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, op)
+		}
+		d.Run(25)
+		for i := 0; i < 6; i++ {
+			op, err := nodes[9-i].Get(fmt.Sprintf("k%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops = append(ops, op)
+		}
+		d.Run(25)
+		for _, op := range ops {
+			fmt.Fprintf(&sb, "%s %s done=%v v=%q ver=%d found=%v stale=%v t=%.6f\n",
+				op.Kind, op.Key, op.Done, op.Value, op.Ver, op.Found, op.Stale, op.Completed)
+		}
+		rows := make([]string, 0, len(nodes))
+		for _, h := range nodes {
+			st, _ := h.KVStats()
+			rows = append(rows, fmt.Sprintf("%s %+v", h.Addr(), st))
+		}
+		sort.Strings(rows)
+		sb.WriteString(strings.Join(rows, "\n"))
+		return sb.String()
+	}
+	a, b := session(1), session(4)
+	if a != b {
+		t.Fatalf("KV session differs across shard counts:\nshards=1:\n%s\nshards=4:\n%s", a, b)
+	}
+}

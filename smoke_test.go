@@ -43,7 +43,7 @@ func TestExamplesRunToCompletion(t *testing.T) {
 	go_ := goTool(t)
 	bin := t.TempDir()
 	for _, ex := range []string{
-		"quickstart", "gossip", "linkstate", "multicast", "narada", "chord", "monitor",
+		"quickstart", "gossip", "linkstate", "multicast", "narada", "chord", "monitor", "kv",
 	} {
 		ex := ex
 		t.Run(ex, func(t *testing.T) {

@@ -171,9 +171,11 @@ var gatedMetrics = []struct {
 	higherBetter bool
 }{
 	{"events/sec", true},
+	{"ops/sec", true},
 	{"p50-ms", false},
 	{"p99-ms", false},
 	{"p999-ms", false},
+	{"stale-frac", false},
 	{"kB/node", false},
 }
 
